@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the compiler half: parsing/lowering,
+//! Steensgaard, and the lock inference at several k — the per-component
+//! view behind Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockscheme::SchemeConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_frontend(c: &mut Criterion) {
+    let spec = workloads::spec_like::generate("bench", 2.0, 99);
+    let mut g = c.benchmark_group("frontend");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function("compile_2kloc", |b| {
+        b.iter(|| lir::compile(black_box(&spec.source)).unwrap())
+    });
+    let program = lir::compile(&spec.source).unwrap();
+    g.bench_function("steensgaard_2kloc", |b| {
+        b.iter(|| pointsto::PointsTo::analyze(black_box(&program)))
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    // The concurrent benchmarks (small sections, the common case).
+    let micro: Vec<_> = workloads::micro::all(workloads::Contention::Low, 10, 0)
+        .into_iter()
+        .map(|s| {
+            let p = lir::compile(&s.source).unwrap();
+            let pt = pointsto::PointsTo::analyze(&p);
+            (p, pt)
+        })
+        .collect();
+    for k in [0usize, 3, 9] {
+        g.bench_with_input(BenchmarkId::new("micro_suite", k), &k, |b, &k| {
+            b.iter(|| {
+                for (p, pt) in &micro {
+                    let cfg = SchemeConfig::full(k, p.elem_field_opt());
+                    black_box(lockinfer::analyze_program(p, pt, cfg));
+                }
+            })
+        });
+    }
+    // One whole-program section (the SPEC-like stress case, scaled
+    // down so `cargo bench` stays quick).
+    let spec = workloads::spec_like::generate("bench", 1.0, 7);
+    let p = lir::compile(&spec.source).unwrap();
+    let pt = pointsto::PointsTo::analyze(&p);
+    for k in [0usize, 3] {
+        g.bench_with_input(BenchmarkId::new("spec_1kloc", k), &k, |b, &k| {
+            b.iter(|| {
+                let cfg = SchemeConfig::full(k, p.elem_field_opt());
+                black_box(lockinfer::analyze_program(&p, &pt, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_inference);
+criterion_main!(benches);

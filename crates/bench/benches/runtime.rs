@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the runtime half: multi-grain lock
+//! acquisition batches, TL2 transactions, and interpreted section
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp::{ExecMode, Options};
+use mglock::{Access, Descriptor, FineAddr, Runtime, Session};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_mglock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mglock");
+    g.sample_size(30).measurement_time(Duration::from_secs(5));
+    let rt = Arc::new(Runtime::new());
+    g.bench_function("fine_batch_of_3", |b| {
+        let mut s = Session::new(Arc::clone(&rt));
+        b.iter(|| {
+            s.to_acquire(Descriptor::Fine {
+                pts: 1,
+                addr: FineAddr::Cell(10),
+                access: Access::Write,
+            });
+            s.to_acquire(Descriptor::Fine {
+                pts: 1,
+                addr: FineAddr::Cell(11),
+                access: Access::Read,
+            });
+            s.to_acquire(Descriptor::Coarse { pts: 2, access: Access::Read });
+            s.acquire_all();
+            s.release_all();
+        })
+    });
+    g.bench_function("global_batch", |b| {
+        let mut s = Session::new(Arc::clone(&rt));
+        b.iter(|| {
+            s.to_acquire(Descriptor::Global { access: Access::Write });
+            s.acquire_all();
+            s.release_all();
+        })
+    });
+    g.bench_function("nested_reentry", |b| {
+        let mut s = Session::new(Arc::clone(&rt));
+        s.to_acquire(Descriptor::Coarse { pts: 7, access: Access::Write });
+        s.acquire_all();
+        b.iter(|| {
+            s.acquire_all(); // nested: nlevel bump only
+            s.release_all();
+        });
+        s.release_all();
+    });
+    g.finish();
+}
+
+fn bench_tl2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tl2");
+    g.sample_size(30).measurement_time(Duration::from_secs(5));
+    let space = tl2::Space::new(1024);
+    g.bench_function("rmw_txn_4_cells", |b| {
+        b.iter(|| {
+            space.atomically(|t| {
+                for i in 0..4 {
+                    let v = t.read(i * 7)?;
+                    t.write(i * 7, v + 1);
+                }
+                Ok(())
+            })
+        })
+    });
+    g.bench_function("read_only_txn_16_cells", |b| {
+        b.iter(|| {
+            space.atomically(|t| {
+                let mut s = 0;
+                for i in 0..16 {
+                    s += t.read(i)?;
+                }
+                Ok(black_box(s))
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let src = r#"
+        global g;
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { g = g + 1; }
+                i = i + 1;
+            }
+            return g;
+        }
+    "#;
+    for (name, mode) in [
+        ("sections_multigrain", ExecMode::MultiGrain),
+        ("sections_global", ExecMode::Global),
+        ("sections_stm", ExecMode::Stm),
+    ] {
+        let m = interp::machine_for(src, 3, mode, Options::default()).unwrap();
+        g.bench_function(name, |b| b.iter(|| black_box(m.run_named("work", &[100]).unwrap())));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mglock, bench_tl2, bench_interp);
+criterion_main!(benches);

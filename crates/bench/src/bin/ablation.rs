@@ -1,0 +1,56 @@
+//! Scheme ablation: lock distribution when each component of the
+//! product scheme `Σ_k × Σ≡ × Σ_ε` is disabled — the executable form of
+//! the paper's claim that the framework is *parameterized* by the lock
+//! scheme.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation
+//! ```
+
+use lockinfer::LockCounts;
+use lockscheme::SchemeConfig;
+use workloads::{micro, stamp, Contention};
+
+fn main() {
+    let mut specs = micro::all(Contention::Low, 10, 0);
+    specs.extend(stamp::all(10, 0));
+    let variants: [(&str, fn(&lir::Program) -> SchemeConfig); 5] = [
+        ("full (k=9)", |p| SchemeConfig::full(9, p.elem_field_opt())),
+        ("no effects", |p| SchemeConfig { use_eff: false, ..SchemeConfig::full(9, p.elem_field_opt()) }),
+        ("no expressions", |p| {
+            SchemeConfig { use_expr: false, ..SchemeConfig::full(9, p.elem_field_opt()) }
+        }),
+        ("no points-to", |p| {
+            SchemeConfig { use_pts: false, ..SchemeConfig::full(9, p.elem_field_opt()) }
+        }),
+        ("global only", |p| SchemeConfig {
+            use_pts: false,
+            use_expr: false,
+            use_eff: false,
+            ..SchemeConfig::full(0, p.elem_field_opt())
+        }),
+    ];
+    println!("Scheme ablation: aggregated lock counts over micro + STAMP kernels");
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>10} {:>7}",
+        "Scheme", "fine-ro", "fine-rw", "coarse-ro", "coarse-rw", "total"
+    );
+    for (label, cfg_of) in variants {
+        let mut total = LockCounts::default();
+        for spec in &specs {
+            let p = lir::compile(&spec.source).unwrap();
+            let pt = pointsto::PointsTo::analyze(&p);
+            let analysis = lockinfer::analyze_program(&p, &pt, cfg_of(&p));
+            total += analysis.lock_counts();
+        }
+        println!(
+            "{:<16} {:>9} {:>9} {:>10} {:>10} {:>7}",
+            label,
+            total.fine_ro,
+            total.fine_rw,
+            total.coarse_ro,
+            total.coarse_rw,
+            total.total()
+        );
+    }
+}

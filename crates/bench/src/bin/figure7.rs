@@ -1,0 +1,76 @@
+//! Figure 7: combined number of fine-grain and coarse-grain locks from
+//! all programs, for k = 0..9.
+//!
+//! Reported in two blocks: the concurrent benchmarks (STAMP-like +
+//! micro, the programs whose locks actually run), and the synthetic
+//! SPEC-like programs (the analysis stress case; their whole-program
+//! atomic sections exercise the widening fallback, see the note below).
+//!
+//! ```text
+//! cargo run -p bench --release --bin figure7
+//! ```
+
+use lockinfer::LockCounts;
+use lockscheme::SchemeConfig;
+use workloads::{micro, spec_like, stamp, Contention, RunSpec};
+
+fn sweep(title: &str, programs: &[RunSpec]) {
+    println!("{title}");
+    println!(
+        "{:>3} {:>9} {:>9} {:>10} {:>10} {:>7}",
+        "k", "fine-ro", "fine-rw", "coarse-ro", "coarse-rw", "total"
+    );
+    let compiled: Vec<(lir::Program, pointsto::PointsTo)> = programs
+        .iter()
+        .map(|s| {
+            let p = lir::compile(&s.source).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            let pt = pointsto::PointsTo::analyze(&p);
+            (p, pt)
+        })
+        .collect();
+    for k in 0..=9 {
+        let mut total = LockCounts::default();
+        for (p, pt) in &compiled {
+            let cfg = SchemeConfig::full(k, p.elem_field_opt());
+            let analysis = lockinfer::analyze_program(p, pt, cfg);
+            total += analysis.lock_counts();
+        }
+        println!(
+            "{:>3} {:>9} {:>9} {:>10} {:>10} {:>7}",
+            k,
+            total.fine_ro,
+            total.fine_rw,
+            total.coarse_ro,
+            total.coarse_rw,
+            total.total()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 7: combined lock counts by category, k = 0..9");
+    println!();
+    let mut concurrent = stamp::all(10, 0);
+    concurrent.extend(micro::all(Contention::Low, 10, 0));
+    sweep("Concurrent benchmarks (STAMP-like + micro):", &concurrent);
+
+    let spec: Vec<RunSpec> = spec_like::table1_programs()
+        .into_iter()
+        .enumerate()
+        // Scaled-down: Figure 7 aggregates per-section lock counts, not
+        // analysis time; run `table1` for full-size timings.
+        .map(|(i, (name, kloc))| spec_like::generate(name, kloc.min(2.5), 1000 + i as u64))
+        .collect();
+    sweep("Synthetic SPEC-like programs (whole program in one section):", &spec);
+
+    println!("Expected shape (paper §6.2): k=0 all coarse; raising k first");
+    println!("trades coarse locks for several fine ones, then sheds the");
+    println!("section-local allocations (the dip), then stays flat — our");
+    println!("concurrent benchmarks plateau at k=2 because their lock");
+    println!("expressions are shorter than full STAMP's. The synthetic");
+    println!("programs' giant sections additionally trip the width-widening");
+    println!("fallback at large k, re-adding coarse locks; the paper's");
+    println!("bounded-lattice implementation would instead spend the");
+    println!("vortex-like analysis times of Table 1 there.");
+}

@@ -1,0 +1,58 @@
+//! Table 1: program size, number of atomic sections, and analysis time
+//! at k = 0 and k = 9.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1
+//! ```
+
+use lockscheme::SchemeConfig;
+use std::time::Instant;
+use workloads::{micro, spec_like, stamp, Contention, RunSpec};
+
+fn analysis_seconds(program: &lir::Program, k: usize) -> f64 {
+    let start = Instant::now();
+    // The paper's time includes the unification-based points-to
+    // analysis plus the backward dataflow.
+    let pt = pointsto::PointsTo::analyze(program);
+    let cfg = SchemeConfig::full(k, program.elem_field_opt());
+    let analysis = lockinfer::analyze_program(program, &pt, cfg);
+    std::hint::black_box(analysis.lock_counts());
+    start.elapsed().as_secs_f64()
+}
+
+fn row(spec: &RunSpec) {
+    let program = lir::compile(&spec.source).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let t0 = analysis_seconds(&program, 0);
+    let t9 = analysis_seconds(&program, 9);
+    println!(
+        "{:<14} {:>8.1} {:>9} {:>12.3} {:>12.3}",
+        spec.name,
+        spec.kloc(),
+        program.n_sections,
+        t0,
+        t9
+    );
+}
+
+fn main() {
+    println!("Table 1: program size and analysis time in seconds");
+    println!(
+        "{:<14} {:>8} {:>9} {:>12} {:>12}",
+        "Program", "KLOC", "Sections", "k=0 (s)", "k=9 (s)"
+    );
+    println!("{}", "-".repeat(60));
+    // SPECint-like synthetic programs at the paper's sizes (main
+    // wrapped in one atomic section).
+    for (i, (name, kloc)) in spec_like::table1_programs().into_iter().enumerate() {
+        row(&spec_like::generate(name, kloc, 1000 + i as u64));
+    }
+    println!("{}", "-".repeat(60));
+    for spec in stamp::all(10, 0) {
+        row(&spec);
+    }
+    println!("{}", "-".repeat(60));
+    for mut spec in micro::all(Contention::Low, 10, 0) {
+        spec.name = spec.name.trim_end_matches("-low").to_owned();
+        row(&spec);
+    }
+}

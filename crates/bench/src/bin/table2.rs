@@ -1,0 +1,63 @@
+//! Table 2: execution times using 8 threads under the four
+//! configurations (Global / Coarse k=0 / Fine+Coarse k=9 / TL2 STM).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2
+//! REPRO_SCALE=0.2 cargo run -p bench --release --bin table2   # quicker
+//! ```
+
+use bench::harness::{ops, run, Config};
+use workloads::{micro, stamp, Contention, RunSpec};
+
+const THREADS: usize = 8;
+const NOPK: i64 = 200;
+
+fn specs() -> Vec<RunSpec> {
+    let mut v = vec![
+        stamp::genome(ops(4000), 60),
+        stamp::vacation(ops(1500), 60),
+        stamp::kmeans(ops(6000), 60),
+        stamp::bayes(ops(2500), 120),
+        stamp::labyrinth(ops(1200), 60),
+    ];
+    for c in [Contention::High, Contention::Low] {
+        v.push(micro::hashtable(c, ops(6000), NOPK));
+        v.push(micro::rbtree(c, ops(6000), NOPK));
+        v.push(micro::list(c, ops(4000), NOPK));
+        v.push(micro::hashtable2(c, ops(8000), NOPK));
+        v.push(micro::th(c, ops(6000), NOPK));
+    }
+    v
+}
+
+fn main() {
+    println!("Table 2: execution time (s) using {THREADS} threads");
+    println!(
+        "{:<18} {:>9} {:>12} {:>17} {:>9}  {}",
+        "Program", "Global", "Coarse(k=0)", "Fine+Coarse(k=9)", "STM", "(STM aborts)"
+    );
+    println!("{}", "-".repeat(82));
+    for spec in specs() {
+        let mut cells = Vec::new();
+        let mut aborts = 0;
+        for config in Config::ALL {
+            let out = run(&spec, config, THREADS);
+            cells.push(out.seconds);
+            if config == Config::Stm {
+                aborts = out.aborts;
+            }
+        }
+        println!(
+            "{:<18} {:>9.3} {:>12.3} {:>17.3} {:>9.3}  ({aborts})",
+            spec.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!();
+    println!("Expected shapes (paper §6.3): STAMP kernels gain nothing from");
+    println!("multi-grain locks (coarse ≈ global, fine adds overhead); the");
+    println!("STM loses where sections conflict structurally (vacation,");
+    println!("hashtable-high, TH-high) and wins on low-contention micro-");
+    println!("benchmarks and labyrinth; read/write coarse locks beat the");
+    println!("global lock ~2x on -low settings; fine locks halve coarse on");
+    println!("hashtable-2-high; TH beats global with either grain.");
+}

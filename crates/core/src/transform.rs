@@ -1,0 +1,40 @@
+//! The program transformation (§4.1): each atomic section is replaced
+//! by `acquireAll(N)` at its entry and `releaseAll` at its end.
+
+use crate::dataflow::ProgramAnalysis;
+use lir::{Instr, Program};
+
+/// Produces the transformed program: `EnterAtomic` markers become
+/// [`Instr::AcquireAll`] with the section's inferred lock specs,
+/// `ExitAtomic` markers become [`Instr::ReleaseAll`].
+///
+/// The lock list is sorted, giving every thread the same deterministic
+/// sibling order — one of the preconditions of the deadlock-free
+/// multi-grain protocol (§5.1).
+///
+/// # Panics
+///
+/// Panics if `analysis` was produced from a different program (marker
+/// instructions not found where expected).
+pub fn transform(program: &Program, analysis: &ProgramAnalysis) -> Program {
+    let mut out = program.clone();
+    for sec in &analysis.sections {
+        let func = out.func_mut(sec.func);
+        let mut locks = sec.locks.clone();
+        locks.sort();
+        let specs = locks.iter().map(|l| l.to_spec()).collect();
+        let enter = &mut func.body[sec.enter as usize];
+        assert!(
+            matches!(enter, Instr::EnterAtomic(s) if *s == sec.id),
+            "analysis does not match program"
+        );
+        *enter = Instr::AcquireAll(sec.id, specs);
+        let exit = &mut func.body[sec.exit as usize];
+        assert!(
+            matches!(exit, Instr::ExitAtomic(s) if *s == sec.id),
+            "analysis does not match program"
+        );
+        *exit = Instr::ReleaseAll(sec.id);
+    }
+    out
+}

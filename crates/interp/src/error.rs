@@ -1,0 +1,86 @@
+//! Interpreter errors and the internal control-flow exception.
+
+use lir::SectionId;
+use std::fmt;
+
+/// A runtime error from the interpreter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// Dereference of null or an out-of-range address.
+    Fault { func: String, pc: usize, detail: String },
+    /// The heap is exhausted.
+    OutOfMemory,
+    /// `assert(x)` failed.
+    AssertFailed { func: String, pc: usize },
+    /// Division or remainder by zero.
+    DivByZero { func: String, pc: usize },
+    /// The entry function was not found.
+    NoSuchFunction(String),
+    /// Wrong number of arguments to the entry function.
+    ArityMismatch { func: String, want: usize, got: usize },
+    /// A mode needed the transformed program but got atomic markers
+    /// (or vice versa).
+    NeedsTransformedProgram { section: SectionId },
+    /// Theorem-1 violation found by Validate mode: an access inside an
+    /// atomic section not covered by any held lock.
+    Unprotected {
+        func: String,
+        pc: usize,
+        addr: u64,
+        write: bool,
+        section: SectionId,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Fault { func, pc, detail } => {
+                write!(f, "memory fault in `{func}` at {pc}: {detail}")
+            }
+            InterpError::OutOfMemory => write!(f, "heap exhausted"),
+            InterpError::AssertFailed { func, pc } => {
+                write!(f, "assertion failed in `{func}` at {pc}")
+            }
+            InterpError::DivByZero { func, pc } => {
+                write!(f, "division by zero in `{func}` at {pc}")
+            }
+            InterpError::NoSuchFunction(name) => write!(f, "no function named `{name}`"),
+            InterpError::ArityMismatch { func, want, got } => {
+                write!(f, "`{func}` expects {want} arguments, got {got}")
+            }
+            InterpError::NeedsTransformedProgram { section } => {
+                write!(
+                    f,
+                    "section #{} still has atomic markers; run the lock \
+                     inference transformation first for this execution mode",
+                    section.0
+                )
+            }
+            InterpError::Unprotected { func, pc, addr, write, section } => {
+                write!(
+                    f,
+                    "UNPROTECTED {} of cell {addr} inside section #{} (in `{func}` at {pc})",
+                    if *write { "write" } else { "read" },
+                    section.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Internal non-local control flow: either a real error or an STM
+/// conflict that unwinds to the owning section for retry.
+#[derive(Debug)]
+pub(crate) enum Exc {
+    Err(InterpError),
+    Abort,
+}
+
+impl From<InterpError> for Exc {
+    fn from(e: InterpError) -> Exc {
+        Exc::Err(e)
+    }
+}

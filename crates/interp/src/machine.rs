@@ -1,0 +1,267 @@
+//! The shared machine: heap, layouts, allocation metadata, and the
+//! execution-mode configuration.
+
+use crate::error::{Exc, InterpError};
+use lir::{FnId, Instr, Program, Rvalue, VarId};
+use lockscheme::LocationModel;
+use parking_lot::{Mutex, RwLock};
+use pointsto::{AllocSite, PointsTo, PtsClass};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How atomic sections are executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// One global lock per section (the paper's baseline column).
+    Global,
+    /// The inferred multi-granularity locks via `mglock` — requires the
+    /// transformed program.
+    MultiGrain,
+    /// Sections as TL2 transactions with local rollback (the optimistic
+    /// baseline).
+    Stm,
+    /// MultiGrain plus the Theorem-1 coverage checker: every access
+    /// inside a section must be covered by a held lock's concrete
+    /// denotation.
+    Validate,
+}
+
+/// Machine construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Heap capacity in cells.
+    pub heap_cells: usize,
+    /// Base PRNG seed (each thread derives its own stream).
+    pub seed: u64,
+    /// Virtual-time scheduling quantum, in ticks (see [`crate::sim`]).
+    pub quantum: u64,
+    /// Virtual-time costs of runtime operations.
+    pub costs: crate::sim::CostModel,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            heap_cells: 1 << 22,
+            seed: 0x5EED_0001,
+            quantum: 128,
+            costs: crate::sim::CostModel::default(),
+        }
+    }
+}
+
+/// Where a variable lives at run time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Storage {
+    /// A global: fixed heap cell.
+    Global(u64),
+    /// Frame slot holding the value directly.
+    Direct(u32),
+    /// Address-taken local: frame slot holds the address of its heap
+    /// cell (allocated fresh at each call).
+    Indirect(u32),
+}
+
+/// Per-function frame layout.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FnLayout {
+    pub n_slots: u32,
+    /// `(slot, class)` pairs for address-taken locals, allocated at
+    /// entry.
+    pub heapified: Vec<(u32, PtsClass)>,
+    /// Frame slots of the parameters, in order.
+    pub param_slots: Vec<u32>,
+    /// Params that are address-taken (index into `params`), needing an
+    /// indirect store at entry.
+    pub ret_slot: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AllocMeta {
+    base: u64,
+    len: u64,
+    class: PtsClass,
+}
+
+/// The shared interpreter state. `Machine` is `Sync`; spawn one
+/// worker per thread (see `Machine::run_threads`).
+pub struct Machine {
+    pub(crate) program: Arc<Program>,
+    pub(crate) pt: Arc<PointsTo>,
+    pub(crate) mode: ExecMode,
+    pub(crate) space: tl2::Space,
+    brk: AtomicU64,
+    allocs: RwLock<Vec<AllocMeta>>,
+    pub(crate) mg: Arc<mglock::Runtime>,
+    pub(crate) storage: Vec<Storage>,
+    pub(crate) layouts: Vec<FnLayout>,
+    pub(crate) site_class: HashMap<(FnId, u32), PtsClass>,
+    pub(crate) field_offset: Vec<usize>,
+    pub(crate) elem_field: Option<lir::FieldId>,
+    pub(crate) out: Mutex<Vec<String>>,
+    pub(crate) seed: u64,
+    pub(crate) quantum: u64,
+    pub(crate) costs: crate::sim::CostModel,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("mode", &self.mode)
+            .field("heap_used", &self.heap_used())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `program` (transformed or marker form,
+    /// depending on the mode) with its points-to result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.heap_cells` cannot hold the globals.
+    pub fn new(
+        program: Arc<Program>,
+        pt: Arc<PointsTo>,
+        mode: ExecMode,
+        opts: Options,
+    ) -> Machine {
+        let mut storage = Vec::with_capacity(program.vars.len());
+        let mut layouts: Vec<FnLayout> = vec![FnLayout::default(); program.functions.len()];
+        // First pass: slot assignment per function.
+        let mut slot_counters = vec![0u32; program.functions.len()];
+        for (i, v) in program.vars.iter().enumerate() {
+            match v.owner {
+                None => storage.push(Storage::Global(0)), // address assigned below
+                Some(f) => {
+                    let c = &mut slot_counters[f.0 as usize];
+                    let slot = *c;
+                    *c += 1;
+                    if v.addr_taken {
+                        storage.push(Storage::Indirect(slot));
+                        layouts[f.0 as usize]
+                            .heapified
+                            .push((slot, pt.class_of_var(VarId(i as u32))));
+                    } else {
+                        storage.push(Storage::Direct(slot));
+                    }
+                }
+            }
+        }
+        for (f, layout) in layouts.iter_mut().enumerate() {
+            layout.n_slots = slot_counters[f];
+            let func = &program.functions[f];
+            layout.param_slots = func
+                .params
+                .iter()
+                .map(|p| match storage[p.0 as usize] {
+                    Storage::Direct(s) | Storage::Indirect(s) => s,
+                    Storage::Global(_) => unreachable!("params are function-owned"),
+                })
+                .collect();
+            layout.ret_slot = match storage[func.ret.0 as usize] {
+                Storage::Direct(s) => s,
+                _ => unreachable!("ret vars are never address-taken globals"),
+            };
+        }
+        let mut site_class = HashMap::new();
+        for func in &program.functions {
+            for (idx, ins) in func.body.iter().enumerate() {
+                if let Instr::Assign(_, Rvalue::Alloc(_) | Rvalue::AllocDyn(_)) = ins {
+                    let site = AllocSite { func: func.id, idx: idx as u32 };
+                    if let Some(c) = pt.class_of_site(site) {
+                        site_class.insert((func.id, idx as u32), c);
+                    }
+                }
+            }
+        }
+        let field_offset = program.fields.iter().map(|fi| fi.offset).collect();
+        let elem_field = program.elem_field_opt();
+        let mut m = Machine {
+            program,
+            pt,
+            mode,
+            space: tl2::Space::new(opts.heap_cells),
+            // Address 0 is null; start allocating at 1.
+            brk: AtomicU64::new(1),
+            allocs: RwLock::new(Vec::new()),
+            mg: Arc::new(mglock::Runtime::new()),
+            storage,
+            layouts,
+            site_class,
+            field_offset,
+            elem_field,
+            out: Mutex::new(Vec::new()),
+            seed: opts.seed,
+            quantum: opts.quantum,
+            costs: opts.costs,
+        };
+        // Allocate the globals' cells.
+        let globals = m.program.globals.clone();
+        for g in globals {
+            let class = m.pt.class_of_var(g);
+            let addr = m.alloc(1, class).expect("heap too small for globals");
+            m.storage[g.0 as usize] = Storage::Global(addr);
+        }
+        m
+    }
+
+    /// Bump-allocates `n` cells (fresh cells are zero) and records the
+    /// extent for concrete-denotation queries.
+    pub(crate) fn alloc(&self, n: usize, class: PtsClass) -> Result<u64, Exc> {
+        let n = n.max(1) as u64;
+        let base = self.brk.fetch_add(n, Ordering::Relaxed);
+        if base + n > self.space.len() as u64 {
+            return Err(InterpError::OutOfMemory.into());
+        }
+        self.allocs.write().push(AllocMeta { base, len: n, class });
+        Ok(base)
+    }
+
+    /// Heap cells allocated so far.
+    pub fn heap_used(&self) -> u64 {
+        self.brk.load(Ordering::Relaxed)
+    }
+
+    /// Lines written by `print` intrinsics, in arrival order.
+    pub fn output(&self) -> Vec<String> {
+        self.out.lock().clone()
+    }
+
+    /// STM commit/abort counters (meaningful in [`ExecMode::Stm`]).
+    pub fn stm_stats(&self) -> tl2::TxnStats {
+        self.space.global_stats()
+    }
+
+    /// Multi-grain lock runtime statistics.
+    pub fn mg_stats(&self) -> &mglock::Stats {
+        self.mg.stats()
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    fn alloc_meta_of(&self, loc: u64) -> Option<AllocMeta> {
+        let allocs = self.allocs.read();
+        // Allocation bases are monotonically increasing: binary search.
+        let idx = allocs.partition_point(|a| a.base <= loc);
+        if idx == 0 {
+            return None;
+        }
+        let meta = allocs[idx - 1];
+        (loc < meta.base + meta.len).then_some(meta)
+    }
+}
+
+impl LocationModel for Machine {
+    fn class_of(&self, loc: u64) -> Option<PtsClass> {
+        self.alloc_meta_of(loc).map(|m| m.class)
+    }
+
+    fn extent_of(&self, loc: u64) -> Option<(u64, u64)> {
+        self.alloc_meta_of(loc).map(|m| (m.base, m.len))
+    }
+}

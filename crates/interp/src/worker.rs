@@ -1,0 +1,860 @@
+//! Per-thread execution: the instruction loop, the four section
+//! disciplines, and the thread harness.
+
+use crate::error::{Exc, InterpError};
+use crate::machine::{ExecMode, Machine, Storage};
+use crate::sim::Sim;
+use lir::{ArithOp, CmpOp, FnId, Instr, Intrinsic, LockSpec, PathOp, Rvalue, SectionId, VarId};
+use lockscheme::ConcreteLock;
+use mglock::{Access, Descriptor, FineAddr, Session};
+use pointsto::PtsClass;
+use std::sync::Arc;
+
+const MAX_CALL_DEPTH: u32 = 4000;
+
+enum Flow {
+    Next,
+    Jump(usize),
+    Return(i64),
+}
+
+pub(crate) struct Worker<'m> {
+    m: &'m Machine,
+    tid: u32,
+    rng: u64,
+    session: Session,
+    txn: Option<tl2::Txn<'m>>,
+    /// STM section nesting depth (lock modes use the session's level).
+    sec_depth: u32,
+    depth: u32,
+    held_concrete: Vec<ConcreteLock>,
+    my_allocs: Vec<(u64, u64)>,
+    /// Section currently open (Validate diagnostics).
+    current_section: SectionId,
+    /// Location of the instruction being executed (diagnostics).
+    cur_fn: FnId,
+    cur_pc: usize,
+    /// Virtual-time scheduler (None = real-time execution).
+    sim: Option<Arc<Sim>>,
+    /// Ticks accumulated since the last scheduling point.
+    vticks: u64,
+}
+
+impl<'m> Worker<'m> {
+    pub(crate) fn new(m: &'m Machine, tid: u32) -> Worker<'m> {
+        Worker {
+            m,
+            tid,
+            rng: splitmix(m.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1))),
+            session: Session::new(Arc::clone(&m.mg)),
+            txn: None,
+            sec_depth: 0,
+            depth: 0,
+            held_concrete: Vec::new(),
+            my_allocs: Vec::new(),
+            current_section: SectionId(0),
+            cur_fn: FnId(0),
+            cur_pc: 0,
+            sim: None,
+            vticks: 0,
+        }
+    }
+
+    pub(crate) fn with_sim(m: &'m Machine, tid: u32, sim: Arc<Sim>) -> Worker<'m> {
+        let mut w = Worker::new(m, tid);
+        w.sim = Some(sim);
+        w
+    }
+
+    /// Charges virtual time; yields to the scheduler at quantum
+    /// boundaries. A no-op in real-time mode.
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        if let Some(sim) = &self.sim {
+            self.vticks += n;
+            if self.vticks >= sim.quantum {
+                let t = std::mem::take(&mut self.vticks);
+                sim.advance(self.tid as usize, t);
+            }
+        }
+    }
+
+    /// Publishes all pending ticks to the scheduler immediately (used
+    /// at synchronization points so lock ordering sees exact clocks).
+    fn flush_ticks(&mut self) {
+        if let Some(sim) = &self.sim {
+            let t = std::mem::take(&mut self.vticks);
+            sim.advance(self.tid as usize, t);
+        }
+    }
+
+    pub(crate) fn call(&mut self, f: FnId, args: &[i64]) -> Result<i64, Exc> {
+        let m = self.m;
+        self.depth += 1;
+        if self.depth > MAX_CALL_DEPTH {
+            return Err(InterpError::Fault {
+                func: m.program.fn_name(f).to_owned(),
+                pc: 0,
+                detail: "call stack overflow".into(),
+            }
+            .into());
+        }
+        let layout = &m.layouts[f.0 as usize];
+        let mut frame = vec![0i64; layout.n_slots as usize];
+        for &(slot, class) in &layout.heapified {
+            frame[slot as usize] = self.alloc_cells(1, class)? as i64;
+        }
+        let params = m.program.func(f).params.clone();
+        for (p, &a) in params.iter().zip(args) {
+            self.write_var(&mut frame, *p, a)?;
+        }
+        let r = self.exec(f, &mut frame);
+        self.depth -= 1;
+        r
+    }
+
+    fn exec(&mut self, f: FnId, frame: &mut Vec<i64>) -> Result<i64, Exc> {
+        let m = self.m;
+        let program = Arc::clone(&m.program);
+        let body = &program.func(f).body;
+        let mut pc: usize = 0;
+        // Set when *this frame* owns an open STM transaction: the pc of
+        // the section-entry instruction and the frame snapshot.
+        let mut retry: Option<(usize, Vec<i64>)> = None;
+        let mut backoff = 1u32;
+        loop {
+            let ins = &body[pc];
+            self.cur_fn = f;
+            self.cur_pc = pc;
+            self.tick(1);
+            let result: Result<Flow, Exc> = match ins {
+                Instr::EnterAtomic(_) | Instr::AcquireAll(..) => {
+                    match self.section_enter(ins, frame, f) {
+                        Ok(owns_txn) => {
+                            if owns_txn {
+                                retry = Some((pc, frame.clone()));
+                            }
+                            Ok(Flow::Next)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Instr::ExitAtomic(_) | Instr::ReleaseAll(_) => match self.section_exit() {
+                    Ok(closed_all) => {
+                        if closed_all {
+                            retry = None;
+                        }
+                        Ok(Flow::Next)
+                    }
+                    Err(e) => Err(e),
+                },
+                _ => self.step(f, ins, frame, pc),
+            };
+            match result {
+                Ok(Flow::Next) => pc += 1,
+                Ok(Flow::Jump(t)) => pc = t,
+                Ok(Flow::Return(v)) => return Ok(v),
+                Err(Exc::Abort) => match &retry {
+                    Some((rpc, snapshot)) => {
+                        self.txn = None;
+                        self.sec_depth = 0;
+                        frame.clone_from(snapshot);
+                        pc = *rpc;
+                        m.space.note_abort();
+                        if self.sim.is_some() {
+                            self.tick(m.costs.stm_abort + backoff as u64);
+                        } else {
+                            for _ in 0..backoff {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        backoff = (backoff * 2).min(1 << 12);
+                    }
+                    None => return Err(Exc::Abort),
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn step(&mut self, f: FnId, ins: &Instr, frame: &mut [i64], pc: usize) -> Result<Flow, Exc> {
+        let m = self.m;
+        match ins {
+            Instr::Assign(x, rv) => {
+                let val = match rv {
+                    Rvalue::Copy(y) => self.read_var(frame, *y)?,
+                    Rvalue::AddrOf(y) => match m.storage[y.0 as usize] {
+                        Storage::Indirect(s) => frame[s as usize],
+                        Storage::Global(a) => a as i64,
+                        Storage::Direct(_) => {
+                            return Err(self.fault(f, pc, "address of unheapified local"))
+                        }
+                    },
+                    Rvalue::Load(y) => {
+                        let a = self.read_var(frame, *y)?;
+                        self.heap_read(a, f, pc)?
+                    }
+                    Rvalue::FieldAddr(y, fd) => {
+                        let a = self.read_var(frame, *y)?;
+                        if a <= 0 {
+                            return Err(self.fault(f, pc, "field of null"));
+                        }
+                        a + m.field_offset[fd.0 as usize] as i64
+                    }
+                    Rvalue::DynAddr(y, z) => {
+                        let a = self.read_var(frame, *y)?;
+                        let i = self.read_var(frame, *z)?;
+                        if a <= 0 {
+                            return Err(self.fault(f, pc, "index of null"));
+                        }
+                        if i < 0 {
+                            return Err(self.fault(f, pc, "negative index"));
+                        }
+                        a + i
+                    }
+                    Rvalue::Alloc(n) => {
+                        let class = self.class_of_site(f, pc);
+                        self.alloc_cells(*n, class)? as i64
+                    }
+                    Rvalue::AllocDyn(z) => {
+                        let n = self.read_var(frame, *z)?;
+                        if n < 0 {
+                            return Err(self.fault(f, pc, "negative allocation size"));
+                        }
+                        let class = self.class_of_site(f, pc);
+                        self.alloc_cells(n as usize, class)? as i64
+                    }
+                    Rvalue::Null => 0,
+                    Rvalue::ConstInt(c) => *c,
+                    Rvalue::Arith(op, a, b) => {
+                        let (a, b) = (self.read_var(frame, *a)?, self.read_var(frame, *b)?);
+                        self.arith(*op, a, b, f, pc)?
+                    }
+                    Rvalue::Cmp(op, a, b) => {
+                        let (a, b) = (self.read_var(frame, *a)?, self.read_var(frame, *b)?);
+                        i64::from(match op {
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                        })
+                    }
+                    Rvalue::Call(g, args) => {
+                        let mut vals = Vec::with_capacity(args.len());
+                        for a in args {
+                            vals.push(self.read_var(frame, *a)?);
+                        }
+                        self.call(*g, &vals)?
+                    }
+                    Rvalue::Intrinsic(i, args) => {
+                        let mut vals = Vec::with_capacity(args.len());
+                        for a in args {
+                            vals.push(self.read_var(frame, *a)?);
+                        }
+                        self.intrinsic(*i, &vals, f, pc)?
+                    }
+                };
+                self.write_var(frame, *x, val)?;
+                Ok(Flow::Next)
+            }
+            Instr::Store(x, y) => {
+                let v = self.read_var(frame, *y)?;
+                let a = self.read_var(frame, *x)?;
+                self.heap_write(a, v, f, pc)?;
+                Ok(Flow::Next)
+            }
+            Instr::Jump(t) => Ok(Flow::Jump(*t as usize)),
+            Instr::Branch(v, t, e) => {
+                let c = self.read_var(frame, *v)?;
+                Ok(Flow::Jump(if c != 0 { *t as usize } else { *e as usize }))
+            }
+            Instr::Ret => {
+                let ret = m.program.func(f).ret;
+                Ok(Flow::Return(self.read_var(frame, ret)?))
+            }
+            Instr::Nop => Ok(Flow::Next),
+            Instr::EnterAtomic(_)
+            | Instr::ExitAtomic(_)
+            | Instr::AcquireAll(..)
+            | Instr::ReleaseAll(_) => unreachable!("section markers handled by exec"),
+        }
+    }
+
+    fn arith(&mut self, op: ArithOp, a: i64, b: i64, f: FnId, pc: usize) -> Result<i64, Exc> {
+        Ok(match op {
+            ArithOp::Add => a.wrapping_add(b),
+            ArithOp::Sub => a.wrapping_sub(b),
+            ArithOp::Mul => a.wrapping_mul(b),
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(InterpError::DivByZero {
+                        func: self.m.program.fn_name(f).to_owned(),
+                        pc,
+                    }
+                    .into());
+                }
+                a.wrapping_div(b)
+            }
+            ArithOp::Rem => {
+                if b == 0 {
+                    return Err(InterpError::DivByZero {
+                        func: self.m.program.fn_name(f).to_owned(),
+                        pc,
+                    }
+                    .into());
+                }
+                a.wrapping_rem(b)
+            }
+            ArithOp::And => a & b,
+            ArithOp::Or => a | b,
+            ArithOp::Xor => a ^ b,
+            ArithOp::Shl => a.wrapping_shl(b as u32),
+            ArithOp::Shr => a.wrapping_shr(b as u32),
+        })
+    }
+
+    fn intrinsic(
+        &mut self,
+        i: Intrinsic,
+        vals: &[i64],
+        f: FnId,
+        pc: usize,
+    ) -> Result<i64, Exc> {
+        match i {
+            Intrinsic::Nops => {
+                let n = vals[0].max(0) as u64;
+                if self.sim.is_some() {
+                    self.tick(n);
+                } else {
+                    for _ in 0..n {
+                        std::hint::spin_loop();
+                    }
+                }
+                Ok(0)
+            }
+            Intrinsic::Rand => {
+                self.rng = splitmix(self.rng);
+                let n = vals[0];
+                Ok(if n > 0 { ((self.rng >> 11) % n as u64) as i64 } else { 0 })
+            }
+            Intrinsic::Tid => Ok(self.tid as i64),
+            Intrinsic::Print => {
+                self.m.out.lock().push(vals[0].to_string());
+                Ok(0)
+            }
+            Intrinsic::Assert => {
+                if vals[0] == 0 {
+                    return Err(InterpError::AssertFailed {
+                        func: self.m.program.fn_name(f).to_owned(),
+                        pc,
+                    }
+                    .into());
+                }
+                Ok(0)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variables and memory
+
+    fn read_var(&mut self, frame: &[i64], v: VarId) -> Result<i64, Exc> {
+        match self.m.storage[v.0 as usize] {
+            Storage::Direct(s) => Ok(frame[s as usize]),
+            Storage::Indirect(s) => {
+                let a = frame[s as usize] as u64;
+                self.check_var_access(a, false)?;
+                self.heap_read_raw(a)
+            }
+            Storage::Global(a) => {
+                self.check_var_access(a, false)?;
+                self.heap_read_raw(a)
+            }
+        }
+    }
+
+    fn write_var(&mut self, frame: &mut [i64], v: VarId, val: i64) -> Result<(), Exc> {
+        match self.m.storage[v.0 as usize] {
+            Storage::Direct(s) => {
+                frame[s as usize] = val;
+                Ok(())
+            }
+            Storage::Indirect(s) => {
+                let a = frame[s as usize] as u64;
+                self.check_var_access(a, true)?;
+                self.heap_write_raw(a, val, true)
+            }
+            Storage::Global(a) => {
+                self.check_var_access(a, true)?;
+                self.heap_write_raw(a, val, true)
+            }
+        }
+    }
+
+    /// Validate-mode coverage check for variable cells (globals and
+    /// heapified locals).
+    fn check_var_access(&self, a: u64, write: bool) -> Result<(), Exc> {
+        // Lock-spec evaluation happens before `acquire_all`, while the
+        // nesting level is still 0, so it is naturally exempt here.
+        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+            self.check_protected(a, write, self.cur_fn, self.cur_pc)?;
+        }
+        Ok(())
+    }
+
+    fn check_addr(&self, addr: i64, f: FnId, pc: usize) -> Result<u64, Exc> {
+        if addr <= 0 || addr as usize >= self.m.space.len() {
+            return Err(self.fault(f, pc, format!("bad address {addr}")));
+        }
+        Ok(addr as u64)
+    }
+
+    fn heap_read(&mut self, addr: i64, f: FnId, pc: usize) -> Result<i64, Exc> {
+        let a = self.check_addr(addr, f, pc)?;
+        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+            self.check_protected(a, false, f, pc)?;
+        }
+        self.heap_read_raw(a)
+    }
+
+    fn heap_write(&mut self, addr: i64, val: i64, f: FnId, pc: usize) -> Result<(), Exc> {
+        let a = self.check_addr(addr, f, pc)?;
+        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+            self.check_protected(a, true, f, pc)?;
+        }
+        self.heap_write_raw(a, val, false)
+    }
+
+    /// Raw cell read: transactional inside an STM section, direct
+    /// otherwise.
+    fn heap_read_raw(&mut self, a: u64) -> Result<i64, Exc> {
+        match self.txn.as_mut() {
+            Some(txn) => {
+                let v = txn.read(a as usize).map_err(|_| Exc::Abort);
+                if self.sim.is_some() {
+                    self.tick(self.m.costs.stm_read);
+                }
+                v
+            }
+            None => Ok(self.m.space.read_direct(a as usize)),
+        }
+    }
+
+    fn heap_write_raw(&mut self, a: u64, val: i64, _var_cell: bool) -> Result<(), Exc> {
+        match self.txn.as_mut() {
+            Some(txn) => {
+                txn.write(a as usize, val);
+                if self.sim.is_some() {
+                    self.tick(self.m.costs.stm_write);
+                }
+                Ok(())
+            }
+            None => {
+                self.m.space.write_direct(a as usize, val);
+                Ok(())
+            }
+        }
+    }
+
+    fn alloc_cells(&mut self, n: usize, class: PtsClass) -> Result<u64, Exc> {
+        let base = self.m.alloc(n, class)?;
+        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+            // Cells allocated by this thread during the section are
+            // private until it publishes them: exempt from coverage
+            // (Lemma 2's reachability proviso).
+            self.my_allocs.push((base, n.max(1) as u64));
+        }
+        Ok(base)
+    }
+
+    fn class_of_site(&self, f: FnId, pc: usize) -> PtsClass {
+        self.m
+            .site_class
+            .get(&(f, pc as u32))
+            .copied()
+            .expect("allocation sites are pre-registered")
+    }
+
+    fn check_protected(&self, a: u64, write: bool, f: FnId, pc: usize) -> Result<(), Exc> {
+        if self.my_allocs.iter().any(|&(b, l)| a >= b && a < b + l) {
+            return Ok(());
+        }
+        let eff = if write { lir::Eff::Rw } else { lir::Eff::Ro };
+        if self.held_concrete.iter().any(|l| l.protects(a, eff, self.m)) {
+            return Ok(());
+        }
+        Err(InterpError::Unprotected {
+            func: self.m.program.fn_name(f).to_owned(),
+            pc,
+            addr: a,
+            write,
+            section: self.current_section,
+        }
+        .into())
+    }
+
+    fn fault(&self, f: FnId, pc: usize, detail: impl Into<String>) -> Exc {
+        Exc::Err(InterpError::Fault {
+            func: self.m.program.fn_name(f).to_owned(),
+            pc,
+            detail: detail.into(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic sections
+
+    /// Enters a section; returns true when this frame now owns a fresh
+    /// STM transaction (and must snapshot for retry).
+    fn section_enter(&mut self, ins: &Instr, frame: &mut [i64], f: FnId) -> Result<bool, Exc> {
+        let m = self.m;
+        match m.mode {
+            ExecMode::Global => {
+                self.session.to_acquire(Descriptor::Global { access: Access::Write });
+                self.acquire_session(1);
+                Ok(false)
+            }
+            ExecMode::MultiGrain | ExecMode::Validate => {
+                let (sid, specs) = match ins {
+                    Instr::AcquireAll(s, specs) => (*s, specs),
+                    Instr::EnterAtomic(s) => {
+                        return Err(InterpError::NeedsTransformedProgram { section: *s }.into())
+                    }
+                    _ => unreachable!(),
+                };
+                let mut evaluated = 0;
+                if self.session.nesting_level() == 0 {
+                    self.current_section = sid;
+                    for spec in specs {
+                        if let Some((d, c)) = self.eval_spec(spec, frame, f)? {
+                            self.session.to_acquire(d);
+                            evaluated += 1;
+                            if m.mode == ExecMode::Validate {
+                                self.held_concrete.push(c);
+                            }
+                        }
+                    }
+                }
+                self.acquire_session(evaluated);
+                Ok(false)
+            }
+            ExecMode::Stm => {
+                self.sec_depth += 1;
+                if self.sec_depth == 1 {
+                    if self.sim.is_some() {
+                        self.tick(m.costs.txn_start);
+                        // Make the transaction window visible at exact
+                        // virtual time.
+                        self.flush_ticks();
+                    }
+                    self.txn = Some(m.space.begin());
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Acquires the queued locks: blocking in real time, cooperative
+    /// try/wait under the virtual scheduler (waiters inherit the
+    /// releaser's clock). Charges the protocol's virtual cost.
+    fn acquire_session(&mut self, n_descriptors: u64) {
+        match self.sim.clone() {
+            None => self.session.acquire_all(),
+            Some(sim) => {
+                let held_before = self.session.held_count();
+                self.tick(self.m.costs.lock_desc * n_descriptors);
+                self.flush_ticks();
+                loop {
+                    match self.session.acquire_all_step() {
+                        mglock::StepResult::Done => break,
+                        mglock::StepResult::WouldBlock => {
+                            sim.begin_wait(self.tid as usize);
+                            sim.await_release(self.tid as usize);
+                        }
+                    }
+                }
+                let acquired = (self.session.held_count() - held_before) as u64;
+                self.tick(self.m.costs.lock_node * acquired);
+            }
+        }
+    }
+
+    /// Leaves a section; returns true when the outermost level closed
+    /// (for STM: the transaction committed).
+    fn section_exit(&mut self) -> Result<bool, Exc> {
+        let m = self.m;
+        match m.mode {
+            ExecMode::Global | ExecMode::MultiGrain | ExecMode::Validate => {
+                let will_close = self.session.nesting_level() == 1;
+                if self.sim.is_some() {
+                    self.tick(m.costs.lock_release);
+                    if will_close {
+                        // Publish the exact release time before waking
+                        // waiters.
+                        self.flush_ticks();
+                    }
+                }
+                self.session.release_all();
+                let closed = self.session.nesting_level() == 0;
+                if closed {
+                    if let Some(sim) = &self.sim {
+                        sim.on_release(self.tid as usize);
+                    }
+                    self.held_concrete.clear();
+                    self.my_allocs.clear();
+                }
+                Ok(closed)
+            }
+            ExecMode::Stm => {
+                self.sec_depth -= 1;
+                if self.sec_depth > 0 {
+                    return Ok(false);
+                }
+                let txn = self.txn.take().expect("txn open at section exit");
+                if self.sim.is_some() {
+                    let writes = txn.write_set_len() as u64;
+                    // Read-only transactions skip commit-time
+                    // validation entirely (the TL2 fast path).
+                    let reads = if writes > 0 { txn.read_set_len() as u64 } else { 0 };
+                    self.tick(
+                        m.costs.stm_commit_base
+                            + m.costs.stm_commit_per_write * writes
+                            + m.costs.stm_commit_per_read * reads,
+                    );
+                    self.flush_ticks();
+                }
+                match txn.commit() {
+                    Ok(()) => {
+                        m.space.note_commit();
+                        Ok(true)
+                    }
+                    Err(_) => Err(Exc::Abort),
+                }
+            }
+        }
+    }
+
+    /// Evaluates a lock spec at section entry into a runtime descriptor
+    /// plus its concrete denotation. Returns `None` when a fine
+    /// expression evaluates through null (no location to protect —
+    /// the access it would have protected faults first).
+    fn eval_spec(
+        &mut self,
+        spec: &LockSpec,
+        frame: &[i64],
+        f: FnId,
+    ) -> Result<Option<(Descriptor, ConcreteLock)>, Exc> {
+        let m = self.m;
+        let access = |e: lir::Eff| match e {
+            lir::Eff::Ro => Access::Read,
+            lir::Eff::Rw => Access::Write,
+        };
+        match spec {
+            LockSpec::Global => {
+                Ok(Some((Descriptor::Global { access: Access::Write }, ConcreteLock::Global)))
+            }
+            LockSpec::Coarse { pts, eff } => Ok(Some((
+                Descriptor::Coarse { pts: *pts, access: access(*eff) },
+                ConcreteLock::Coarse { pts: PtsClass(*pts), eff: *eff },
+            ))),
+            LockSpec::Fine { path, pts, eff } => {
+                let mut cur: i64;
+                let mut ops = path.ops.as_slice();
+                if ops.is_empty() {
+                    // Lock on the variable's own cell (&x).
+                    cur = match m.storage[path.base.0 as usize] {
+                        Storage::Global(a) => a as i64,
+                        Storage::Indirect(s) => frame[s as usize],
+                        Storage::Direct(_) => return Ok(None),
+                    };
+                } else {
+                    debug_assert_eq!(ops[0], PathOp::Deref, "lock paths start at the value");
+                    cur = self.read_var(frame, path.base)?;
+                    ops = &ops[1..];
+                }
+                for (i, op) in ops.iter().enumerate() {
+                    if cur <= 0 {
+                        return Ok(None);
+                    }
+                    match op {
+                        PathOp::Deref => {
+                            let a = self.check_addr(cur, f, 0)?;
+                            cur = self.heap_read_raw(a)?;
+                        }
+                        PathOp::Field(fd) if Some(*fd) == m.elem_field => {
+                            debug_assert_eq!(i + 1, ops.len(), "[] only in final position");
+                            return Ok(Some((
+                                Descriptor::Fine {
+                                    pts: *pts,
+                                    addr: FineAddr::Range(cur as u64),
+                                    access: access(*eff),
+                                },
+                                ConcreteLock::Range { base: cur as u64, eff: *eff },
+                            )));
+                        }
+                        PathOp::Field(fd) => {
+                            cur += m.field_offset[fd.0 as usize] as i64;
+                        }
+                        PathOp::Index(v) => {
+                            let i = self.read_var(frame, *v)?;
+                            if i < 0 {
+                                return Ok(None);
+                            }
+                            cur += i;
+                        }
+                    }
+                }
+                if cur <= 0 {
+                    return Ok(None);
+                }
+                Ok(Some((
+                    Descriptor::Fine {
+                        pts: *pts,
+                        addr: FineAddr::Cell(cur as u64),
+                        access: access(*eff),
+                    },
+                    ConcreteLock::Cell { addr: cur as u64, eff: *eff },
+                )))
+            }
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ----------------------------------------------------------------------
+// Thread harness
+
+impl Machine {
+    /// Runs `name(args)` on the calling thread (thread id 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns any runtime error raised during execution.
+    pub fn run_named(&self, name: &str, args: &[i64]) -> Result<i64, InterpError> {
+        let f = self
+            .program
+            .function_named(name)
+            .ok_or_else(|| InterpError::NoSuchFunction(name.to_owned()))?;
+        self.run_fn(f, args, 0)
+    }
+
+    /// The id of a named function — convenience for harnesses that
+    /// drive [`Machine::run_fn`] from their own thread scopes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no function has that name.
+    pub fn program_fn(&self, name: &str) -> FnId {
+        self.program
+            .function_named(name)
+            .unwrap_or_else(|| panic!("no function named `{name}`"))
+    }
+
+    /// Runs function `f` with `args` as thread `tid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any runtime error raised during execution.
+    pub fn run_fn(&self, f: FnId, args: &[i64], tid: u32) -> Result<i64, InterpError> {
+        let want = self.program.func(f).params.len();
+        if want != args.len() {
+            return Err(InterpError::ArityMismatch {
+                func: self.program.fn_name(f).to_owned(),
+                want,
+                got: args.len(),
+            });
+        }
+        let mut w = Worker::new(self, tid);
+        match w.call(f, args) {
+            Ok(v) => Ok(v),
+            Err(Exc::Err(e)) => Err(e),
+            Err(Exc::Abort) => unreachable!("aborts are handled at their section"),
+        }
+    }
+
+    /// Like [`Machine::run_threads`], but under the deterministic
+    /// virtual-time scheduler: returns the per-thread results plus the
+    /// virtual makespan in ticks (1 tick ≈ 1 ns of reported time).
+    /// Designed for single-core hosts, where it stands in for the
+    /// paper's 8-core machine — see `crate::sim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first thread error encountered.
+    pub fn run_threads_virtual(
+        &self,
+        name: &str,
+        n: usize,
+        args: impl Fn(u32) -> Vec<i64> + Sync,
+    ) -> Result<(Vec<i64>, u64), InterpError> {
+        let f = self
+            .program
+            .function_named(name)
+            .ok_or_else(|| InterpError::NoSuchFunction(name.to_owned()))?;
+        let sim = Arc::new(Sim::new(n, self.quantum));
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..n as u32 {
+                let argv = args(tid);
+                let sim = Arc::clone(&sim);
+                handles.push(scope.spawn(move || {
+                    let mut w = Worker::with_sim(self, tid, Arc::clone(&sim));
+                    sim.advance(tid as usize, 0);
+                    let r = w.call(f, &argv);
+                    w.flush_ticks();
+                    sim.finish(tid as usize);
+                    match r {
+                        Ok(v) => Ok(v),
+                        Err(Exc::Err(e)) => Err(e),
+                        Err(Exc::Abort) => unreachable!("aborts handled at their section"),
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Result<Vec<i64>, InterpError>>()
+        })?;
+        Ok((results, sim.makespan()))
+    }
+
+    /// Spawns `n` OS threads all running `name(args(tid))`, joining them
+    /// and returning their results in thread order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first thread error encountered.
+    pub fn run_threads(
+        &self,
+        name: &str,
+        n: usize,
+        args: impl Fn(u32) -> Vec<i64> + Sync,
+    ) -> Result<Vec<i64>, InterpError> {
+        let f = self
+            .program
+            .function_named(name)
+            .ok_or_else(|| InterpError::NoSuchFunction(name.to_owned()))?;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..n as u32 {
+                let argv = args(tid);
+                handles.push(scope.spawn(move || self.run_fn(f, &argv, tid)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    }
+}

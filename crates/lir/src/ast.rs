@@ -1,0 +1,243 @@
+//! Surface abstract syntax, as produced by the parser.
+//!
+//! The surface language is a small C-like language with nested
+//! expressions; [`crate::lower`] flattens it into the canonical
+//! three-address IR the analysis consumes.
+
+/// Binary operators of the surface language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit conjunction.
+    And,
+    /// Short-circuit disjunction.
+    Or,
+}
+
+/// A surface expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SExpr {
+    /// A variable reference.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// The null location.
+    Null,
+    /// `*e`
+    Deref(Box<SExpr>),
+    /// `&lv`
+    AddrOf(Box<SExpr>),
+    /// `e->f` — field of the struct `e` points to.
+    Arrow(Box<SExpr>, String),
+    /// `e[i]` — dynamic element of the array `e` points to.
+    Index(Box<SExpr>, Box<SExpr>),
+    /// `new S` — allocate a struct named `S`.
+    NewStruct(String),
+    /// `new(n)` — allocate an array of `n` cells.
+    NewArray(Box<SExpr>),
+    /// `f(a, ..)` — direct call (functions or intrinsics).
+    Call(String, Vec<SExpr>),
+    /// `a <op> b`
+    Binop(BinKind, Box<SExpr>, Box<SExpr>),
+    /// `!e`
+    Not(Box<SExpr>),
+    /// `-e`
+    Neg(Box<SExpr>),
+}
+
+/// A surface statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SStmt {
+    /// `let x;` or `let x = e;`
+    Let(String, Option<SExpr>),
+    /// `lv = e;`
+    Assign(SExpr, SExpr),
+    /// An expression evaluated for effect (a call).
+    Expr(SExpr),
+    /// `atomic { .. }`
+    Atomic(Vec<SStmt>),
+    /// `if (c) { .. } else { .. }`
+    If(SExpr, Vec<SStmt>, Vec<SStmt>),
+    /// `while (c) { .. }`
+    While(SExpr, Vec<SStmt>),
+    /// `return;` or `return e;`
+    Return(Option<SExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block (its own lexical scope).
+    Block(Vec<SStmt>),
+}
+
+/// A struct declaration: an ordered list of field names.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SStruct {
+    pub name: String,
+    pub fields: Vec<String>,
+}
+
+/// A function declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SFunc {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<SStmt>,
+    /// Source line of the `fn` keyword (diagnostics).
+    pub line: u32,
+}
+
+/// A parsed module: structs, globals, and functions.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SModule {
+    pub structs: Vec<SStruct>,
+    pub globals: Vec<String>,
+    pub funcs: Vec<SFunc>,
+}
+
+impl SModule {
+    /// Emits surface syntax that parses back to this module (used by
+    /// refactoring tools and by the parser round-trip property test).
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.structs {
+            let fields: Vec<String> = s.fields.iter().map(|f| format!("{f};")).collect();
+            let _ = writeln!(out, "struct {} {{ {} }}", s.name, fields.join(" "));
+        }
+        if !self.globals.is_empty() {
+            let _ = writeln!(out, "global {};", self.globals.join(", "));
+        }
+        for f in &self.funcs {
+            let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+            for st in &f.body {
+                emit_stmt(&mut out, st, 1);
+            }
+            let _ = writeln!(out, "}}");
+        }
+        out
+    }
+}
+
+fn emit_stmt(out: &mut String, st: &SStmt, depth: usize) {
+    use std::fmt::Write as _;
+    let pad = "    ".repeat(depth);
+    match st {
+        SStmt::Let(name, None) => {
+            let _ = writeln!(out, "{pad}let {name};");
+        }
+        SStmt::Let(name, Some(e)) => {
+            let _ = writeln!(out, "{pad}let {name} = {};", emit_expr(e));
+        }
+        SStmt::Assign(lv, e) => {
+            let _ = writeln!(out, "{pad}{} = {};", emit_expr(lv), emit_expr(e));
+        }
+        SStmt::Expr(e) => {
+            let _ = writeln!(out, "{pad}{};", emit_expr(e));
+        }
+        SStmt::Atomic(body) => {
+            let _ = writeln!(out, "{pad}atomic {{");
+            for s in body {
+                emit_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        SStmt::If(c, then, els) => {
+            let _ = writeln!(out, "{pad}if ({}) {{", emit_expr(c));
+            for s in then {
+                emit_stmt(out, s, depth + 1);
+            }
+            if els.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in els {
+                    emit_stmt(out, s, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        SStmt::While(c, body) => {
+            let _ = writeln!(out, "{pad}while ({}) {{", emit_expr(c));
+            for s in body {
+                emit_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        SStmt::Return(None) => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        SStmt::Return(Some(e)) => {
+            let _ = writeln!(out, "{pad}return {};", emit_expr(e));
+        }
+        SStmt::Break => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        SStmt::Continue => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+        SStmt::Block(body) => {
+            let _ = writeln!(out, "{pad}{{");
+            for s in body {
+                emit_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Fully parenthesized expression rendering — precedence-safe by
+/// construction.
+fn emit_expr(e: &SExpr) -> String {
+    match e {
+        SExpr::Var(x) => x.clone(),
+        SExpr::Int(n) => {
+            if *n < 0 {
+                format!("(0 - {})", n.unsigned_abs())
+            } else {
+                format!("{n}")
+            }
+        }
+        SExpr::Null => "null".into(),
+        SExpr::Deref(inner) => format!("(*{})", emit_expr(inner)),
+        SExpr::AddrOf(inner) => format!("(&{})", emit_expr(inner)),
+        SExpr::Arrow(base, f) => format!("({})->{f}", emit_expr(base)),
+        SExpr::Index(base, i) => format!("({})[{}]", emit_expr(base), emit_expr(i)),
+        SExpr::NewStruct(s) => format!("(new {s})"),
+        SExpr::NewArray(n) => format!("(new({}))", emit_expr(n)),
+        SExpr::Call(f, args) => {
+            let args: Vec<String> = args.iter().map(emit_expr).collect();
+            format!("{f}({})", args.join(", "))
+        }
+        SExpr::Binop(op, a, b) => {
+            let sym = match op {
+                BinKind::Add => "+",
+                BinKind::Sub => "-",
+                BinKind::Mul => "*",
+                BinKind::Div => "/",
+                BinKind::Rem => "%",
+                BinKind::Eq => "==",
+                BinKind::Ne => "!=",
+                BinKind::Lt => "<",
+                BinKind::Le => "<=",
+                BinKind::Gt => ">",
+                BinKind::Ge => ">=",
+                BinKind::And => "&&",
+                BinKind::Or => "||",
+            };
+            format!("({} {} {})", emit_expr(a), sym, emit_expr(b))
+        }
+        SExpr::Not(inner) => format!("(!{})", emit_expr(inner)),
+        SExpr::Neg(inner) => format!("(-{})", emit_expr(inner)),
+    }
+}

@@ -1,0 +1,109 @@
+//! String interning for identifiers.
+//!
+//! Every name appearing in a program (variables, fields, functions,
+//! structs) is interned into a [`Symbol`], a small copyable index. The
+//! [`Interner`] owns the backing strings and lives inside
+//! [`crate::ir::Program`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string.
+///
+/// Symbols are cheap to copy and compare; resolve them back to text with
+/// [`Interner::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Interns strings, handing out stable [`Symbol`] indices.
+///
+/// # Examples
+///
+/// ```
+/// use lir::intern::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("head");
+/// let b = i.intern("head");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "head");
+/// ```
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let a2 = i.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        for name in ["alpha", "beta", "gamma"] {
+            let s = i.intern(name);
+            assert_eq!(i.resolve(s), name);
+        }
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

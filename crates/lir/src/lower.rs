@@ -1,0 +1,763 @@
+//! Lowering from surface AST to the canonical IR.
+//!
+//! Nested expressions are flattened to the three-address forms of the
+//! paper's Figure 3 by introducing compiler temporaries. Field and array
+//! accesses become explicit address computations (`FieldAddr`/`DynAddr`)
+//! followed by `Load`/`Store`. Short-circuit `&&`/`||` lower to control
+//! flow. Atomic sections become `EnterAtomic`/`ExitAtomic` brackets.
+
+use crate::ast::*;
+use crate::ir::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced during lowering (name resolution, arity, etc.).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerError {
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Either a parse or a lowering error, from [`compile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrontendError {
+    Parse(crate::parser::ParseError),
+    Lower(LowerError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => e.fmt(f),
+            FrontendError::Lower(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Parses and lowers `src` in one step.
+///
+/// # Errors
+///
+/// Returns the first parse or lowering error.
+///
+/// # Examples
+///
+/// ```
+/// let p = lir::compile("fn main() { let x = new(4); x[0] = 7; }")?;
+/// assert_eq!(p.functions.len(), 1);
+/// # Ok::<(), lir::lower::FrontendError>(())
+/// ```
+pub fn compile(src: &str) -> Result<Program, FrontendError> {
+    let module = crate::parser::parse(src).map_err(FrontendError::Parse)?;
+    lower(&module).map_err(FrontendError::Lower)
+}
+
+/// Lowers a parsed module to canonical IR.
+///
+/// # Errors
+///
+/// Reports unresolved names, arity mismatches, conflicting field
+/// offsets, `return` inside `atomic`, and `break`/`continue` outside
+/// loops.
+pub fn lower(module: &SModule) -> Result<Program, LowerError> {
+    let mut program = Program::new();
+    let mut structs: HashMap<String, usize> = HashMap::new();
+    let mut field_ids: HashMap<String, FieldId> = HashMap::new();
+
+    // Reserve the dynamic pseudo-field first so tests get stable ids.
+    program.elem_field();
+
+    for s in &module.structs {
+        if structs.contains_key(&s.name) {
+            return err(format!("struct `{}` declared twice", s.name));
+        }
+        let name_sym = program.interner.intern(&s.name);
+        let mut fids = Vec::new();
+        for (offset, fname) in s.fields.iter().enumerate() {
+            if let Some(&existing) = field_ids.get(fname) {
+                let info = program.field(existing);
+                if info.offset != offset {
+                    return err(format!(
+                        "field `{fname}` declared at conflicting offsets {} and {offset}; \
+                         field names must resolve to a single offset in this untyped language",
+                        info.offset
+                    ));
+                }
+                fids.push(existing);
+            } else {
+                let sym = program.interner.intern(fname);
+                let id = FieldId(program.fields.len() as u32);
+                program.fields.push(FieldInfo { name: sym, offset, dynamic: false });
+                field_ids.insert(fname.clone(), id);
+                fids.push(id);
+            }
+        }
+        structs.insert(s.name.clone(), program.structs.len());
+        program.structs.push(StructInfo { name: name_sym, fields: fids });
+    }
+
+    let mut globals: HashMap<String, VarId> = HashMap::new();
+    for g in &module.globals {
+        if globals.contains_key(g) {
+            return err(format!("global `{g}` declared twice"));
+        }
+        let sym = program.interner.intern(g);
+        let id = program.add_var(VarInfo {
+            name: sym,
+            owner: None,
+            kind: VarKind::Global,
+            addr_taken: false,
+        });
+        globals.insert(g.clone(), id);
+    }
+
+    // Collect function signatures first so calls can be forward.
+    let mut fn_ids: HashMap<String, FnId> = HashMap::new();
+    for (i, f) in module.funcs.iter().enumerate() {
+        if fn_ids.contains_key(&f.name) {
+            return err(format!("function `{}` declared twice", f.name));
+        }
+        if is_intrinsic(&f.name).is_some() {
+            return err(format!("function `{}` shadows an intrinsic", f.name));
+        }
+        fn_ids.insert(f.name.clone(), FnId(i as u32));
+    }
+    let arity: HashMap<FnId, usize> =
+        module.funcs.iter().enumerate().map(|(i, f)| (FnId(i as u32), f.params.len())).collect();
+
+    for (i, f) in module.funcs.iter().enumerate() {
+        let id = FnId(i as u32);
+        let name_sym = program.interner.intern(&f.name);
+        let ret_sym = program.interner.intern(&format!("ret${}", f.name));
+        let ret = program.add_var(VarInfo {
+            name: ret_sym,
+            owner: Some(id),
+            kind: VarKind::Ret,
+            addr_taken: false,
+        });
+        let mut ctx = FnCtx {
+            program: &mut program,
+            structs: &structs,
+            field_ids: &field_ids,
+            globals: &globals,
+            fn_ids: &fn_ids,
+            arity: &arity,
+            func: id,
+            ret,
+            fn_name: &f.name,
+            scopes: vec![HashMap::new()],
+            locals: Vec::new(),
+            instrs: Vec::new(),
+            loops: Vec::new(),
+            atomic_depth: 0,
+            n_temps: 0,
+        };
+        let mut params = Vec::new();
+        for p in &f.params {
+            let v = ctx.declare(p, VarKind::Param)?;
+            params.push(v);
+        }
+        ctx.stmts(&f.body)?;
+        ctx.instrs.push(Instr::Ret);
+        let FnCtx { instrs, mut locals, .. } = ctx;
+        locals.push(ret);
+        program.add_function(Function { id, name: name_sym, params, locals, ret, body: instrs });
+    }
+
+    Ok(program)
+}
+
+fn err<T>(message: String) -> Result<T, LowerError> {
+    Err(LowerError { message })
+}
+
+fn is_intrinsic(name: &str) -> Option<(Intrinsic, usize)> {
+    match name {
+        "nops" => Some((Intrinsic::Nops, 1)),
+        "rand" => Some((Intrinsic::Rand, 1)),
+        "tid" => Some((Intrinsic::Tid, 0)),
+        "print" => Some((Intrinsic::Print, 1)),
+        "assert" => Some((Intrinsic::Assert, 1)),
+        _ => None,
+    }
+}
+
+struct LoopCtx {
+    continue_target: u32,
+    break_patches: Vec<usize>,
+}
+
+struct FnCtx<'a> {
+    program: &'a mut Program,
+    structs: &'a HashMap<String, usize>,
+    field_ids: &'a HashMap<String, FieldId>,
+    globals: &'a HashMap<String, VarId>,
+    fn_ids: &'a HashMap<String, FnId>,
+    arity: &'a HashMap<FnId, usize>,
+    func: FnId,
+    ret: VarId,
+    fn_name: &'a str,
+    scopes: Vec<HashMap<String, VarId>>,
+    locals: Vec<VarId>,
+    instrs: Vec<Instr>,
+    loops: Vec<LoopCtx>,
+    atomic_depth: u32,
+    n_temps: u32,
+}
+
+impl FnCtx<'_> {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn declare(&mut self, name: &str, kind: VarKind) -> Result<VarId, LowerError> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return err(format!("`{name}` declared twice in the same scope of `{}`", self.fn_name));
+        }
+        let sym = self.program.interner.intern(name);
+        let v = self.program.add_var(VarInfo {
+            name: sym,
+            owner: Some(self.func),
+            kind,
+            addr_taken: false,
+        });
+        self.scopes.last_mut().unwrap().insert(name.to_owned(), v);
+        self.locals.push(v);
+        Ok(v)
+    }
+
+    fn temp(&mut self) -> VarId {
+        let name = format!("t${}", self.n_temps);
+        self.n_temps += 1;
+        let sym = self.program.interner.intern(&name);
+        let v = self.program.add_var(VarInfo {
+            name: sym,
+            owner: Some(self.func),
+            kind: VarKind::Temp,
+            addr_taken: false,
+        });
+        self.locals.push(v);
+        v
+    }
+
+    fn resolve(&self, name: &str) -> Result<VarId, LowerError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Ok(v);
+            }
+        }
+        if let Some(&v) = self.globals.get(name) {
+            return Ok(v);
+        }
+        err(format!("unresolved name `{name}` in `{}`", self.fn_name))
+    }
+
+    fn stmts(&mut self, body: &[SStmt]) -> Result<(), LowerError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn scoped(&mut self, body: &[SStmt]) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        let r = self.stmts(body);
+        self.scopes.pop();
+        r
+    }
+
+    fn stmt(&mut self, s: &SStmt) -> Result<(), LowerError> {
+        match s {
+            SStmt::Let(name, init) => {
+                let v = self.declare(name, VarKind::Local)?;
+                match init {
+                    Some(e) => self.lower_into(e, v)?,
+                    None => {
+                        self.emit(Instr::Assign(v, Rvalue::Null));
+                    }
+                }
+                Ok(())
+            }
+            SStmt::Assign(lv, e) => match lv {
+                SExpr::Var(name) => {
+                    let v = self.resolve(name)?;
+                    self.lower_into(e, v)
+                }
+                _ => {
+                    let rhs = self.lower_val(e)?;
+                    let addr = self.lower_addr(lv)?;
+                    self.emit(Instr::Store(addr, rhs));
+                    Ok(())
+                }
+            },
+            SStmt::Expr(e) => {
+                self.lower_val(e)?;
+                Ok(())
+            }
+            SStmt::Atomic(body) => {
+                let sid = self.program.fresh_section();
+                self.atomic_depth += 1;
+                self.emit(Instr::EnterAtomic(sid));
+                let r = self.scoped(body);
+                self.emit(Instr::ExitAtomic(sid));
+                self.atomic_depth -= 1;
+                r
+            }
+            SStmt::If(c, then, els) => {
+                let cv = self.lower_val(c)?;
+                let br = self.emit(Instr::Branch(cv, 0, 0));
+                let then_start = self.here();
+                self.scoped(then)?;
+                if els.is_empty() {
+                    let end = self.here();
+                    self.instrs[br] = Instr::Branch(cv, then_start, end);
+                } else {
+                    let jmp = self.emit(Instr::Jump(0));
+                    let else_start = self.here();
+                    self.scoped(els)?;
+                    let end = self.here();
+                    self.instrs[br] = Instr::Branch(cv, then_start, else_start);
+                    self.instrs[jmp] = Instr::Jump(end);
+                }
+                Ok(())
+            }
+            SStmt::While(c, body) => {
+                let head = self.here();
+                let cv = self.lower_val(c)?;
+                let br = self.emit(Instr::Branch(cv, 0, 0));
+                let body_start = self.here();
+                self.loops.push(LoopCtx { continue_target: head, break_patches: Vec::new() });
+                self.scoped(body)?;
+                self.emit(Instr::Jump(head));
+                let end = self.here();
+                self.instrs[br] = Instr::Branch(cv, body_start, end);
+                let lp = self.loops.pop().unwrap();
+                for site in lp.break_patches {
+                    self.instrs[site] = Instr::Jump(end);
+                }
+                Ok(())
+            }
+            SStmt::Return(e) => {
+                if self.atomic_depth > 0 {
+                    return err(format!(
+                        "`return` inside `atomic` is not supported (function `{}`)",
+                        self.fn_name
+                    ));
+                }
+                let ret = self.ret;
+                match e {
+                    Some(e) => self.lower_into(e, ret)?,
+                    None => {
+                        self.emit(Instr::Assign(ret, Rvalue::Null));
+                    }
+                }
+                self.emit(Instr::Ret);
+                Ok(())
+            }
+            SStmt::Break => {
+                if self.atomic_depth > 0 && !self.loop_inside_atomic() {
+                    return err(format!(
+                        "`break` crossing an `atomic` boundary in `{}`",
+                        self.fn_name
+                    ));
+                }
+                match self.loops.last_mut() {
+                    Some(_) => {
+                        let site = self.emit(Instr::Jump(0));
+                        self.loops.last_mut().unwrap().break_patches.push(site);
+                        Ok(())
+                    }
+                    None => err(format!("`break` outside a loop in `{}`", self.fn_name)),
+                }
+            }
+            SStmt::Continue => {
+                match self.loops.last() {
+                    Some(lp) => {
+                        let target = lp.continue_target;
+                        self.emit(Instr::Jump(target));
+                        Ok(())
+                    }
+                    None => err(format!("`continue` outside a loop in `{}`", self.fn_name)),
+                }
+            }
+            SStmt::Block(body) => self.scoped(body),
+        }
+    }
+
+    /// Conservative check: `break` is fine if the innermost loop started
+    /// inside the current atomic section. We track this approximately by
+    /// requiring that loops and atomic sections are properly nested,
+    /// which the grammar guarantees; only a `break` whose loop is
+    /// *outside* the atomic section would jump across the boundary.
+    fn loop_inside_atomic(&self) -> bool {
+        // Loops opened after the current atomic section began have a
+        // continue target that is >= the EnterAtomic index. Find the most
+        // recent EnterAtomic without a matching Exit.
+        let mut depth = 0i32;
+        let mut enter_idx = None;
+        for (i, ins) in self.instrs.iter().enumerate().rev() {
+            match ins {
+                Instr::ExitAtomic(_) => depth += 1,
+                Instr::EnterAtomic(_) => {
+                    if depth == 0 {
+                        enter_idx = Some(i as u32);
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        match (enter_idx, self.loops.last()) {
+            (Some(e), Some(lp)) => lp.continue_target >= e,
+            _ => true,
+        }
+    }
+
+    /// Lowers `e` directly into destination variable `dest` where
+    /// possible (avoiding a temp + copy).
+    fn lower_into(&mut self, e: &SExpr, dest: VarId) -> Result<(), LowerError> {
+        match e {
+            SExpr::Var(name) => {
+                let v = self.resolve(name)?;
+                self.emit(Instr::Assign(dest, Rvalue::Copy(v)));
+            }
+            SExpr::Int(n) => {
+                self.emit(Instr::Assign(dest, Rvalue::ConstInt(*n)));
+            }
+            SExpr::Null => {
+                self.emit(Instr::Assign(dest, Rvalue::Null));
+            }
+            SExpr::Deref(inner) => {
+                let a = self.lower_val(inner)?;
+                self.emit(Instr::Assign(dest, Rvalue::Load(a)));
+            }
+            SExpr::Arrow(..) | SExpr::Index(..) => {
+                let addr = self.lower_addr(e)?;
+                self.emit(Instr::Assign(dest, Rvalue::Load(addr)));
+            }
+            SExpr::AddrOf(lv) => {
+                let rv = self.addr_rvalue(lv)?;
+                self.emit(Instr::Assign(dest, rv));
+            }
+            SExpr::NewStruct(name) => {
+                let &si = self
+                    .structs
+                    .get(name)
+                    .ok_or_else(|| LowerError { message: format!("unknown struct `{name}`") })?;
+                let size = self.program.structs[si].fields.len().max(1);
+                self.emit(Instr::Assign(dest, Rvalue::Alloc(size)));
+            }
+            SExpr::NewArray(n) => match **n {
+                SExpr::Int(k) if k >= 0 => {
+                    self.emit(Instr::Assign(dest, Rvalue::Alloc(k as usize)));
+                }
+                _ => {
+                    let v = self.lower_val(n)?;
+                    self.emit(Instr::Assign(dest, Rvalue::AllocDyn(v)));
+                }
+            },
+            SExpr::Call(name, args) => {
+                let rv = self.call_rvalue(name, args)?;
+                self.emit(Instr::Assign(dest, rv));
+            }
+            SExpr::Binop(kind, a, b) => match binop_class(*kind) {
+                OpClass::Arith(op) => {
+                    let va = self.lower_val(a)?;
+                    let vb = self.lower_val(b)?;
+                    self.emit(Instr::Assign(dest, Rvalue::Arith(op, va, vb)));
+                }
+                OpClass::Cmp(op) => {
+                    let va = self.lower_val(a)?;
+                    let vb = self.lower_val(b)?;
+                    self.emit(Instr::Assign(dest, Rvalue::Cmp(op, va, vb)));
+                }
+                OpClass::And => self.lower_short_circuit(a, b, true, dest)?,
+                OpClass::Or => self.lower_short_circuit(a, b, false, dest)?,
+            },
+            SExpr::Not(inner) => {
+                let v = self.lower_val(inner)?;
+                let z = self.temp();
+                self.emit(Instr::Assign(z, Rvalue::ConstInt(0)));
+                self.emit(Instr::Assign(dest, Rvalue::Cmp(CmpOp::Eq, v, z)));
+            }
+            SExpr::Neg(inner) => {
+                let v = self.lower_val(inner)?;
+                let z = self.temp();
+                self.emit(Instr::Assign(z, Rvalue::ConstInt(0)));
+                self.emit(Instr::Assign(dest, Rvalue::Arith(ArithOp::Sub, z, v)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `e` to a variable holding its value.
+    fn lower_val(&mut self, e: &SExpr) -> Result<VarId, LowerError> {
+        if let SExpr::Var(name) = e {
+            return self.resolve(name);
+        }
+        let t = self.temp();
+        self.lower_into(e, t)?;
+        Ok(t)
+    }
+
+    /// Lowers an lvalue to a variable holding the *address* of the
+    /// denoted cell.
+    fn lower_addr(&mut self, lv: &SExpr) -> Result<VarId, LowerError> {
+        let rv = self.addr_rvalue(lv)?;
+        if let Rvalue::Copy(v) = rv {
+            return Ok(v);
+        }
+        let t = self.temp();
+        self.emit(Instr::Assign(t, rv));
+        Ok(t)
+    }
+
+    /// The rvalue computing the address of an lvalue.
+    fn addr_rvalue(&mut self, lv: &SExpr) -> Result<Rvalue, LowerError> {
+        match lv {
+            SExpr::Var(name) => {
+                let v = self.resolve(name)?;
+                self.program.vars[v.0 as usize].addr_taken = true;
+                Ok(Rvalue::AddrOf(v))
+            }
+            SExpr::Deref(inner) => {
+                let v = self.lower_val(inner)?;
+                Ok(Rvalue::Copy(v))
+            }
+            SExpr::Arrow(base, fname) => {
+                let b = self.lower_val(base)?;
+                let f = *self.field_ids.get(fname).ok_or_else(|| LowerError {
+                    message: format!("unknown field `{fname}` in `{}`", self.fn_name),
+                })?;
+                Ok(Rvalue::FieldAddr(b, f))
+            }
+            SExpr::Index(base, idx) => {
+                let b = self.lower_val(base)?;
+                let i = self.lower_val(idx)?;
+                Ok(Rvalue::DynAddr(b, i))
+            }
+            _ => err(format!("not an lvalue in `{}`", self.fn_name)),
+        }
+    }
+
+    fn call_rvalue(&mut self, name: &str, args: &[SExpr]) -> Result<Rvalue, LowerError> {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.lower_val(a)?);
+        }
+        if let Some((intr, n)) = is_intrinsic(name) {
+            if vals.len() != n {
+                return err(format!("intrinsic `{name}` expects {n} argument(s), got {}", vals.len()));
+            }
+            return Ok(Rvalue::Intrinsic(intr, vals));
+        }
+        let &fid = self
+            .fn_ids
+            .get(name)
+            .ok_or_else(|| LowerError { message: format!("unknown function `{name}`") })?;
+        let want = self.arity[&fid];
+        if vals.len() != want {
+            return err(format!(
+                "function `{name}` expects {want} argument(s), got {}",
+                vals.len()
+            ));
+        }
+        Ok(Rvalue::Call(fid, vals))
+    }
+
+    /// Short-circuit `&&` (is_and) / `||`, producing 0/1 into `dest`.
+    fn lower_short_circuit(
+        &mut self,
+        a: &SExpr,
+        b: &SExpr,
+        is_and: bool,
+        dest: VarId,
+    ) -> Result<(), LowerError> {
+        let va = self.lower_val(a)?;
+        let br = self.emit(Instr::Branch(va, 0, 0));
+        // Path where the second operand decides the result:
+        let eval_b = self.here();
+        let vb = self.lower_val(b)?;
+        let z = self.temp();
+        self.emit(Instr::Assign(z, Rvalue::ConstInt(0)));
+        self.emit(Instr::Assign(dest, Rvalue::Cmp(CmpOp::Ne, vb, z)));
+        let jmp = self.emit(Instr::Jump(0));
+        // Path where the first operand decides the result:
+        let decided = self.here();
+        self.emit(Instr::Assign(dest, Rvalue::ConstInt(if is_and { 0 } else { 1 })));
+        let end = self.here();
+        self.instrs[br] = if is_and {
+            Instr::Branch(va, eval_b, decided)
+        } else {
+            Instr::Branch(va, decided, eval_b)
+        };
+        self.instrs[jmp] = Instr::Jump(end);
+        Ok(())
+    }
+}
+
+enum OpClass {
+    Arith(ArithOp),
+    Cmp(CmpOp),
+    And,
+    Or,
+}
+
+fn binop_class(k: BinKind) -> OpClass {
+    match k {
+        BinKind::Add => OpClass::Arith(ArithOp::Add),
+        BinKind::Sub => OpClass::Arith(ArithOp::Sub),
+        BinKind::Mul => OpClass::Arith(ArithOp::Mul),
+        BinKind::Div => OpClass::Arith(ArithOp::Div),
+        BinKind::Rem => OpClass::Arith(ArithOp::Rem),
+        BinKind::Eq => OpClass::Cmp(CmpOp::Eq),
+        BinKind::Ne => OpClass::Cmp(CmpOp::Ne),
+        BinKind::Lt => OpClass::Cmp(CmpOp::Lt),
+        BinKind::Le => OpClass::Cmp(CmpOp::Le),
+        BinKind::Gt => OpClass::Cmp(CmpOp::Gt),
+        BinKind::Ge => OpClass::Cmp(CmpOp::Ge),
+        BinKind::And => OpClass::And,
+        BinKind::Or => OpClass::Or,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Instr as I;
+
+    fn body(src: &str) -> (Program, Vec<Instr>) {
+        let p = compile(src).unwrap();
+        let b = p.functions[0].body.clone();
+        (p, b)
+    }
+
+    #[test]
+    fn lowers_field_store_to_canonical_forms() {
+        let (p, b) = body("struct s { f; g; } fn main(p) { p->g = null; }");
+        // t0 = p + g ; t1 = null; *t0 = t1  (order: rhs first, then addr)
+        assert!(b.iter().any(|i| matches!(i, I::Assign(_, Rvalue::FieldAddr(_, _)))));
+        assert!(b.iter().any(|i| matches!(i, I::Store(_, _))));
+        assert_eq!(p.functions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn lowers_index_to_dynaddr() {
+        let (_, b) = body("fn main(a, i) { let x = a[i]; a[i] = x; }");
+        let dyns = b.iter().filter(|i| matches!(i, I::Assign(_, Rvalue::DynAddr(..)))).count();
+        assert_eq!(dyns, 2);
+    }
+
+    #[test]
+    fn atomic_brackets_are_emitted() {
+        let (_, b) = body("fn main() { atomic { let x = 1; } }");
+        assert!(matches!(b[0], I::EnterAtomic(SectionId(0))));
+        assert!(b.iter().any(|i| matches!(i, I::ExitAtomic(SectionId(0)))));
+    }
+
+    #[test]
+    fn short_circuit_and_lowers_to_branches() {
+        let (_, b) = body("struct s { f; } fn main(x) { let c = x != null && x->f == null; }");
+        // Must not unconditionally load x->f: there is a branch before it.
+        let branch_pos = b.iter().position(|i| matches!(i, I::Branch(..))).unwrap();
+        let load_pos = b.iter().position(|i| matches!(i, I::Assign(_, Rvalue::Load(_)))).unwrap();
+        assert!(branch_pos < load_pos);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let (_, b) = body("struct s { f; } fn main(x) { while (x != null) { x = x->f; } }");
+        let br = b.iter().find_map(|i| match i {
+            I::Branch(_, t, e) => Some((*t, *e)),
+            _ => None,
+        });
+        let (t, e) = br.unwrap();
+        assert!(t < e, "then (body) comes before else (exit)");
+        assert!(b.iter().any(|i| matches!(i, I::Jump(0)))); // back edge to head
+    }
+
+    #[test]
+    fn break_and_continue_resolve() {
+        let (_, b) = body(
+            "fn main(x) { while (1 == 1) { if (x == null) { break; } continue; } return x; }",
+        );
+        // No unpatched Jump(0) to a Branch... just check all jumps in range.
+        for i in &b {
+            if let I::Jump(t) = i {
+                assert!((*t as usize) <= b.len());
+            }
+        }
+    }
+
+    #[test]
+    fn addr_of_marks_vars() {
+        let (p, _) = body("fn main() { let x = null; let y = &x; }");
+        let x = p
+            .vars
+            .iter()
+            .position(|v| p.interner.resolve(v.name) == "x" && v.kind == VarKind::Local)
+            .unwrap();
+        assert!(p.vars[x].addr_taken);
+    }
+
+    #[test]
+    fn rejects_return_inside_atomic() {
+        assert!(compile("fn main() { atomic { return; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(compile("fn main() { x = 1; }").is_err());
+        assert!(compile("fn main() { let x = f(); }").is_err());
+        assert!(compile("fn main(p) { let x = p->nope; }").is_err());
+        assert!(compile("fn main() { let x = new nope; }").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(compile("fn f(a) { } fn main() { f(); }").is_err());
+        assert!(compile("fn main() { nops(); }").is_err());
+    }
+
+    #[test]
+    fn structs_share_fields_at_same_offset() {
+        assert!(compile("struct a { x; } struct b { x; } fn main() {}").is_ok());
+        assert!(compile("struct a { x; y; } struct b { y; } fn main() {}").is_err());
+    }
+
+    #[test]
+    fn call_lowering() {
+        let (p, b) = body("fn main(q) { let r = helper(q, q); } fn helper(a, b) { return a; }");
+        assert!(b.iter().any(|i| matches!(i, I::Assign(_, Rvalue::Call(FnId(1), args)) if args.len() == 2)));
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn nested_atomic_sections_get_distinct_ids() {
+        let (p, b) = body("fn main() { atomic { atomic { let x = 1; } } }");
+        assert_eq!(p.n_sections, 2);
+        let enters: Vec<_> = b
+            .iter()
+            .filter_map(|i| match i {
+                I::EnterAtomic(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(enters, vec![SectionId(0), SectionId(1)]);
+    }
+}

@@ -1,0 +1,524 @@
+//! Recursive-descent parser for the surface syntax.
+//!
+//! ```text
+//! module  := (struct | global | fn)*
+//! struct  := "struct" ident "{" (ident ";")* "}"
+//! global  := "global" ident ("," ident)* ";"
+//! fn      := "fn" ident "(" params? ")" block
+//! stmt    := "let" ident ("=" expr)? ";"
+//!          | "atomic" block
+//!          | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//!          | "while" "(" expr ")" block
+//!          | "return" expr? ";" | "break" ";" | "continue" ";"
+//!          | block
+//!          | lvalue "=" expr ";"
+//!          | expr ";"
+//! ```
+//!
+//! Expression precedence (low to high): `||`, `&&`, `==`/`!=`,
+//! `<`/`<=`/`>`/`>=`, `+`/`-`, `*`/`/`/`%`, unary (`!` `-` `*` `&`),
+//! postfix (`->f`, `[e]`, `(args)`).
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// A parse error with a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a whole module from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = "fn main() { let x = 1; return x; }";
+/// let module = lir::parser::parse(src)?;
+/// assert_eq!(module.funcs.len(), 1);
+/// # Ok::<(), lir::parser::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<SModule, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.module()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: msg.into() })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn module(&mut self) -> Result<SModule, ParseError> {
+        let mut m = SModule::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Struct => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(Tok::LBrace)?;
+                    let mut fields = Vec::new();
+                    while !self.eat(&Tok::RBrace) {
+                        fields.push(self.ident()?);
+                        self.expect(Tok::Semi)?;
+                    }
+                    m.structs.push(SStruct { name, fields });
+                }
+                Tok::Global => {
+                    self.bump();
+                    loop {
+                        m.globals.push(self.ident()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Semi)?;
+                }
+                Tok::Fn => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            params.push(self.ident()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    let body = self.block()?;
+                    m.funcs.push(SFunc { name, params, body, line });
+                }
+                other => return self.err(format!("expected item, found {other}")),
+            }
+        }
+        Ok(m)
+    }
+
+    fn block(&mut self) -> Result<Vec<SStmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<SStmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(Tok::Semi)?;
+                Ok(SStmt::Let(name, init))
+            }
+            Tok::Atomic => {
+                self.bump();
+                Ok(SStmt::Atomic(self.block()?))
+            }
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(SStmt::While(cond, self.block()?))
+            }
+            Tok::Return => {
+                self.bump();
+                let val = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                Ok(SStmt::Return(val))
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(SStmt::Break)
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(SStmt::Continue)
+            }
+            Tok::LBrace => Ok(SStmt::Block(self.block()?)),
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    let rhs = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    if !is_lvalue(&e) {
+                        return self.err("left-hand side of `=` is not assignable");
+                    }
+                    Ok(SStmt::Assign(e, rhs))
+                } else {
+                    self.expect(Tok::Semi)?;
+                    match e {
+                        SExpr::Call(..) => Ok(SStmt::Expr(e)),
+                        _ => self.err("only calls may be used as expression statements"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<SStmt, ParseError> {
+        self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then = self.block()?;
+        let els = if self.eat(&Tok::Else) {
+            if *self.peek() == Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(SStmt::If(cond, then, els))
+    }
+
+    fn expr(&mut self) -> Result<SExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::PipePipe) {
+            let rhs = self.and_expr()?;
+            lhs = SExpr::Binop(BinKind::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat(&Tok::AmpAmp) {
+            let rhs = self.eq_expr()?;
+            lhs = SExpr::Binop(BinKind::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinKind::Eq,
+                Tok::NotEq => BinKind::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinKind::Lt,
+                Tok::Le => BinKind::Le,
+                Tok::Gt => BinKind::Gt,
+                Tok::Ge => BinKind::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinKind::Add,
+                Tok::Minus => BinKind::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinKind::Mul,
+                Tok::Slash => BinKind::Div,
+                Tok::Percent => BinKind::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<SExpr, ParseError> {
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                Ok(SExpr::Not(Box::new(self.unary_expr()?)))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(SExpr::Neg(Box::new(self.unary_expr()?)))
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(SExpr::Deref(Box::new(self.unary_expr()?)))
+            }
+            Tok::Amp => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                if !is_lvalue(&inner) {
+                    return self.err("`&` requires an lvalue operand");
+                }
+                Ok(SExpr::AddrOf(Box::new(inner)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<SExpr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Arrow => {
+                    self.bump();
+                    let f = self.ident()?;
+                    e = SExpr::Arrow(Box::new(e), f);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = SExpr::Index(Box::new(e), Box::new(idx));
+                }
+                Tok::LParen => {
+                    let name = match e {
+                        SExpr::Var(ref s) => s.clone(),
+                        _ => return self.err("only named functions can be called"),
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    e = SExpr::Call(name, args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<SExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(SExpr::Var(s))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(SExpr::Int(n))
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(SExpr::Null)
+            }
+            Tok::New => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        Ok(SExpr::NewStruct(s))
+                    }
+                    Tok::LParen => {
+                        self.bump();
+                        let n = self.expr()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(SExpr::NewArray(Box::new(n)))
+                    }
+                    other => self.err(format!("expected struct name or `(` after `new`, found {other}")),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+/// Whether a surface expression can appear on the left of `=` or under `&`.
+fn is_lvalue(e: &SExpr) -> bool {
+    matches!(e, SExpr::Var(_) | SExpr::Deref(_) | SExpr::Arrow(..) | SExpr::Index(..))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_move_example() {
+        // The paper's Figure 1(a).
+        let src = r#"
+            struct elem { next; data; }
+            struct list { head; }
+            fn move_(from, to) {
+                atomic {
+                    let x = to->head;
+                    let y = from->head;
+                    from->head = null;
+                    if (x == null) {
+                        to->head = y;
+                    } else {
+                        while (x->next != null) { x = x->next; }
+                        x->next = y;
+                    }
+                }
+            }
+        "#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.structs.len(), 2);
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].params, vec!["from", "to"]);
+        assert!(matches!(m.funcs[0].body[0], SStmt::Atomic(_)));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let m = parse("fn f() { let x = 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else { panic!() };
+        // && binds loosest here.
+        assert!(matches!(e, SExpr::Binop(BinKind::And, ..)));
+    }
+
+    #[test]
+    fn parses_postfix_chains() {
+        let m = parse("fn f(p) { let x = p->a->b[3]; }").unwrap();
+        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else { panic!() };
+        assert!(matches!(e, SExpr::Index(..)));
+    }
+
+    #[test]
+    fn parses_globals_and_new() {
+        let m = parse("global g, h; struct s { f; } fn f() { g = new s; h = new(10); }").unwrap();
+        assert_eq!(m.globals, vec!["g", "h"]);
+        assert_eq!(m.funcs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_lvalues() {
+        assert!(parse("fn f() { 1 = 2; }").is_err());
+        assert!(parse("fn f() { let x = &3; }").is_err());
+        assert!(parse("fn f() { x + 1; }").is_err());
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let m = parse("fn f(x) { if (x == 1) { } else if (x == 2) { } else { } }").unwrap();
+        let SStmt::If(_, _, els) = &m.funcs[0].body[0] else { panic!() };
+        assert!(matches!(els[0], SStmt::If(..)));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("fn f() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

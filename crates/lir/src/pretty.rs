@@ -1,0 +1,169 @@
+//! Human-readable rendering of IR programs, lock path expressions, and
+//! lock specs — used for diagnostics, examples, and golden tests.
+
+use crate::ir::*;
+use std::fmt;
+use std::fmt::Write as _;
+
+impl Program {
+    /// Renders a lock path expression as a C-like address expression,
+    /// e.g. `&((*to).head)` for `to ➝ Deref ➝ Field(head)`.
+    pub fn render_path(&self, path: &PathExpr) -> String {
+        let mut lv = self.var_name(path.base).to_owned();
+        for op in &path.ops {
+            match op {
+                PathOp::Deref => lv = format!("(*{lv})"),
+                PathOp::Field(f) => {
+                    let _ = write!(lv, ".{}", self.field_name(*f));
+                }
+                PathOp::Index(v) => {
+                    let _ = write!(lv, "[{}]", self.var_name(*v));
+                }
+            }
+        }
+        format!("&{lv}")
+    }
+
+    /// Renders a lock spec, e.g. `fine[rw] &((*to).head) in P3`.
+    pub fn render_lock(&self, spec: &LockSpec) -> String {
+        match spec {
+            LockSpec::Global => "GLOBAL[rw]".to_owned(),
+            LockSpec::Coarse { pts, eff } => format!("coarse[{eff}] P{pts}"),
+            LockSpec::Fine { path, pts, eff } => {
+                format!("fine[{eff}] {} in P{pts}", self.render_path(path))
+            }
+        }
+    }
+
+    /// Renders one instruction.
+    pub fn render_instr(&self, ins: &Instr) -> String {
+        let v = |x: &VarId| self.var_name(*x).to_owned();
+        match ins {
+            Instr::Assign(x, rv) => format!("{} = {}", v(x), self.render_rvalue(rv)),
+            Instr::Store(x, y) => format!("*{} = {}", v(x), v(y)),
+            Instr::EnterAtomic(s) => format!("enter_atomic #{}", s.0),
+            Instr::ExitAtomic(s) => format!("exit_atomic #{}", s.0),
+            Instr::AcquireAll(s, locks) => {
+                let body: Vec<String> = locks.iter().map(|l| self.render_lock(l)).collect();
+                format!("acquireAll #{} {{{}}}", s.0, body.join(", "))
+            }
+            Instr::ReleaseAll(s) => format!("releaseAll #{}", s.0),
+            Instr::Jump(t) => format!("jump {t}"),
+            Instr::Branch(c, t, e) => format!("branch {} ? {t} : {e}", v(c)),
+            Instr::Ret => "ret".to_owned(),
+            Instr::Nop => "nop".to_owned(),
+        }
+    }
+
+    fn render_rvalue(&self, rv: &Rvalue) -> String {
+        let v = |x: &VarId| self.var_name(*x).to_owned();
+        match rv {
+            Rvalue::Copy(y) => v(y),
+            Rvalue::AddrOf(y) => format!("&{}", v(y)),
+            Rvalue::Load(y) => format!("*{}", v(y)),
+            Rvalue::FieldAddr(y, f) => format!("{} + {}", v(y), self.field_name(*f)),
+            Rvalue::DynAddr(y, z) => format!("{} +[{}]", v(y), v(z)),
+            Rvalue::Alloc(n) => format!("new({n})"),
+            Rvalue::AllocDyn(z) => format!("new[{}]", v(z)),
+            Rvalue::Null => "null".to_owned(),
+            Rvalue::ConstInt(c) => format!("{c}"),
+            Rvalue::Arith(op, a, b) => format!("{} {} {}", v(a), arith_sym(*op), v(b)),
+            Rvalue::Cmp(op, a, b) => format!("{} {} {}", v(a), cmp_sym(*op), v(b)),
+            Rvalue::Call(f, args) => {
+                let args: Vec<String> = args.iter().map(v).collect();
+                format!("{}({})", self.fn_name(*f), args.join(", "))
+            }
+            Rvalue::Intrinsic(i, args) => {
+                let args: Vec<String> = args.iter().map(v).collect();
+                format!("{}({})", intrinsic_name(*i), args.join(", "))
+            }
+        }
+    }
+}
+
+fn arith_sym(op: ArithOp) -> &'static str {
+    match op {
+        ArithOp::Add => "+",
+        ArithOp::Sub => "-",
+        ArithOp::Mul => "*",
+        ArithOp::Div => "/",
+        ArithOp::Rem => "%",
+        ArithOp::And => "&",
+        ArithOp::Or => "|",
+        ArithOp::Xor => "^",
+        ArithOp::Shl => "<<",
+        ArithOp::Shr => ">>",
+    }
+}
+
+fn cmp_sym(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn intrinsic_name(i: Intrinsic) -> &'static str {
+    match i {
+        Intrinsic::Nops => "nops",
+        Intrinsic::Rand => "rand",
+        Intrinsic::Tid => "tid",
+        Intrinsic::Print => "print",
+        Intrinsic::Assert => "assert",
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in &self.functions {
+            let params: Vec<&str> = func.params.iter().map(|p| self.var_name(*p)).collect();
+            writeln!(f, "fn {}({}) {{", self.fn_name(func.id), params.join(", "))?;
+            for (i, ins) in func.body.iter().enumerate() {
+                writeln!(f, "  {i:4}: {}", self.render_instr(ins))?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+
+    #[test]
+    fn renders_paths_like_the_paper() {
+        let p = compile("struct list { head; } fn f(to) { let x = to->head; }").unwrap();
+        let to = p.functions[0].params[0];
+        let head = FieldId(
+            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "head").unwrap() as u32,
+        );
+        let path = PathExpr { base: to, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+        assert_eq!(p.render_path(&path), "&(*to).head");
+        assert_eq!(p.render_path(&PathExpr::var(to)), "&to");
+    }
+
+    #[test]
+    fn display_is_nonempty_and_contains_markers() {
+        let p = compile("fn main() { atomic { let x = new(2); } }").unwrap();
+        let text = p.to_string();
+        assert!(text.contains("enter_atomic #0"));
+        assert!(text.contains("new(2)"));
+        assert!(text.contains("fn main()"));
+    }
+
+    #[test]
+    fn renders_lock_specs() {
+        let p = compile("fn main(x) { let y = x; }").unwrap();
+        let x = p.functions[0].params[0];
+        assert_eq!(p.render_lock(&LockSpec::Global), "GLOBAL[rw]");
+        assert_eq!(p.render_lock(&LockSpec::Coarse { pts: 3, eff: Eff::Ro }), "coarse[ro] P3");
+        let fine = LockSpec::Fine { path: PathExpr::var(x), pts: 1, eff: Eff::Rw };
+        assert_eq!(p.render_lock(&fine), "fine[rw] &x in P1");
+    }
+}

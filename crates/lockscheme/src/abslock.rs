@@ -1,0 +1,371 @@
+//! The instantiated abstract lock scheme `Σ_k × Σ≡ × Σ_ε`.
+//!
+//! The paper's implementation observes (§4.3) that of all pairs in the
+//! Cartesian product, only locks of the shapes `(⊤, ⊤)`, `(⊤, P)`, and
+//! `(e, P)` with `P` the points-to class of `e` ever arise: the lattice
+//! degenerates to a *tree*. [`AbsLock`] encodes exactly that tree, with
+//! the effect component alongside.
+
+use lir::{Eff, LockSpec, PathExpr, PathOp};
+use pointsto::{PointsTo, PtsClass};
+use std::fmt;
+
+/// One lock of the instantiated scheme.
+///
+/// * `path = Some(e), pts = Some(P)` — fine-grain expression lock
+///   `(e, P, ε)`;
+/// * `path = None, pts = Some(P)` — coarse points-to lock `(⊤, P, ε)`;
+/// * `path = None, pts = None` — the global lock `⊤` (always `rw`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AbsLock {
+    pub path: Option<PathExpr>,
+    pub pts: Option<PtsClass>,
+    pub eff: Eff,
+}
+
+impl AbsLock {
+    /// The global lock `⊤ = (Loc, rw)`.
+    pub fn global() -> AbsLock {
+        AbsLock { path: None, pts: None, eff: Eff::Rw }
+    }
+
+    /// The coarse lock `(⊤, P, ε)` protecting a points-to partition.
+    pub fn coarse(pts: PtsClass, eff: Eff) -> AbsLock {
+        AbsLock { path: None, pts: Some(pts), eff }
+    }
+
+    /// A fine expression lock, with its points-to component derived
+    /// from the expression (the only pairing that protects anything).
+    ///
+    /// Returns `None` when the path's points-to class does not exist —
+    /// the expression can only evaluate through a null dereference, so
+    /// there is no location to protect (such runs fault before the
+    /// access).
+    pub fn fine(path: PathExpr, eff: Eff, pt: &PointsTo) -> Option<AbsLock> {
+        let pts = pt.class_of_path(&path)?;
+        Some(AbsLock { path: Some(path), pts: Some(pts), eff })
+    }
+
+    /// True for the global lock.
+    pub fn is_global(&self) -> bool {
+        self.path.is_none() && self.pts.is_none()
+    }
+
+    /// True for fine-grain expression locks.
+    pub fn is_fine(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The partial order `≤` of the scheme: componentwise, with `None`
+    /// as the top of the `Σ_k` and `Σ≡` components.
+    pub fn leq(&self, other: &AbsLock) -> bool {
+        let path_leq = match (&self.path, &other.path) {
+            (_, None) => true,
+            (Some(a), Some(b)) => a == b,
+            (None, Some(_)) => false,
+        };
+        let pts_leq = match (&self.pts, &other.pts) {
+            (_, None) => true,
+            (Some(a), Some(b)) => a == b,
+            (None, Some(_)) => false,
+        };
+        path_leq && pts_leq && self.eff.leq(other.eff)
+    }
+
+    /// Least upper bound in the scheme lattice.
+    pub fn join(&self, other: &AbsLock) -> AbsLock {
+        let path = match (&self.path, &other.path) {
+            (Some(a), Some(b)) if a == b => Some(a.clone()),
+            _ => None,
+        };
+        let pts = match (&self.pts, &other.pts) {
+            (Some(a), Some(b)) if a == b => Some(*a),
+            _ => None,
+        };
+        // If the paths differ the expression component is ⊤; the pts
+        // component may still agree.
+        let pts = if path.is_some() { pts } else { pts };
+        AbsLock { path, pts, eff: self.eff.join(other.eff) }
+    }
+
+    /// Conversion to the transformed-program representation.
+    pub fn to_spec(&self) -> LockSpec {
+        match (&self.path, &self.pts) {
+            (None, None) => LockSpec::Global,
+            (None, Some(p)) => LockSpec::Coarse { pts: p.0, eff: self.eff },
+            (Some(e), Some(p)) => LockSpec::Fine { path: e.clone(), pts: p.0, eff: self.eff },
+            (Some(_), None) => unreachable!("fine locks always carry a points-to class"),
+        }
+    }
+}
+
+/// Configuration of the analysis' lock scheme — the knob set used for
+/// Table 1 / Figure 7 (`k`) and for the ablation bench (component
+/// toggles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemeConfig {
+    /// Expression length bound of `Σ_k`.
+    pub k: usize,
+    /// Use the expression component (`Σ_k`); off = always ⊤.
+    pub use_expr: bool,
+    /// Use the points-to component (`Σ≡`); off = always ⊤.
+    pub use_pts: bool,
+    /// Use the effect component (`Σ_ε`); off = always `rw`.
+    pub use_eff: bool,
+    /// The dynamic `[]` pseudo-field of the program, if any.
+    pub elem_field: Option<lir::FieldId>,
+}
+
+impl SchemeConfig {
+    /// The paper's full product scheme with expression bound `k`.
+    pub fn full(k: usize, elem_field: Option<lir::FieldId>) -> SchemeConfig {
+        SchemeConfig { k, use_expr: true, use_pts: true, use_eff: true, elem_field }
+    }
+
+    /// Applies component toggles and representation invariants.
+    /// Returns `None` when the lock provably protects no location.
+    pub fn normalize(&self, mut lock: AbsLock, pt: &PointsTo) -> Option<AbsLock> {
+        if !self.use_eff {
+            lock.eff = Eff::Rw;
+        }
+        if !self.use_expr {
+            if let Some(path) = lock.path.take() {
+                lock.pts = pt.class_of_path(&path);
+                lock.pts?;
+            }
+        }
+        let lock = self.limit(lock, pt)?;
+        let mut lock = lock;
+        if !self.use_pts {
+            lock.pts = None;
+            // Without the points-to component a promoted expression
+            // becomes the global lock.
+            if lock.path.is_none() {
+                lock.eff = if self.use_eff { lock.eff } else { Eff::Rw };
+            }
+        }
+        Some(lock)
+    }
+
+    /// k-limiting + evaluability demotion (see [`AbsLock::normalize`]),
+    /// with this config's dynamic-field knowledge.
+    fn limit(&self, lock: AbsLock, pt: &PointsTo) -> Option<AbsLock> {
+        let Some(path) = &lock.path else { return Some(lock) };
+        let evaluable = path.ops.iter().enumerate().all(|(i, op)| match op {
+            // The anonymous `[]` offset covers *all* elements, so it can
+            // only be the final step (the runtime locks the whole
+            // array). A named dynamic index is evaluable anywhere.
+            PathOp::Field(f) => Some(*f) != self.elem_field || i + 1 == path.ops.len(),
+            PathOp::Deref | PathOp::Index(_) => true,
+        });
+        let class = pt.class_of_path(path)?;
+        // Expression length counts the base variable plus every offset
+        // and dereference — so `x̄` has length 1 and k = 0 yields only
+        // coarse locks (Figure 7's first column), while a chain of three
+        // dereferences and three offsets has length 7 > 6 only with the
+        // base included; the paper's "many expressions with 3 heap
+        // dereferences may have length k = 6" counts ops only, so we
+        // charge the base at 1 but keep ops as the dominant term.
+        let length = path.ops.len().max(1);
+        if length > self.k || !evaluable {
+            Some(AbsLock { path: None, pts: Some(class), eff: lock.eff })
+        } else {
+            Some(AbsLock { path: lock.path, pts: Some(class), eff: lock.eff })
+        }
+    }
+}
+
+impl fmt::Display for AbsLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.path, &self.pts) {
+            (None, None) => write!(f, "⊤[{}]", self.eff),
+            (None, Some(p)) => write!(f, "(⊤, {:?})[{}]", p, self.eff),
+            (Some(e), Some(p)) => write!(f, "({:?}, {:?})[{}]", e, p, self.eff),
+            (Some(e), None) => write!(f, "({:?}, ⊤)[{}]", e, self.eff),
+        }
+    }
+}
+
+/// Removes redundant locks: the merge of §4.1 keeps only locks not
+/// strictly below another lock in the set (`N1 ⊔ N2` drops `l` when
+/// `l < l'` for some `l'` in the union).
+pub fn prune_redundant(locks: &mut Vec<AbsLock>) {
+    locks.sort();
+    locks.dedup();
+    let snapshot = locks.clone();
+    // `l < l'` ⟺ `l ≤ l' ∧ l ≠ l'` (≤ is antisymmetric).
+    locks.retain(|l| !snapshot.iter().any(|l2| l != l2 && l.leq(l2)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{PathOp, VarId};
+
+    fn pt_for(src: &str) -> (lir::Program, PointsTo) {
+        let p = lir::compile(src).unwrap();
+        let pts = PointsTo::analyze(&p);
+        (p, pts)
+    }
+
+    fn path(base: VarId, ops: Vec<PathOp>) -> PathExpr {
+        PathExpr { base, ops }
+    }
+
+    #[test]
+    fn global_is_top() {
+        let (_, pt) = pt_for("fn main(a) { let b = *a; }");
+        let g = AbsLock::global();
+        let fine = AbsLock::fine(path(VarId(1), vec![]), Eff::Ro, &pt).unwrap();
+        assert!(fine.leq(&g));
+        assert!(!g.leq(&fine));
+        assert_eq!(fine.join(&g), g);
+    }
+
+    #[test]
+    fn coarse_dominates_its_fine_locks() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        let fine = AbsLock::fine(path(a, vec![PathOp::Deref]), Eff::Rw, &pt).unwrap();
+        let coarse = AbsLock::coarse(fine.pts.unwrap(), Eff::Rw);
+        assert!(fine.leq(&coarse));
+        assert!(!coarse.leq(&fine));
+        // A coarse lock of a different class is incomparable.
+        let other = AbsLock::coarse(PtsClass(fine.pts.unwrap().0 + 1), Eff::Rw);
+        assert!(!fine.leq(&other));
+    }
+
+    #[test]
+    fn effects_order_locks() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        let ro = AbsLock::fine(path(a, vec![]), Eff::Ro, &pt).unwrap();
+        let rw = AbsLock::fine(path(a, vec![]), Eff::Rw, &pt).unwrap();
+        assert!(ro.leq(&rw));
+        assert!(!rw.leq(&ro));
+        assert_eq!(ro.join(&rw).eff, Eff::Rw);
+    }
+
+    #[test]
+    fn join_is_lub_on_samples() {
+        let (p, pt) = pt_for("fn main(a, c) { let b = *a; let d = *c; }");
+        let a = p.functions[0].params[0];
+        let c = p.functions[0].params[1];
+        let samples = vec![
+            AbsLock::global(),
+            AbsLock::fine(path(a, vec![]), Eff::Ro, &pt).unwrap(),
+            AbsLock::fine(path(a, vec![]), Eff::Rw, &pt).unwrap(),
+            AbsLock::fine(path(c, vec![]), Eff::Rw, &pt).unwrap(),
+            AbsLock::fine(path(a, vec![PathOp::Deref]), Eff::Rw, &pt).unwrap(),
+        ];
+        for x in &samples {
+            for y in &samples {
+                let j = x.join(y);
+                assert!(x.leq(&j) && y.leq(&j), "join is an upper bound: {x} {y} -> {j}");
+                assert_eq!(x.join(y), y.join(x), "join commutes");
+                for z in &samples {
+                    if x.leq(z) && y.leq(z) {
+                        assert!(j.leq(z), "join is least: {x}⊔{y}={j} vs {z}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_limit_promotes_to_coarse() {
+        let (p, pt) = pt_for(
+            "struct s { f; } fn main(a) { let b = a->f; let c = b->f; let d = c->f; }",
+        );
+        let a = p.functions[0].params[0];
+        let f = lir::FieldId(
+            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "f").unwrap() as u32,
+        );
+        let long = path(a, vec![PathOp::Deref, PathOp::Field(f), PathOp::Deref, PathOp::Field(f)]);
+        let lock = AbsLock::fine(long.clone(), Eff::Rw, &pt).unwrap();
+        let cfg3 = SchemeConfig::full(3, p.elem_field_opt());
+        let n = cfg3.normalize(lock.clone(), &pt).unwrap();
+        assert!(n.path.is_none(), "length-4 path exceeds k=3");
+        assert_eq!(n.pts, lock.pts);
+        let cfg9 = SchemeConfig::full(9, p.elem_field_opt());
+        let n9 = cfg9.normalize(lock.clone(), &pt).unwrap();
+        assert_eq!(n9.path, Some(long));
+    }
+
+    #[test]
+    fn dynamic_field_mid_path_demotes() {
+        let (p, pt) = pt_for("fn main(a, i) { let b = a[i]; let c = *b; }");
+        let a = p.functions[0].params[0];
+        let elem = p.elem_field_opt().unwrap();
+        let cfg = SchemeConfig::full(9, Some(elem));
+        // &a[i] — elem in final position: stays fine.
+        let tail = AbsLock::fine(path(a, vec![PathOp::Deref, PathOp::Field(elem)]), Eff::Rw, &pt)
+            .unwrap();
+        let n = cfg.normalize(tail, &pt).unwrap();
+        assert!(n.path.is_some());
+        // *(a[i]) — elem mid-path: demoted to coarse.
+        let mid = AbsLock::fine(
+            path(a, vec![PathOp::Deref, PathOp::Field(elem), PathOp::Deref]),
+            Eff::Rw,
+            &pt,
+        )
+        .unwrap();
+        let n = cfg.normalize(mid, &pt).unwrap();
+        assert!(n.path.is_none());
+        assert!(n.pts.is_some());
+    }
+
+    #[test]
+    fn null_only_locks_vanish() {
+        let (p, pt) = pt_for("fn main() { let x = null; }");
+        let x = p.functions[0].locals[0];
+        assert!(AbsLock::fine(path(x, vec![PathOp::Deref]), Eff::Rw, &pt).is_none());
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        let fine = AbsLock::fine(path(a, vec![PathOp::Deref]), Eff::Ro, &pt).unwrap();
+        let mut cfg = SchemeConfig::full(9, None);
+        cfg.use_eff = false;
+        assert_eq!(cfg.normalize(fine.clone(), &pt).unwrap().eff, Eff::Rw);
+        let mut cfg = SchemeConfig::full(9, None);
+        cfg.use_expr = false;
+        let n = cfg.normalize(fine.clone(), &pt).unwrap();
+        assert!(n.path.is_none() && n.pts.is_some());
+        let mut cfg = SchemeConfig::full(9, None);
+        cfg.use_pts = false;
+        cfg.use_expr = false;
+        let n = cfg.normalize(fine, &pt).unwrap();
+        assert!(n.is_global() || n.eff == Eff::Ro); // pts gone; path gone
+        assert!(n.pts.is_none() && n.path.is_none());
+    }
+
+    #[test]
+    fn prune_keeps_maximal_locks() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        let fine_ro = AbsLock::fine(path(a, vec![PathOp::Deref]), Eff::Ro, &pt).unwrap();
+        let fine_rw = AbsLock::fine(path(a, vec![PathOp::Deref]), Eff::Rw, &pt).unwrap();
+        let coarse = AbsLock::coarse(fine_rw.pts.unwrap(), Eff::Rw);
+        let mut set = vec![fine_ro.clone(), fine_rw.clone(), coarse.clone()];
+        prune_redundant(&mut set);
+        assert_eq!(set, vec![coarse]);
+
+        let mut set2 = vec![fine_ro.clone(), fine_ro.clone()];
+        prune_redundant(&mut set2);
+        assert_eq!(set2.len(), 1);
+    }
+
+    #[test]
+    fn to_spec_round_trip_shapes() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        assert_eq!(AbsLock::global().to_spec(), LockSpec::Global);
+        let fine = AbsLock::fine(path(a, vec![]), Eff::Ro, &pt).unwrap();
+        assert!(matches!(fine.to_spec(), LockSpec::Fine { eff: Eff::Ro, .. }));
+        let coarse = AbsLock::coarse(PtsClass(2), Eff::Rw);
+        assert_eq!(coarse.to_spec(), LockSpec::Coarse { pts: 2, eff: Eff::Rw });
+    }
+}

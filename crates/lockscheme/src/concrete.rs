@@ -1,0 +1,178 @@
+//! Concrete lock semantics (§3.2): `[[l]] = (P, ε)` where `P ⊆ Loc` and
+//! `ε ∈ {ro, rw}`.
+//!
+//! At run time a lock denotes a set of concrete heap cells. The
+//! interpreter implements [`LocationModel`] over its heap, and the
+//! Validate execution mode uses [`ConcreteLock::protects`] to check the
+//! operational side-condition of Theorem 1: every location accessed
+//! inside an atomic section is protected, with the right effect, by
+//! some held lock.
+
+use lir::Eff;
+use pointsto::PtsClass;
+use std::collections::BTreeSet;
+
+/// How concrete locations map back to analysis abstractions.
+///
+/// Locations are heap cell indices (`u64`).
+pub trait LocationModel {
+    /// The points-to class of the cell at `loc` (its allocation site's
+    /// class, or its variable's class for variable cells).
+    fn class_of(&self, loc: u64) -> Option<PtsClass>;
+
+    /// The allocation extent `(base, len)` containing `loc`.
+    fn extent_of(&self, loc: u64) -> Option<(u64, u64)>;
+}
+
+/// A lock instance with its concrete denotation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConcreteLock {
+    /// `[[⊤]] = (Loc, rw)`.
+    Global,
+    /// `[[(⊤, P, ε)]] = (cells of class P, ε)`.
+    Coarse { pts: PtsClass, eff: Eff },
+    /// A fine expression lock that evaluated to a single cell:
+    /// `[[l]] = ({addr}, ε)`.
+    Cell { addr: u64, eff: Eff },
+    /// A fine expression lock ending in the dynamic `[]` offset: it
+    /// protects *every* element of the array allocated at `base`.
+    Range { base: u64, eff: Eff },
+}
+
+impl ConcreteLock {
+    /// The lock's effect component.
+    pub fn eff(&self) -> Eff {
+        match self {
+            ConcreteLock::Global => Eff::Rw,
+            ConcreteLock::Coarse { eff, .. }
+            | ConcreteLock::Cell { eff, .. }
+            | ConcreteLock::Range { eff, .. } => *eff,
+        }
+    }
+
+    /// Whether the lock's denotation contains `loc` (ignoring effects).
+    pub fn covers<M: LocationModel + ?Sized>(&self, loc: u64, model: &M) -> bool {
+        match self {
+            ConcreteLock::Global => true,
+            ConcreteLock::Coarse { pts, .. } => model.class_of(loc) == Some(*pts),
+            ConcreteLock::Cell { addr, .. } => loc == *addr,
+            ConcreteLock::Range { base, .. } => {
+                model.extent_of(loc).is_some_and(|(b, _)| b == *base)
+            }
+        }
+    }
+
+    /// The Theorem 1 side-condition: the lock protects `loc` for an
+    /// access with effect `eff` iff it covers the location *and* allows
+    /// at least that effect (`eff ⊑ [[l]].ε`).
+    pub fn protects<M: LocationModel + ?Sized>(&self, loc: u64, eff: Eff, model: &M) -> bool {
+        self.covers(loc, model) && eff.leq(self.eff())
+    }
+
+    /// Enumerates the denotation over a finite location universe —
+    /// the executable form of `[[l]]` used to test the §3.2 relations.
+    pub fn denotation<M: LocationModel + ?Sized>(
+        &self,
+        universe: impl IntoIterator<Item = u64>,
+        model: &M,
+    ) -> (BTreeSet<u64>, Eff) {
+        let set = universe.into_iter().filter(|&l| self.covers(l, model)).collect();
+        (set, self.eff())
+    }
+}
+
+/// The `conflict` relation of §3.2: two locks conflict iff their
+/// denotations share a location and at least one allows writes.
+pub fn conflict<M: LocationModel + ?Sized>(
+    a: &ConcreteLock,
+    b: &ConcreteLock,
+    universe: &[u64],
+    model: &M,
+) -> bool {
+    let (da, ea) = a.denotation(universe.iter().copied(), model);
+    let (db, eb) = b.denotation(universe.iter().copied(), model);
+    let intersects = da.intersection(&db).next().is_some();
+    intersects && (ea == Eff::Rw || eb == Eff::Rw)
+}
+
+/// The `coarser` relation of §3.2: `b` is coarser than `a` iff
+/// `[[a]] ⊑ [[b]]` (denotation inclusion and effect order).
+pub fn coarser<M: LocationModel + ?Sized>(
+    b: &ConcreteLock,
+    a: &ConcreteLock,
+    universe: &[u64],
+    model: &M,
+) -> bool {
+    let (da, ea) = a.denotation(universe.iter().copied(), model);
+    let (db, eb) = b.denotation(universe.iter().copied(), model);
+    da.is_subset(&db) && ea.leq(eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy heap: cells 0..10; class = cell / 5; allocations of 5 cells.
+    struct Toy;
+    impl LocationModel for Toy {
+        fn class_of(&self, loc: u64) -> Option<PtsClass> {
+            (loc < 10).then(|| PtsClass((loc / 5) as u32))
+        }
+        fn extent_of(&self, loc: u64) -> Option<(u64, u64)> {
+            (loc < 10).then(|| (loc / 5 * 5, 5))
+        }
+    }
+
+    const UNIVERSE: [u64; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+    #[test]
+    fn global_covers_everything() {
+        let g = ConcreteLock::Global;
+        for l in UNIVERSE {
+            assert!(g.protects(l, Eff::Rw, &Toy));
+        }
+    }
+
+    #[test]
+    fn coarse_covers_its_class_only() {
+        let c = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
+        assert!(c.protects(3, Eff::Rw, &Toy));
+        assert!(!c.protects(7, Eff::Ro, &Toy));
+    }
+
+    #[test]
+    fn effects_limit_protection() {
+        let ro = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
+        assert!(ro.protects(2, Eff::Ro, &Toy));
+        assert!(!ro.protects(2, Eff::Rw, &Toy), "a read lock does not license writes");
+    }
+
+    #[test]
+    fn range_lock_covers_the_allocation() {
+        let r = ConcreteLock::Range { base: 5, eff: Eff::Rw };
+        for l in 5..10 {
+            assert!(r.protects(l, Eff::Rw, &Toy));
+        }
+        assert!(!r.covers(4, &Toy));
+    }
+
+    #[test]
+    fn conflict_requires_overlap_and_a_writer() {
+        let a = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
+        let b = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Ro };
+        let w = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
+        let far = ConcreteLock::Cell { addr: 9, eff: Eff::Rw };
+        assert!(!conflict(&a, &b, &UNIVERSE, &Toy), "two readers never conflict");
+        assert!(conflict(&a, &w, &UNIVERSE, &Toy));
+        assert!(!conflict(&a, &far, &UNIVERSE, &Toy), "disjoint locks never conflict");
+    }
+
+    #[test]
+    fn coarser_matches_the_lattice() {
+        let fine = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
+        let class = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
+        assert!(coarser(&class, &fine, &UNIVERSE, &Toy));
+        assert!(!coarser(&fine, &class, &UNIVERSE, &Toy));
+        assert!(coarser(&ConcreteLock::Global, &class, &UNIVERSE, &Toy));
+    }
+}

@@ -1,0 +1,204 @@
+//! A blocking lock node supporting the five access modes.
+//!
+//! Each node counts how many threads hold it in each mode; a request is
+//! granted when it is compatible with everything currently granted.
+//! Shared-flavoured requests (`S`/`IS`) additionally yield to queued
+//! exclusive requests (writer preference), which prevents writer
+//! starvation under read-heavy load. Yielding more conservatively than
+//! the matrix can never introduce deadlock here: the acquisition
+//! protocol orders all nodes globally and acquires them two-phase, so
+//! waits never form a cycle.
+
+use crate::modes::Mode;
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Default)]
+struct State {
+    /// Granted counts, indexed by `Mode as usize`.
+    granted: [u32; 5],
+    /// Number of threads blocked on an `X`/`SIX` request.
+    waiting_excl: u32,
+}
+
+impl State {
+    fn admits(&self, mode: Mode) -> bool {
+        use Mode::*;
+        let g = &self.granted;
+        let held = |m: Mode| g[m as usize] > 0;
+        let ok = match mode {
+            Is => !held(X),
+            Ix => !held(S) && !held(Six) && !held(X),
+            S => !held(Ix) && !held(Six) && !held(X),
+            Six => !held(Ix) && !held(S) && !held(Six) && !held(X),
+            X => g.iter().all(|&c| c == 0),
+        };
+        // Writer preference: purely shared requests queue behind
+        // blocked exclusive requests.
+        let defer = matches!(mode, Is | S) && self.waiting_excl > 0;
+        ok && !defer
+    }
+}
+
+/// A multi-mode lock node.
+#[derive(Default)]
+pub struct ModeLock {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl ModeLock {
+    /// Creates an idle node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until `mode` can be granted, then records the grant.
+    pub fn acquire(&self, mode: Mode) {
+        let mut st = self.state.lock();
+        if !st.admits(mode) {
+            let excl = matches!(mode, Mode::X | Mode::Six);
+            if excl {
+                st.waiting_excl += 1;
+            }
+            while !st.admits_ignoring_preference(mode, excl) {
+                self.cond.wait(&mut st);
+            }
+            if excl {
+                st.waiting_excl -= 1;
+            }
+        }
+        st.granted[mode as usize] += 1;
+    }
+
+    /// Attempts a non-blocking grant.
+    pub fn try_acquire(&self, mode: Mode) -> bool {
+        let mut st = self.state.lock();
+        if st.admits(mode) {
+            st.granted[mode as usize] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one grant of `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not held in `mode`.
+    pub fn release(&self, mode: Mode) {
+        let mut st = self.state.lock();
+        assert!(st.granted[mode as usize] > 0, "release of unheld mode {mode}");
+        st.granted[mode as usize] -= 1;
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Snapshot of granted counts (diagnostics/tests).
+    pub fn granted(&self) -> [u32; 5] {
+        self.state.lock().granted
+    }
+}
+
+impl State {
+    /// While *already queued* as an exclusive waiter, a request ignores
+    /// its own contribution to the writer-preference rule.
+    fn admits_ignoring_preference(&self, mode: Mode, self_excl: bool) -> bool {
+        use Mode::*;
+        let g = &self.granted;
+        let held = |m: Mode| g[m as usize] > 0;
+        let ok = match mode {
+            Is => !held(X),
+            Ix => !held(S) && !held(Six) && !held(X),
+            S => !held(Ix) && !held(Six) && !held(X),
+            Six => !held(Ix) && !held(S) && !held(Six) && !held(X),
+            X => g.iter().all(|&c| c == 0),
+        };
+        let defer = matches!(mode, Is | S) && self.waiting_excl > 0 && !self_excl;
+        ok && !defer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ALL_MODES;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn grants_follow_the_matrix() {
+        for a in ALL_MODES {
+            for b in ALL_MODES {
+                let l = ModeLock::new();
+                l.acquire(a);
+                assert_eq!(l.try_acquire(b), a.compatible(b), "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_reopens() {
+        let l = ModeLock::new();
+        l.acquire(Mode::X);
+        assert!(!l.try_acquire(Mode::Is));
+        l.release(Mode::X);
+        assert!(l.try_acquire(Mode::Is));
+    }
+
+    #[test]
+    fn blocked_writer_eventually_proceeds() {
+        let l = Arc::new(ModeLock::new());
+        l.acquire(Mode::S);
+        let l2 = Arc::clone(&l);
+        let done = Arc::new(AtomicU32::new(0));
+        let done2 = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            l2.acquire(Mode::X);
+            done2.store(1, Ordering::SeqCst);
+            l2.release(Mode::X);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "writer blocked by reader");
+        l.release(Mode::S);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn writer_preference_defers_new_readers() {
+        let l = Arc::new(ModeLock::new());
+        l.acquire(Mode::S);
+        // Queue a writer.
+        let lw = Arc::clone(&l);
+        let wh = std::thread::spawn(move || {
+            lw.acquire(Mode::X);
+            lw.release(Mode::X);
+        });
+        // Give the writer time to block.
+        std::thread::sleep(Duration::from_millis(30));
+        // A new reader should now be deferred even though S∥S.
+        assert!(!l.try_acquire(Mode::S), "reader defers to queued writer");
+        l.release(Mode::S);
+        wh.join().unwrap();
+        // After the writer finished, readers are admitted again.
+        assert!(l.try_acquire(Mode::S));
+    }
+
+    #[test]
+    fn intention_modes_share() {
+        let l = ModeLock::new();
+        l.acquire(Mode::Ix);
+        assert!(l.try_acquire(Mode::Ix));
+        assert!(l.try_acquire(Mode::Is));
+        assert!(!l.try_acquire(Mode::S), "S vs IX conflicts");
+        assert_eq!(l.granted()[Mode::Ix as usize], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unheld mode")]
+    fn release_unheld_panics() {
+        ModeLock::new().release(Mode::S);
+    }
+}

@@ -1,0 +1,303 @@
+//! The multi-grain lock runtime: descriptor table, hierarchical
+//! acquisition protocol, and per-thread sessions (§5.2).
+//!
+//! The lock structure is the tree the instantiated scheme induces:
+//!
+//! ```text
+//! ⊤ (root)
+//! ├── P0 (points-to partition)      ← coarse locks
+//! │   ├── cell 0x12  ─ fine cell locks
+//! │   └── array@0x40 ─ fine element-family locks
+//! ├── P1
+//! │   └── …
+//! ```
+//!
+//! `acquire_all` turns the pending descriptor list into per-node modes
+//! (combining a node's own mode with the intention modes required by its
+//! descendants), then acquires the nodes top-down in one global order —
+//! root, partitions ascending, fine nodes by (partition, address). All
+//! threads use the same order, locks are two-phase (held to
+//! `release_all`), so the protocol is deadlock free.
+
+use crate::modelock::ModeLock;
+use crate::modes::Mode;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Effect requested by a descriptor: read-only maps to shared modes,
+/// read-write to exclusive ones. (Mirror of `lir::Eff`, kept local so
+/// the runtime crate has no compiler dependencies.)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+impl Access {
+    fn own_mode(self) -> Mode {
+        match self {
+            Access::Read => Mode::S,
+            Access::Write => Mode::X,
+        }
+    }
+}
+
+/// Address of a fine-grain lock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum FineAddr {
+    /// A single heap cell.
+    Cell(u64),
+    /// Every element of the array allocated at the given base (locks
+    /// whose expression ends in the dynamic `[]` offset).
+    Range(u64),
+}
+
+/// A lock descriptor (§5.2): enough of the lock structure for the
+/// library to find the path from the root — the points-to partition
+/// number, the optional fine address, and the access effect.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Descriptor {
+    /// The global lock `⊤`.
+    Global { access: Access },
+    /// A coarse partition lock `(⊤, P)`.
+    Coarse { pts: u32, access: Access },
+    /// A fine lock `(e, P)` whose expression evaluated to `addr`.
+    Fine { pts: u32, addr: FineAddr, access: Access },
+}
+
+/// A node in the lock tree, in the global acquisition order: root
+/// first, then partitions, then fine nodes grouped by partition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum NodeKey {
+    Root,
+    Pts(u32),
+    Fine(u32, FineAddr),
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// `acquire_all` batches that actually acquired (nesting level 0).
+    pub batches: AtomicU64,
+    /// Individual node acquisitions.
+    pub node_acquisitions: AtomicU64,
+}
+
+/// The shared lock-table runtime. Clone the [`Arc`] into every thread
+/// and create one [`Session`] per thread.
+pub struct Runtime {
+    shards: Vec<Mutex<HashMap<NodeKey, Arc<ModeLock>>>>,
+    stats: Stats,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime").field("stats", &self.stats).finish()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const N_SHARDS: usize = 64;
+
+impl Runtime {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Runtime {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Acquisition statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn node(&self, key: NodeKey) -> Arc<ModeLock> {
+        let shard = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() as usize) % N_SHARDS
+        };
+        let mut map = self.shards[shard].lock();
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(ModeLock::new())))
+    }
+}
+
+/// Outcome of one [`Session::acquire_all_step`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepResult {
+    /// Every pending lock is held; the section is entered.
+    Done,
+    /// The next node in the acquisition order is currently incompatible;
+    /// call again after some lock is released. Nodes acquired so far
+    /// stay held — the global order makes that deadlock-free.
+    WouldBlock,
+}
+
+/// Per-thread session: pending descriptors, held nodes, and the nesting
+/// level of §5.3.
+pub struct Session {
+    rt: Arc<Runtime>,
+    pending: Vec<Descriptor>,
+    held: Vec<(Arc<ModeLock>, Mode)>,
+    nlevel: u32,
+    /// In-progress step-wise acquisition: remaining (node, mode) pairs
+    /// in *descending* order (popped from the back).
+    cursor: Vec<(NodeKey, Mode)>,
+    /// Whether a step-wise acquisition is in flight.
+    stepping: bool,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("pending", &self.pending.len())
+            .field("held", &self.held.len())
+            .field("nlevel", &self.nlevel)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Creates a session bound to a shared runtime.
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        Session {
+            rt,
+            pending: Vec::new(),
+            held: Vec::new(),
+            nlevel: 0,
+            cursor: Vec::new(),
+            stepping: false,
+        }
+    }
+
+    /// Computes the per-node modes for the pending descriptors, in the
+    /// global acquisition order.
+    fn plan(&mut self) -> Vec<(NodeKey, Mode)> {
+        let mut modes: BTreeMap<NodeKey, Mode> = BTreeMap::new();
+        let want = |k: NodeKey, m: Mode, modes: &mut BTreeMap<NodeKey, Mode>| {
+            modes.entry(k).and_modify(|cur| *cur = cur.combine(m)).or_insert(m);
+        };
+        for d in self.pending.drain(..) {
+            match d {
+                Descriptor::Global { access } => {
+                    want(NodeKey::Root, access.own_mode(), &mut modes);
+                }
+                Descriptor::Coarse { pts, access } => {
+                    let own = access.own_mode();
+                    want(NodeKey::Pts(pts), own, &mut modes);
+                    want(NodeKey::Root, own.ancestor_intention(), &mut modes);
+                }
+                Descriptor::Fine { pts, addr, access } => {
+                    let own = access.own_mode();
+                    want(NodeKey::Fine(pts, addr), own, &mut modes);
+                    want(NodeKey::Pts(pts), own.ancestor_intention(), &mut modes);
+                    want(NodeKey::Root, own.ancestor_intention(), &mut modes);
+                }
+            }
+        }
+        modes.into_iter().collect()
+    }
+
+    /// *to-acquire*: queue a descriptor for the next [`Session::acquire_all`].
+    /// Inside a nested atomic section (nesting level > 0) this is a
+    /// no-op — the outer section's locks already protect the inner one.
+    pub fn to_acquire(&mut self, d: Descriptor) {
+        if self.nlevel == 0 {
+            self.pending.push(d);
+        }
+    }
+
+    /// *acquire-all*: acquire every pending lock using the hierarchical
+    /// protocol, then enter the (possibly nested) section.
+    pub fn acquire_all(&mut self) {
+        if self.nlevel > 0 {
+            self.nlevel += 1;
+            return;
+        }
+        // The plan follows NodeKey's Ord: root, partitions, fine nodes —
+        // top-down, one global sibling order.
+        for (key, mode) in self.plan() {
+            let node = self.rt.node(key);
+            node.acquire(mode);
+            self.rt.stats.node_acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.held.push((node, mode));
+        }
+        self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.nlevel = 1;
+    }
+
+    /// Non-blocking variant of [`Session::acquire_all`] for cooperative
+    /// (virtual-time) schedulers: makes as much progress as possible and
+    /// returns [`StepResult::WouldBlock`] when the next node in order is
+    /// unavailable. Call again after any lock release; already-acquired
+    /// nodes stay held (safe under the global acquisition order).
+    pub fn acquire_all_step(&mut self) -> StepResult {
+        if !self.stepping {
+            if self.nlevel > 0 {
+                self.nlevel += 1;
+                return StepResult::Done;
+            }
+            let mut plan = self.plan();
+            plan.reverse(); // pop() from the back = ascending order
+            self.cursor = plan;
+            self.stepping = true;
+        }
+        while let Some(&(key, mode)) = self.cursor.last() {
+            let node = self.rt.node(key);
+            if !node.try_acquire(mode) {
+                return StepResult::WouldBlock;
+            }
+            self.rt.stats.node_acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.held.push((node, mode));
+            self.cursor.pop();
+        }
+        self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.nlevel = 1;
+        self.stepping = false;
+        StepResult::Done
+    }
+
+    /// *release-all*: leave the section; at nesting level zero, release
+    /// every held node (children before ancestors).
+    pub fn release_all(&mut self) {
+        assert!(self.nlevel > 0, "release_all without acquire_all");
+        self.nlevel -= 1;
+        if self.nlevel > 0 {
+            return;
+        }
+        for (node, mode) in self.held.drain(..).rev() {
+            node.release(mode);
+        }
+    }
+
+    /// Current nesting level (0 = outside any section).
+    pub fn nesting_level(&self) -> u32 {
+        self.nlevel
+    }
+
+    /// Number of nodes currently held.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Sessions abandoned mid-section (e.g. on panic) must not wedge
+        // other threads.
+        for (node, mode) in self.held.drain(..).rev() {
+            node.release(mode);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! # tl2 — a TL2-style software transactional memory
+//!
+//! The optimistic baseline of the PLDI 2008 evaluation is the TL2 STM of
+//! Dice, Shalev, and Shavit (DISC 2006). This crate reimplements the
+//! published algorithm over a flat word space:
+//!
+//! * a **global version clock**;
+//! * per-cell **versioned write-locks** (version + lock bit in one word);
+//! * **invisible reads**: sample version → read value → revalidate
+//!   version, abort if the cell is locked or newer than the
+//!   transaction's read version `rv`;
+//! * **lazy versioning**: writes are buffered in a write set;
+//! * **commit**: lock the write set in address order (bounded spin, else
+//!   abort), increment the clock to get `wv`, validate the read set,
+//!   write back and release with version `wv`.
+//!
+//! ```
+//! use tl2::{Space, TxnError};
+//! let space = Space::new(16);
+//! let ((), stats) = space.atomically(|txn| {
+//!     let v = txn.read(3)?;
+//!     txn.write(3, v + 1);
+//!     Ok::<_, TxnError>(())
+//! });
+//! assert_eq!(space.read_direct(3), 1);
+//! assert!(stats.commits == 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A transactional conflict; propagate it out of the closure passed to
+/// [`Space::atomically`] (the `?` operator does this) so the runtime can
+/// roll back and retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnError;
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction conflict")
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Outcome counters of one [`Space::atomically`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Always 1 on return (the call retries until it commits).
+    pub commits: u64,
+    /// Aborted attempts before the successful one.
+    pub aborts: u64,
+}
+
+const LOCK_BIT: u64 = 1;
+
+struct Cell {
+    value: AtomicI64,
+    /// `version << 1 | lock`.
+    vlock: AtomicU64,
+}
+
+/// A flat transactional word space.
+pub struct Space {
+    cells: Vec<Cell>,
+    clock: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl std::fmt::Debug for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Space")
+            .field("len", &self.cells.len())
+            .field("clock", &self.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Space {
+    /// Creates a space of `n` cells, all zero.
+    pub fn new(n: usize) -> Space {
+        Space {
+            cells: (0..n)
+                .map(|_| Cell { value: AtomicI64::new(0), vlock: AtomicU64::new(0) })
+                .collect(),
+            clock: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the space has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Non-transactional read (for use outside transactions only).
+    pub fn read_direct(&self, i: usize) -> i64 {
+        self.cells[i].value.load(Ordering::Acquire)
+    }
+
+    /// Non-transactional write (for use outside transactions only).
+    pub fn write_direct(&self, i: usize, v: i64) {
+        self.cells[i].value.store(v, Ordering::Release);
+    }
+
+    /// Global abort/commit counters since construction.
+    pub fn global_stats(&self) -> TxnStats {
+        TxnStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Begins a transaction explicitly. Prefer [`Space::atomically`]
+    /// unless the transaction must span a non-closure control structure
+    /// (the interpreter's instruction loop does).
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            space: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: HashMap::new(),
+        }
+    }
+
+    /// Records an abort for the global statistics (used by explicit
+    /// begin/commit drivers; [`Space::atomically`] does this itself).
+    pub fn note_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a commit for the global statistics (used by explicit
+    /// begin/commit drivers).
+    pub fn note_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs `body` transactionally, retrying on conflict until it
+    /// commits. The closure must be re-executable: all its side effects
+    /// should go through the transaction (the paper's argument for
+    /// pessimistic sections is precisely that irreversible actions
+    /// cannot).
+    pub fn atomically<T>(
+        &self,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<T, TxnError>,
+    ) -> (T, TxnStats) {
+        let mut stats = TxnStats::default();
+        let mut backoff = 1u32;
+        loop {
+            let mut txn = self.begin();
+            match body(&mut txn) {
+                Ok(out) => match txn.commit() {
+                    Ok(()) => {
+                        stats.commits = 1;
+                        self.commits.fetch_add(1, Ordering::Relaxed);
+                        return (out, stats);
+                    }
+                    Err(TxnError) => {}
+                },
+                Err(TxnError) => {}
+            }
+            stats.aborts += 1;
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..backoff {
+                std::hint::spin_loop();
+            }
+            backoff = (backoff * 2).min(1 << 12);
+        }
+    }
+}
+
+/// An in-flight transaction.
+pub struct Txn<'s> {
+    space: &'s Space,
+    rv: u64,
+    reads: Vec<usize>,
+    writes: HashMap<usize, i64>,
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+impl Txn<'_> {
+    /// Transactional read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError`] when the cell is locked or was written after
+    /// this transaction began — the caller should propagate it so the
+    /// transaction retries.
+    pub fn read(&mut self, i: usize) -> Result<i64, TxnError> {
+        if let Some(&v) = self.writes.get(&i) {
+            return Ok(v);
+        }
+        let cell = &self.space.cells[i];
+        let pre = cell.vlock.load(Ordering::Acquire);
+        let value = cell.value.load(Ordering::Acquire);
+        let post = cell.vlock.load(Ordering::Acquire);
+        if pre != post || post & LOCK_BIT != 0 || (post >> 1) > self.rv {
+            return Err(TxnError);
+        }
+        self.reads.push(i);
+        Ok(value)
+    }
+
+    /// Number of buffered writes (used by cost models).
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of recorded reads (used by cost models: commit-time
+    /// validation is linear in the read set).
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Transactional write (buffered until commit).
+    pub fn write(&mut self, i: usize, v: i64) {
+        assert!(i < self.space.cells.len(), "cell {i} out of range");
+        self.writes.insert(i, v);
+    }
+
+    /// Attempts to commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError`] when write-set locking or read-set
+    /// validation fails; the caller should roll back its local state
+    /// and retry from [`Space::begin`].
+    pub fn commit(self) -> Result<(), TxnError> {
+        let space = self.space;
+        if self.writes.is_empty() {
+            // Read-only transactions validated every read against rv.
+            return Ok(());
+        }
+        // Lock the write set in address order (bounded spin, else abort).
+        let mut addrs: Vec<usize> = self.writes.keys().copied().collect();
+        addrs.sort_unstable();
+        let mut held: Vec<(usize, u64)> = Vec::with_capacity(addrs.len());
+        let unlock_held = |held: &[(usize, u64)]| {
+            for &(j, old) in held {
+                space.cells[j].vlock.store(old, Ordering::Release);
+            }
+        };
+        for &i in &addrs {
+            let cell = &space.cells[i];
+            let mut ok = false;
+            for _ in 0..64 {
+                let cur = cell.vlock.load(Ordering::Acquire);
+                if cur & LOCK_BIT == 0
+                    && (cur >> 1) <= self.rv
+                    && cell
+                        .vlock
+                        .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    held.push((i, cur));
+                    ok = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            if !ok {
+                unlock_held(&held);
+                return Err(TxnError);
+            }
+        }
+        // Advance the clock; wv is this transaction's version.
+        let wv = space.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        // Validate the read set (skippable when rv + 1 == wv: no one
+        // else committed in between — the TL2 fast path).
+        if wv != self.rv + 1 {
+            for &i in &self.reads {
+                let v = space.cells[i].vlock.load(Ordering::Acquire);
+                let locked_by_other = v & LOCK_BIT != 0 && !self.writes.contains_key(&i);
+                if locked_by_other || (v >> 1) > self.rv {
+                    unlock_held(&held);
+                    return Err(TxnError);
+                }
+            }
+        }
+        // Write back and release with the new version.
+        for (&i, &val) in &self.writes {
+            let cell = &space.cells[i];
+            cell.value.store(val, Ordering::Release);
+            cell.vlock.store(wv << 1, Ordering::Release);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_your_own_writes() {
+        let s = Space::new(4);
+        s.atomically(|t| {
+            t.write(0, 7);
+            assert_eq!(t.read(0)?, 7);
+            Ok(())
+        });
+        assert_eq!(s.read_direct(0), 7);
+    }
+
+    #[test]
+    fn counter_increments_linearize() {
+        let s = Arc::new(Space::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    s.atomically(|t| {
+                        let v = t.read(0)?;
+                        t.write(0, v + 1);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_direct(0), 8 * 500);
+    }
+
+    #[test]
+    fn bank_transfer_preserves_total() {
+        let s = Arc::new(Space::new(8));
+        for i in 0..8 {
+            s.write_direct(i, 100);
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(2654435761);
+                for _ in 0..2000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (x >> 33) as usize % 8;
+                    let to = (x >> 21) as usize % 8;
+                    s.atomically(|txn| {
+                        let a = txn.read(from)?;
+                        let b = txn.read(to)?;
+                        if a > 0 {
+                            txn.write(from, a - 1);
+                            if from == to {
+                                txn.write(to, a);
+                            } else {
+                                txn.write(to, b + 1);
+                            }
+                        }
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = (0..8).map(|i| s.read_direct(i)).sum();
+        assert_eq!(total, 800, "transfers conserve the total");
+    }
+
+    #[test]
+    fn readers_see_consistent_snapshots() {
+        // Writer keeps x == y; readers must never observe x != y.
+        let s = Arc::new(Space::new(2));
+        let stop = Arc::new(AtomicU64::new(0));
+        let w = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0i64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    v += 1;
+                    s.atomically(|t| {
+                        t.write(0, v);
+                        t.write(1, v);
+                        Ok(())
+                    });
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    let ((a, b), _) = s.atomically(|t| Ok((t.read(0)?, t.read(1)?)));
+                    assert_eq!(a, b, "torn snapshot observed");
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        w.join().unwrap();
+    }
+
+    #[test]
+    fn conflicting_transactions_abort_and_retry() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Barrier;
+        let s = Arc::new(Space::new(1));
+        let barrier = Arc::new(Barrier::new(2));
+        let h = {
+            let s = Arc::clone(&s);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let first = AtomicBool::new(true);
+                let (_, st) = s.atomically(|t| {
+                    let v = t.read(0)?;
+                    if first.swap(false, Ordering::SeqCst) {
+                        barrier.wait(); // let the main thread commit…
+                        barrier.wait(); // …and finish before we try to.
+                    }
+                    t.write(0, v + 1);
+                    Ok(())
+                });
+                st
+            })
+        };
+        barrier.wait();
+        s.atomically(|t| {
+            t.write(0, 99);
+            Ok(())
+        });
+        barrier.wait();
+        let st = h.join().unwrap();
+        assert!(st.aborts >= 1, "the interleaved write must force an abort");
+        assert_eq!(s.read_direct(0), 100, "the retry read the committed value");
+    }
+
+    #[test]
+    fn stats_accumulate_globally() {
+        let s = Space::new(2);
+        for _ in 0..5 {
+            s.atomically(|t| {
+                let v = t.read(0)?;
+                t.write(1, v);
+                Ok(())
+            });
+        }
+        assert_eq!(s.global_stats().commits, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let s = Space::new(1);
+        s.atomically(|t| {
+            t.write(9, 1);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+./target/release/table2   > results_table2.txt   2>/dev/null
+./target/release/figure7  > results_figure7.txt  2>/dev/null
+./target/release/ablation > results_ablation.txt 2>/dev/null
+./target/release/figure8  > results_figure8.txt  2>/dev/null
+echo DONE

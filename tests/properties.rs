@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) on the core data structures: the
+//! abstract-lock lattice, the merge's pruning, the mode matrix, and the
+//! TL2 word space.
+
+use atomic_lock_inference::{lockscheme, mglock, pointsto, tl2};
+use lir::{Eff, PathExpr, PathOp};
+use lockscheme::abslock::prune_redundant;
+use lockscheme::AbsLock;
+use proptest::prelude::*;
+
+/// A fixture program with enough structure to form interesting paths.
+fn fixture() -> (lir::Program, pointsto::PointsTo) {
+    let p = lir::compile(
+        "struct s { f; g; }
+         global ga, gb;
+         fn main(a, b) {
+             ga = a;
+             gb = new s;
+             let x = a->f;
+             let y = b->g;
+             let z = *x;
+             *x = y;
+         }",
+    )
+    .unwrap();
+    let pt = pointsto::PointsTo::analyze(&p);
+    (p, pt)
+}
+
+/// Strategy: a random (possibly invalid) lock over the fixture program,
+/// filtered to those the scheme accepts.
+fn lock_strategy() -> impl Strategy<Value = AbsLock> {
+    let (p, pt) = fixture();
+    let n_vars = p.vars.len() as u32;
+    let fields: Vec<lir::FieldId> =
+        (0..p.fields.len() as u32).map(lir::FieldId).collect();
+    (
+        0..n_vars,
+        proptest::collection::vec(
+            prop_oneof![
+                Just(None),                      // Deref
+                (0..fields.len()).prop_map(Some) // Field
+            ],
+            0..4,
+        ),
+        prop_oneof![Just(Eff::Ro), Just(Eff::Rw)],
+        any::<bool>(),
+    )
+        .prop_filter_map("lock must protect something", move |(base, ops, eff, coarse)| {
+            let ops: Vec<PathOp> = ops
+                .into_iter()
+                .map(|o| match o {
+                    None => PathOp::Deref,
+                    Some(i) => PathOp::Field(fields[i]),
+                })
+                .collect();
+            let path = PathExpr { base: lir::VarId(base), ops };
+            if coarse {
+                let c = pt.class_of_path(&path)?;
+                Some(AbsLock::coarse(c, eff))
+            } else {
+                AbsLock::fine(path, eff, &pt)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ≤ is a partial order with ⊤ greatest; ⊔ is its least upper
+    /// bound (on the generated sample space).
+    #[test]
+    fn abslock_lattice_laws(a in lock_strategy(), b in lock_strategy(), c in lock_strategy()) {
+        let top = AbsLock::global();
+        prop_assert!(a.leq(&a));
+        prop_assert!(a.leq(&top));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    /// Pruning keeps a cover: everything removed is below something
+    /// kept, nothing kept is below anything else kept.
+    #[test]
+    fn prune_keeps_a_minimal_cover(locks in proptest::collection::vec(lock_strategy(), 1..12)) {
+        let mut pruned = locks.clone();
+        prune_redundant(&mut pruned);
+        // Cover: every input lock is ≤ some survivor.
+        for l in &locks {
+            prop_assert!(
+                pruned.iter().any(|p| l.leq(p)),
+                "{l} lost its cover"
+            );
+        }
+        // Minimal: no survivor is below another.
+        for a in &pruned {
+            for b in &pruned {
+                if a != b {
+                    prop_assert!(!a.leq(b), "{a} ≤ {b} survived pruning");
+                }
+            }
+        }
+    }
+
+    /// Mode combination is the least mode granting both, and
+    /// compatibility is anti-monotone under it.
+    #[test]
+    fn mode_combine_props(a in 0usize..5, b in 0usize..5, c in 0usize..5) {
+        use mglock::modes::ALL_MODES;
+        let (a, b, c) = (ALL_MODES[a], ALL_MODES[b], ALL_MODES[c]);
+        let j = a.combine(b);
+        prop_assert!(j.grants(a) && j.grants(b));
+        // Anything compatible with the combination is compatible with
+        // both parts.
+        if c.compatible(j) {
+            prop_assert!(c.compatible(a) && c.compatible(b));
+        }
+    }
+
+    /// TL2 single-threaded transactions behave like direct memory.
+    #[test]
+    fn tl2_matches_direct_memory(ops in proptest::collection::vec((0usize..16, any::<i16>()), 1..40)) {
+        let space = tl2::Space::new(16);
+        let mut model = [0i64; 16];
+        for chunk in ops.chunks(5) {
+            let ((), _) = space.atomically(|t| {
+                for (i, v) in chunk {
+                    let cur = t.read(*i)?;
+                    t.write(*i, cur + *v as i64);
+                }
+                Ok(())
+            });
+            for (i, v) in chunk {
+                model[*i] += *v as i64;
+            }
+        }
+        for i in 0..16 {
+            prop_assert_eq!(space.read_direct(i), model[i]);
+        }
+    }
+
+    /// Effect lattice: join is lub, leq is total here.
+    #[test]
+    fn eff_laws(a in 0u8..2, b in 0u8..2) {
+        let eff = |x| if x == 0 { Eff::Ro } else { Eff::Rw };
+        let (a, b) = (eff(a), eff(b));
+        prop_assert!(a.leq(a.join(b)));
+        prop_assert!(b.leq(a.join(b)));
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+}
