@@ -26,7 +26,10 @@ fn bench_mglock(c: &mut Criterion) {
                 addr: FineAddr::Cell(11),
                 access: Access::Read,
             });
-            s.to_acquire(Descriptor::Coarse { pts: 2, access: Access::Read });
+            s.to_acquire(Descriptor::Coarse {
+                pts: 2,
+                access: Access::Read,
+            });
             s.acquire_all();
             s.release_all();
         })
@@ -34,14 +37,19 @@ fn bench_mglock(c: &mut Criterion) {
     g.bench_function("global_batch", |b| {
         let mut s = Session::new(Arc::clone(&rt));
         b.iter(|| {
-            s.to_acquire(Descriptor::Global { access: Access::Write });
+            s.to_acquire(Descriptor::Global {
+                access: Access::Write,
+            });
             s.acquire_all();
             s.release_all();
         })
     });
     g.bench_function("nested_reentry", |b| {
         let mut s = Session::new(Arc::clone(&rt));
-        s.to_acquire(Descriptor::Coarse { pts: 7, access: Access::Write });
+        s.to_acquire(Descriptor::Coarse {
+            pts: 7,
+            access: Access::Write,
+        });
         s.acquire_all();
         b.iter(|| {
             s.acquire_all(); // nested: nlevel bump only
@@ -101,7 +109,9 @@ fn bench_interp(c: &mut Criterion) {
         ("sections_stm", ExecMode::Stm),
     ] {
         let m = interp::machine_for(src, 3, mode, Options::default()).unwrap();
-        g.bench_function(name, |b| b.iter(|| black_box(m.run_named("work", &[100]).unwrap())));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(m.run_named("work", &[100]).unwrap()))
+        });
     }
     g.finish();
 }

@@ -11,17 +11,24 @@ use lockinfer::LockCounts;
 use lockscheme::SchemeConfig;
 use workloads::{micro, stamp, Contention};
 
+type Variant = (&'static str, fn(&lir::Program) -> SchemeConfig);
+
 fn main() {
     let mut specs = micro::all(Contention::Low, 10, 0);
     specs.extend(stamp::all(10, 0));
-    let variants: [(&str, fn(&lir::Program) -> SchemeConfig); 5] = [
+    let variants: [Variant; 5] = [
         ("full (k=9)", |p| SchemeConfig::full(9, p.elem_field_opt())),
-        ("no effects", |p| SchemeConfig { use_eff: false, ..SchemeConfig::full(9, p.elem_field_opt()) }),
-        ("no expressions", |p| {
-            SchemeConfig { use_expr: false, ..SchemeConfig::full(9, p.elem_field_opt()) }
+        ("no effects", |p| SchemeConfig {
+            use_eff: false,
+            ..SchemeConfig::full(9, p.elem_field_opt())
         }),
-        ("no points-to", |p| {
-            SchemeConfig { use_pts: false, ..SchemeConfig::full(9, p.elem_field_opt()) }
+        ("no expressions", |p| SchemeConfig {
+            use_expr: false,
+            ..SchemeConfig::full(9, p.elem_field_opt())
+        }),
+        ("no points-to", |p| SchemeConfig {
+            use_pts: false,
+            ..SchemeConfig::full(9, p.elem_field_opt())
         }),
         ("global only", |p| SchemeConfig {
             use_pts: false,

@@ -62,7 +62,10 @@ fn main() {
         // analysis time; run `table1` for full-size timings.
         .map(|(i, (name, kloc))| spec_like::generate(name, kloc.min(2.5), 1000 + i as u64))
         .collect();
-    sweep("Synthetic SPEC-like programs (whole program in one section):", &spec);
+    sweep(
+        "Synthetic SPEC-like programs (whole program in one section):",
+        &spec,
+    );
 
     println!("Expected shape (paper §6.2): k=0 all coarse; raising k first");
     println!("trades coarse locks for several fine ones, then sheds the");

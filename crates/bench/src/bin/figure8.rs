@@ -31,19 +31,31 @@ fn main() {
     for config in Config::ALL {
         println!();
         println!("== {} ==", config.label());
-        println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "Program", "1", "2", "4", "8");
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8}",
+            "Program", "1", "2", "4", "8"
+        );
         let names: Vec<String> = specs(1).iter().map(|s| s.name.clone()).collect();
         let mut table: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        let mut aborts = 0u64;
+        let mut fallbacks = 0u64;
         for threads in [1usize, 2, 4, 8] {
             for (i, spec) in specs(threads).iter().enumerate() {
                 let out = run(spec, config, threads);
                 table[i].push(out.seconds);
+                aborts += out.aborts;
+                fallbacks += out.fallbacks;
             }
         }
         for (name, row) in names.iter().zip(&table) {
             println!(
                 "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
                 name, row[0], row[1], row[2], row[3]
+            );
+        }
+        if config == Config::Stm {
+            println!(
+                "(STM totals across all runs: {aborts} aborts, {fallbacks} irrevocable fallbacks)"
             );
         }
     }

@@ -1,17 +1,31 @@
 use lockscheme::SchemeConfig;
 use std::time::Instant;
 fn main() {
-    let kloc: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
-    let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let kloc: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let k: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let spec = workloads::spec_like::generate("probe", kloc, 1000);
     let t = Instant::now();
     let program = lir::compile(&spec.source).unwrap();
-    println!("compile: {:?}, instrs={}", t.elapsed(), program.instr_count());
+    println!(
+        "compile: {:?}, instrs={}",
+        t.elapsed(),
+        program.instr_count()
+    );
     let t = Instant::now();
     let pt = pointsto::PointsTo::analyze(&program);
     println!("pointsto: {:?} classes={}", t.elapsed(), pt.n_classes());
     let t = Instant::now();
     let cfg = SchemeConfig::full(k, program.elem_field_opt());
     let analysis = lockinfer::analyze_program(&program, &pt, cfg);
-    println!("analysis k={k}: {:?} locks={}", t.elapsed(), analysis.lock_counts());
+    println!(
+        "analysis k={k}: {:?} locks={}",
+        t.elapsed(),
+        analysis.lock_counts()
+    );
 }

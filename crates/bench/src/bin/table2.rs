@@ -33,24 +33,33 @@ fn specs() -> Vec<RunSpec> {
 fn main() {
     println!("Table 2: execution time (s) using {THREADS} threads");
     println!(
-        "{:<18} {:>9} {:>12} {:>17} {:>9}  {}",
-        "Program", "Global", "Coarse(k=0)", "Fine+Coarse(k=9)", "STM", "(STM aborts)"
+        "{:<18} {:>9} {:>12} {:>17} {:>9}  (STM aborts/fallbacks)",
+        "Program", "Global", "Coarse(k=0)", "Fine+Coarse(k=9)", "STM"
     );
-    println!("{}", "-".repeat(82));
+    println!("{}", "-".repeat(88));
+    let mut degraded = Vec::new();
     for spec in specs() {
         let mut cells = Vec::new();
         let mut aborts = 0;
+        let mut fallbacks = 0;
         for config in Config::ALL {
             let out = run(&spec, config, THREADS);
             cells.push(out.seconds);
             if config == Config::Stm {
                 aborts = out.aborts;
+                fallbacks = out.fallbacks;
+            }
+            if !out.degradation.is_clean() {
+                degraded.push((spec.name.clone(), config.label(), out.degradation));
             }
         }
         println!(
-            "{:<18} {:>9.3} {:>12.3} {:>17.3} {:>9.3}  ({aborts})",
+            "{:<18} {:>9.3} {:>12.3} {:>17.3} {:>9.3}  ({aborts}/{fallbacks})",
             spec.name, cells[0], cells[1], cells[2], cells[3]
         );
+    }
+    for (name, label, report) in degraded {
+        println!("  degraded: {name} [{label}]  {report}");
     }
     println!();
     println!("Expected shapes (paper §6.3): STAMP kernels gain nothing from");

@@ -37,8 +37,12 @@ pub mod harness {
 
     impl Config {
         /// All four columns, in the paper's order.
-        pub const ALL: [Config; 4] =
-            [Config::Global, Config::Coarse, Config::FineCoarse, Config::Stm];
+        pub const ALL: [Config; 4] = [
+            Config::Global,
+            Config::Coarse,
+            Config::FineCoarse,
+            Config::Stm,
+        ];
 
         /// Column header.
         pub fn label(self) -> &'static str {
@@ -75,6 +79,13 @@ pub mod harness {
         pub commits: u64,
         /// STM aborts (0 for lock configs).
         pub aborts: u64,
+        /// STM transactions that escalated to irrevocable global mode
+        /// after exhausting the abort budget (0 for lock configs).
+        pub fallbacks: u64,
+        /// Every degradation-ladder counter for the run (poisoning,
+        /// deadlocks, timeouts, injections — all zero in healthy
+        /// benchmark runs).
+        pub degradation: lockinfer::DegradationReport,
     }
 
     /// Compiles, transforms, runs `spec` under `config` with `threads`
@@ -86,8 +97,7 @@ pub mod harness {
     /// checks — a benchmark that does not run correctly must not report
     /// a time.
     pub fn run(spec: &RunSpec, config: Config, threads: usize) -> Outcome {
-        let program = lir::compile(&spec.source)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let program = lir::compile(&spec.source).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let pt = Arc::new(PointsTo::analyze(&program));
         let cfg = SchemeConfig::full(config.k(), program.elem_field_opt());
         let analysis = lockinfer::analyze_program(&program, &pt, cfg);
@@ -96,7 +106,11 @@ pub mod harness {
             transformed,
             pt,
             config.mode(),
-            Options { heap_cells: spec.heap_cells, seed: 0xBEEF ^ threads as u64, ..Options::default() },
+            Options {
+                heap_cells: spec.heap_cells,
+                seed: 0xBEEF ^ threads as u64,
+                ..Options::default()
+            },
         );
         let (init_fn, init_args) = &spec.init;
         machine
@@ -117,13 +131,22 @@ pub mod harness {
                 .unwrap_or_else(|e| panic!("{} check ({}): {e}", spec.name, config.label()));
         }
         let stats = machine.stm_stats();
-        Outcome { seconds, commits: stats.commits, aborts: stats.aborts }
+        Outcome {
+            seconds,
+            commits: stats.commits,
+            aborts: stats.aborts,
+            fallbacks: stats.fallbacks,
+            degradation: machine.degradation_report(),
+        }
     }
 
     /// Scale factor for benchmark sizes: set `REPRO_SCALE` (default 1.0)
     /// to trade fidelity for wall-clock time.
     pub fn scale() -> f64 {
-        std::env::var("REPRO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+        std::env::var("REPRO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0)
     }
 
     /// Ops-per-thread helper honoring `REPRO_SCALE`.

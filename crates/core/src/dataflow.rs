@@ -77,11 +77,7 @@ pub struct ProgramAnalysis {
 /// assert_eq!(result.sections.len(), 1);
 /// assert!(!result.sections[0].locks.is_empty());
 /// ```
-pub fn analyze_program(
-    program: &Program,
-    pt: &PointsTo,
-    config: SchemeConfig,
-) -> ProgramAnalysis {
+pub fn analyze_program(program: &Program, pt: &PointsTo, config: SchemeConfig) -> ProgramAnalysis {
     analyze_program_with_library(program, pt, config, &LibrarySpec::new())
 }
 
@@ -135,7 +131,10 @@ fn compute_modsets(program: &Program, pt: &PointsTo, lib: &LibrarySpec) -> Vec<M
         for ins in &func.body {
             match ins {
                 Instr::Store(x, _) => {
-                    let path = lir::PathExpr { base: *x, ops: vec![lir::PathOp::Deref] };
+                    let path = lir::PathExpr {
+                        base: *x,
+                        ops: vec![lir::PathOp::Deref],
+                    };
                     if let Some(c) = pt.class_of_path(&path) {
                         sets[i].classes.insert(c);
                     }
@@ -234,7 +233,11 @@ impl<'a> SectionEngine<'a> {
         lib: &'a LibrarySpec,
         modsets: &'a [ModSet],
     ) -> Self {
-        let tctx = TransferCtx { program, pt, elem: config.elem_field };
+        let tctx = TransferCtx {
+            program,
+            pt,
+            elem: config.elem_field,
+        };
         SectionEngine {
             program,
             pt,
@@ -324,7 +327,11 @@ impl<'a> SectionEngine<'a> {
 
     fn seed_instr(&mut self, ctx: CtxId, idx: u32, ins: &Instr) {
         for (path, eff) in self.tctx.gen_locks(ins) {
-            let lock = AbsLock { path: Some(path), pts: None, eff };
+            let lock = AbsLock {
+                path: Some(path),
+                pts: None,
+                eff,
+            };
             // G locks live at the point *before* the statement.
             self.add_fact(ctx, idx, lock);
         }
@@ -372,7 +379,9 @@ impl<'a> SectionEngine<'a> {
     }
 
     fn add_fact(&mut self, ctx: CtxId, idx: u32, lock: AbsLock) {
-        let Some(lock) = self.config.normalize(lock, self.pt) else { return };
+        let Some(lock) = self.config.normalize(lock, self.pt) else {
+            return;
+        };
         // Flow-insensitive locks — coarse locks and bare variable locks
         // `x̄` — are invariant under every transfer function: they jump
         // straight to the context's terminal.
@@ -392,7 +401,10 @@ impl<'a> SectionEngine<'a> {
         let lockdb = &self.lockdb;
         let lock = &lockdb[id as usize];
         let set = self.state.entry((ctx, idx)).or_default();
-        if set.iter().any(|&l| l == id || lock.leq(&lockdb[l as usize])) {
+        if set
+            .iter()
+            .any(|&l| l == id || lock.leq(&lockdb[l as usize]))
+        {
             return;
         }
         // Widening: past the width bound, fall back to the coarse
@@ -400,7 +412,11 @@ impl<'a> SectionEngine<'a> {
         if set.len() >= WIDTH_LIMIT {
             if let Some(pts) = lock.pts {
                 let eff = lock.eff;
-                let coarse = AbsLock { path: None, pts: Some(pts), eff };
+                let coarse = AbsLock {
+                    path: None,
+                    pts: Some(pts),
+                    eff,
+                };
                 self.record_terminal(ctx, coarse);
             }
             return;
@@ -436,7 +452,11 @@ impl<'a> SectionEngine<'a> {
                         self.add_fact(ctx, q, l);
                     }
                 }
-                Transferred::Call { callee, dest, args: _ } => {
+                Transferred::Call {
+                    callee,
+                    dest,
+                    args: _,
+                } => {
                     if self.lib.is_external(callee) {
                         self.external_call(ctx, q, callee, dest, &lock);
                     } else {
@@ -466,11 +486,7 @@ impl<'a> SectionEngine<'a> {
             Ctx::Query(f, q) => {
                 let id = self.intern_lock(lock);
                 let key = (f, q);
-                if add_summary_lock(
-                    &self.lockdb,
-                    self.query_entry.entry(key).or_default(),
-                    id,
-                ) {
+                if add_summary_lock(&self.lockdb, self.query_entry.entry(key).or_default(), id) {
                     let deps = self.query_dependents.get(&key).cloned().unwrap_or_default();
                     for (site, eff) in deps {
                         self.inject_unmapped(site, f, id, Some(eff));
@@ -501,7 +517,9 @@ impl<'a> SectionEngine<'a> {
             Transferred::Call { .. } => unreachable!("copy is not a call"),
         };
         for m in mapped {
-            let Some(m) = self.config.normalize(m, self.pt) else { continue };
+            let Some(m) = self.config.normalize(m, self.pt) else {
+                continue;
+            };
             // Demoted locks and locks untouched by the callee (mod-ref
             // filtering) bypass the summary machinery.
             let needs_summary = match &m.path {
@@ -551,10 +569,21 @@ impl<'a> SectionEngine<'a> {
         dest: VarId,
         lock: &AbsLock,
     ) {
-        let path = lock.path.as_ref().expect("external_call only sees fine locks");
+        let path = lock
+            .path
+            .as_ref()
+            .expect("external_call only sees fine locks");
         if path.base == dest {
             if let Some(c) = self.pt.class_of_path(path) {
-                self.add_fact(ctx, call_idx, AbsLock { path: None, pts: Some(c), eff: lock.eff });
+                self.add_fact(
+                    ctx,
+                    call_idx,
+                    AbsLock {
+                        path: None,
+                        pts: Some(c),
+                        eff: lock.eff,
+                    },
+                );
             }
             return;
         }
@@ -598,9 +627,7 @@ impl<'a> SectionEngine<'a> {
                     // A global/heapified index variable is read through
                     // its cell, which the callee may overwrite.
                     let info = self.program.var(*z);
-                    if !info.is_thread_local()
-                        && ms.classes.contains(&self.pt.class_of_var(*z))
-                    {
+                    if !info.is_thread_local() && ms.classes.contains(&self.pt.class_of_var(*z)) {
                         return true;
                     }
                 }
@@ -673,7 +700,9 @@ impl<'a> SectionEngine<'a> {
                             && info.kind != VarKind::Global
                         {
                             *op = lir::PathOp::Field(
-                                self.config.elem_field.expect("dyn indices imply a [] field"),
+                                self.config
+                                    .elem_field
+                                    .expect("dyn indices imply a [] field"),
                             );
                         }
                     }
@@ -684,9 +713,7 @@ impl<'a> SectionEngine<'a> {
                     let info = self.program.var(p.base);
                     // At a recursive call site caller and callee frames
                     // share variable ids; keep the lock then.
-                    info.owner == Some(callee)
-                        && callee != site_fn
-                        && info.kind != VarKind::Global
+                    info.owner == Some(callee) && callee != site_fn && info.kind != VarKind::Global
                 }
                 None => false,
             };
@@ -707,7 +734,10 @@ impl<'a> SectionEngine<'a> {
 /// was new (not already covered).
 fn add_summary_lock(lockdb: &[AbsLock], set: &mut Vec<LockId>, id: LockId) -> bool {
     let lock = &lockdb[id as usize];
-    if set.iter().any(|&l| l == id || lock.leq(&lockdb[l as usize])) {
+    if set
+        .iter()
+        .any(|&l| l == id || lock.leq(&lockdb[l as usize]))
+    {
         return false;
     }
     set.retain(|&l| !lockdb[l as usize].leq(lock));

@@ -39,7 +39,7 @@ pub mod transfer;
 pub mod transform;
 
 pub use dataflow::{analyze_program, ProgramAnalysis, SectionResult};
-pub use report::LockCounts;
+pub use report::{DegradationReport, LockCounts};
 pub use transform::transform;
 
 use lockscheme::SchemeConfig;

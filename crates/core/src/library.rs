@@ -57,16 +57,27 @@ impl LibrarySpec {
     /// before the call and the lock is demoted to its coarse points-to
     /// lock; otherwise it passes through unchanged.
     pub fn transfer_across(&self, f: FnId, lock: &AbsLock, pt: &PointsTo) -> AbsLock {
-        let Some(summary) = self.get(f) else { return lock.clone() };
-        let Some(path) = &lock.path else { return lock.clone() };
+        let Some(summary) = self.get(f) else {
+            return lock.clone();
+        };
+        let Some(path) = &lock.path else {
+            return lock.clone();
+        };
         for j in 0..path.ops.len() {
             if path.ops[j] != lir::PathOp::Deref {
                 continue;
             }
-            let prefix = lir::PathExpr { base: path.base, ops: path.ops[..j].to_vec() };
+            let prefix = lir::PathExpr {
+                base: path.base,
+                ops: path.ops[..j].to_vec(),
+            };
             if let Some(c) = pt.class_of_path(&prefix) {
                 if summary.modifies.contains(&c) {
-                    return AbsLock { path: None, pts: lock.pts.or(pt.class_of_path(path)), eff: lock.eff };
+                    return AbsLock {
+                        path: None,
+                        pts: lock.pts.or(pt.class_of_path(path)),
+                        eff: lock.eff,
+                    };
                 }
             }
         }

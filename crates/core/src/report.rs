@@ -48,6 +48,89 @@ impl fmt::Display for LockCounts {
     }
 }
 
+/// Runtime degradation counters from one execution, aggregated across
+/// the locking runtimes (filled by the interpreter's
+/// `Machine::degradation_report`; this crate only defines the shape so
+/// reports travel with the analysis results).
+///
+/// "Degradation" covers everything on the graceful-degradation ladder:
+/// STM starvation fallbacks to irrevocable mode, lock sessions poisoned
+/// by unwinding workers, lock-protocol errors surfaced as timeouts or
+/// detected deadlocks, and deliberately injected faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// STM: committed transactions.
+    pub stm_commits: u64,
+    /// STM: aborted attempts (conflicts plus injected).
+    pub stm_aborts: u64,
+    /// STM: transactions that escalated to irrevocable global mode.
+    pub stm_fallbacks: u64,
+    /// Lock sessions that unwound while holding locks.
+    pub poisoned_sessions: u64,
+    /// Lock modes released by unwind (drop) instead of protocol order.
+    pub unwind_releases: u64,
+    /// Acquisitions refused because a wait-for cycle was found.
+    pub deadlocks_detected: u64,
+    /// Acquisitions refused by the configured timeout.
+    pub lock_timeouts: u64,
+    /// Faults injected by the active plan, by class.
+    pub injected_panics: u64,
+    pub injected_aborts: u64,
+    pub injected_delays: u64,
+    pub injected_stalls: u64,
+}
+
+impl DegradationReport {
+    /// True when nothing degraded: no fallbacks, no poisoning, no
+    /// protocol errors, no injections — the run stayed on the happy
+    /// path end to end.
+    pub fn is_clean(&self) -> bool {
+        let DegradationReport {
+            stm_commits: _,
+            stm_aborts: _,
+            stm_fallbacks,
+            poisoned_sessions,
+            unwind_releases,
+            deadlocks_detected,
+            lock_timeouts,
+            injected_panics,
+            injected_aborts,
+            injected_delays,
+            injected_stalls,
+        } = *self;
+        stm_fallbacks == 0
+            && poisoned_sessions == 0
+            && unwind_releases == 0
+            && deadlocks_detected == 0
+            && lock_timeouts == 0
+            && injected_panics == 0
+            && injected_aborts == 0
+            && injected_delays == 0
+            && injected_stalls == 0
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stm {}c/{}a/{}f  poisoned {}  unwound {}  deadlocks {}  timeouts {}  \
+             injected p{}/a{}/d{}/s{}",
+            self.stm_commits,
+            self.stm_aborts,
+            self.stm_fallbacks,
+            self.poisoned_sessions,
+            self.unwind_releases,
+            self.deadlocks_detected,
+            self.lock_timeouts,
+            self.injected_panics,
+            self.injected_aborts,
+            self.injected_delays,
+            self.injected_stalls
+        )
+    }
+}
+
 impl ProgramAnalysis {
     /// Lock counts aggregated over all atomic sections.
     pub fn lock_counts(&self) -> LockCounts {

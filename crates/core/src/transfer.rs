@@ -41,7 +41,11 @@ pub struct TransferCtx<'a> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Transferred {
     Through(Vec<AbsLock>),
-    Call { callee: lir::FnId, dest: VarId, args: Vec<VarId> },
+    Call {
+        callee: lir::FnId,
+        dest: VarId,
+        args: Vec<VarId>,
+    },
 }
 
 impl TransferCtx<'_> {
@@ -59,7 +63,11 @@ impl TransferCtx<'_> {
                 Some(p) => !p.ops.is_empty(),
             };
             if needs_summary {
-                return Transferred::Call { callee: *f, dest: *dest, args: args.clone() };
+                return Transferred::Call {
+                    callee: *f,
+                    dest: *dest,
+                    args: args.clone(),
+                };
             }
             // `x̄` locks and coarse locks are unaffected by the callee's
             // body: a caller frame slot is written only by `Assign` in
@@ -92,8 +100,7 @@ impl TransferCtx<'_> {
         // Step 1: rewrite the head when the lock mentions `*x̄`
         // (closure(Id) minus closure(Q_x): Q_x only kills locks starting
         // with `*x̄`).
-        let variants: Vec<PathExpr> = if path.base != x
-            || path.ops.first() != Some(&PathOp::Deref)
+        let variants: Vec<PathExpr> = if path.base != x || path.ops.first() != Some(&PathOp::Deref)
         {
             vec![path.clone()]
         } else {
@@ -148,7 +155,8 @@ impl TransferCtx<'_> {
                     *op = match rv {
                         Rvalue::Copy(w) => PathOp::Index(*w),
                         _ => PathOp::Field(
-                            self.elem.expect("programs with dynamic indices have a [] field"),
+                            self.elem
+                                .expect("programs with dynamic indices have a [] field"),
                         ),
                     };
                 }
@@ -164,14 +172,20 @@ impl TransferCtx<'_> {
     /// identity copy is kept (weak update) unless the aliased prefix is
     /// syntactically `*x̄` (`closure(Q_{*x})` — strong update).
     fn transfer_store(&self, x: VarId, y: VarId, path: &PathExpr, eff: Eff) -> Vec<AbsLock> {
-        let written = PathExpr { base: x, ops: vec![PathOp::Deref] };
+        let written = PathExpr {
+            base: x,
+            ops: vec![PathOp::Deref],
+        };
         let mut out = Vec::new();
         let mut strong = false;
         for (j, op) in path.ops.iter().enumerate() {
             if *op != PathOp::Deref {
                 continue;
             }
-            let prefix = PathExpr { base: path.base, ops: path.ops[..j].to_vec() };
+            let prefix = PathExpr {
+                base: path.base,
+                ops: path.ops[..j].to_vec(),
+            };
             if !self.pt.may_alias_paths(&prefix, &written) {
                 continue;
             }
@@ -209,7 +223,13 @@ impl TransferCtx<'_> {
                     Rvalue::AddrOf(_) | Rvalue::Alloc(_) | Rvalue::Null | Rvalue::ConstInt(_) => {}
                     Rvalue::Load(y) => {
                         var(*y, Eff::Ro, &mut out);
-                        out.push((PathExpr { base: *y, ops: vec![PathOp::Deref] }, Eff::Ro));
+                        out.push((
+                            PathExpr {
+                                base: *y,
+                                ops: vec![PathOp::Deref],
+                            },
+                            Eff::Ro,
+                        ));
                     }
                     Rvalue::DynAddr(y, z) => {
                         var(*y, Eff::Ro, &mut out);
@@ -229,7 +249,13 @@ impl TransferCtx<'_> {
             Instr::Store(x, y) => {
                 var(*x, Eff::Ro, &mut out);
                 var(*y, Eff::Ro, &mut out);
-                out.push((PathExpr { base: *x, ops: vec![PathOp::Deref] }, Eff::Rw));
+                out.push((
+                    PathExpr {
+                        base: *x,
+                        ops: vec![PathOp::Deref],
+                    },
+                    Eff::Rw,
+                ));
             }
             Instr::Branch(v, _, _) => var(*v, Eff::Ro, &mut out),
             Instr::EnterAtomic(_)
@@ -247,7 +273,11 @@ impl TransferCtx<'_> {
 /// A fine lock carrying only its expression; the points-to and
 /// normalization steps are applied by the engine (`SchemeConfig`).
 fn fine(path: PathExpr, eff: Eff) -> AbsLock {
-    AbsLock { path: Some(path), pts: None, eff }
+    AbsLock {
+        path: Some(path),
+        pts: None,
+        eff,
+    }
 }
 
 #[cfg(test)]
@@ -299,7 +329,11 @@ mod tests {
     fn deref(base: VarId, more: &[PathOp]) -> AbsLock {
         let mut ops = vec![PathOp::Deref];
         ops.extend_from_slice(more);
-        AbsLock { path: Some(PathExpr { base, ops }), pts: None, eff: Eff::Rw }
+        AbsLock {
+            path: Some(PathExpr { base, ops }),
+            pts: None,
+            eff: Eff::Rw,
+        }
     }
 
     fn through(t: Transferred) -> Vec<AbsLock> {
@@ -313,10 +347,10 @@ mod tests {
     fn copy_rebases() {
         let fx = Fixture::new("fn main(x, y) { x = y; }");
         let (x, y) = (fx.v("x"), fx.v("y"));
-        let out = through(fx.ctx().transfer_lock(
-            &Instr::Assign(x, Rvalue::Copy(y)),
-            &deref(x, &[]),
-        ));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Copy(y)), &deref(x, &[])),
+        );
         assert_eq!(out, vec![deref(y, &[])]);
     }
 
@@ -325,11 +359,21 @@ mod tests {
         let fx = Fixture::new("fn main(x, y, z) { x = y; }");
         let (x, y, z) = (fx.v("x"), fx.v("y"), fx.v("z"));
         let lock = deref(z, &[]);
-        let out = through(fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::Copy(y)), &lock));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Copy(y)), &lock),
+        );
         assert_eq!(out, vec![lock]);
         // The address lock x̄ is also unaffected by assigning to x.
-        let addr = AbsLock { path: Some(PathExpr::var(x)), pts: None, eff: Eff::Ro };
-        let out = through(fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::Copy(y)), &addr));
+        let addr = AbsLock {
+            path: Some(PathExpr::var(x)),
+            pts: None,
+            eff: Eff::Ro,
+        };
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Copy(y)), &addr),
+        );
         assert_eq!(out, vec![addr]);
     }
 
@@ -339,9 +383,17 @@ mod tests {
         let (x, y) = (fx.v("x"), fx.v("y"));
         // *x̄ → ȳ
         let out = through(
-            fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::AddrOf(y)), &deref(x, &[])),
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::AddrOf(y)), &deref(x, &[])),
         );
-        assert_eq!(out, vec![AbsLock { path: Some(PathExpr::var(y)), pts: None, eff: Eff::Rw }]);
+        assert_eq!(
+            out,
+            vec![AbsLock {
+                path: Some(PathExpr::var(y)),
+                pts: None,
+                eff: Eff::Rw
+            }]
+        );
         // *(*x̄) → *ȳ
         let out = through(fx.ctx().transfer_lock(
             &Instr::Assign(x, Rvalue::AddrOf(y)),
@@ -354,8 +406,10 @@ mod tests {
     fn load_adds_a_deref() {
         let fx = Fixture::new("fn main(x, y) { x = *y; }");
         let (x, y) = (fx.v("x"), fx.v("y"));
-        let out =
-            through(fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::Load(y)), &deref(x, &[])));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Load(y)), &deref(x, &[])),
+        );
         assert_eq!(out, vec![deref(y, &[PathOp::Deref])]);
     }
 
@@ -375,11 +429,15 @@ mod tests {
     fn alloc_drops_the_lock() {
         let fx = Fixture::new("fn main(x) { x = new(4); }");
         let x = fx.v("x");
-        let out =
-            through(fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::Alloc(4)), &deref(x, &[])));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Alloc(4)), &deref(x, &[])),
+        );
         assert!(out.is_empty());
-        let out =
-            through(fx.ctx().transfer_lock(&Instr::Assign(x, Rvalue::Null), &deref(x, &[])));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::Null), &deref(x, &[])),
+        );
         assert!(out.is_empty());
     }
 
@@ -400,7 +458,10 @@ mod tests {
         let data = fx.f("data");
         let lock = deref(y, &[PathOp::Field(data), PathOp::Deref]);
         let out = through(fx.ctx().transfer_lock(&Instr::Store(t1, w), &lock));
-        assert!(out.contains(&deref(w, &[])), "substituted lock *w̄ present: {out:?}");
+        assert!(
+            out.contains(&deref(w, &[])),
+            "substituted lock *w̄ present: {out:?}"
+        );
         assert!(out.contains(&lock), "weak update keeps the original");
         assert_eq!(out.len(), 2);
     }
@@ -452,11 +513,26 @@ mod tests {
         // ⇒ omitted) and *y (ro).
         let gens = ctx.gen_locks(&Instr::Assign(g, Rvalue::Load(y)));
         assert!(gens.contains(&(PathExpr::var(g), Eff::Rw)));
-        assert!(gens.contains(&(PathExpr { base: y, ops: vec![PathOp::Deref] }, Eff::Ro)));
-        assert!(!gens.iter().any(|(p, _)| p == &PathExpr::var(y)), "thread-local ȳ omitted");
+        assert!(gens.contains(&(
+            PathExpr {
+                base: y,
+                ops: vec![PathOp::Deref]
+            },
+            Eff::Ro
+        )));
+        assert!(
+            !gens.iter().any(|(p, _)| p == &PathExpr::var(y)),
+            "thread-local ȳ omitted"
+        );
         // *y = g: writes *y (rw), reads g (ro).
         let gens = ctx.gen_locks(&Instr::Store(y, g));
-        assert!(gens.contains(&(PathExpr { base: y, ops: vec![PathOp::Deref] }, Eff::Rw)));
+        assert!(gens.contains(&(
+            PathExpr {
+                base: y,
+                ops: vec![PathOp::Deref]
+            },
+            Eff::Rw
+        )));
         assert!(gens.contains(&(PathExpr::var(g), Eff::Ro)));
     }
 
@@ -465,17 +541,20 @@ mod tests {
         let fx = Fixture::new("fn main() { let x = null; let p = &x; *p = null; }");
         let x = fx.v("x");
         let gens = fx.ctx().gen_locks(&Instr::Assign(x, Rvalue::Null));
-        assert!(gens.contains(&(PathExpr::var(x), Eff::Rw)), "&x was taken: x̄ required");
+        assert!(
+            gens.contains(&(PathExpr::var(x), Eff::Rw)),
+            "&x was taken: x̄ required"
+        );
     }
 
     #[test]
     fn dyn_addr_rewrites_to_symbolic_index() {
         let fx = Fixture::new("fn main(a, i, x) { x = a[i]; }");
         let (a, i, x) = (fx.v("a"), fx.v("i"), fx.v("x"));
-        let out = through(fx.ctx().transfer_lock(
-            &Instr::Assign(x, Rvalue::DynAddr(a, i)),
-            &deref(x, &[]),
-        ));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(x, Rvalue::DynAddr(a, i)), &deref(x, &[])),
+        );
         assert_eq!(out, vec![deref(a, &[PathOp::Index(i)])]);
     }
 
@@ -486,8 +565,10 @@ mod tests {
         let elem = fx.program.elem_field_opt().unwrap();
         let lock = deref(a, &[PathOp::Index(b)]);
         // Crossing `b = k` renames the index.
-        let out =
-            through(fx.ctx().transfer_lock(&Instr::Assign(b, Rvalue::Copy(k)), &lock));
+        let out = through(
+            fx.ctx()
+                .transfer_lock(&Instr::Assign(b, Rvalue::Copy(k)), &lock),
+        );
         assert_eq!(out, vec![deref(a, &[PathOp::Index(k)])]);
         // Crossing `b = k % nb` loses the symbolic index: the whole
         // array family is locked instead.

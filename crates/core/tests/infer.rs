@@ -4,7 +4,7 @@
 use lir::{Eff, PathOp, Program, VarId};
 use lockinfer::dataflow::{analyze_program_with_library, SectionResult};
 use lockinfer::library::{ExternalSummary, LibrarySpec};
-use lockinfer::{analyze_program, compile_with_locks, transform};
+use lockinfer::{analyze_program, compile_with_locks};
 use lockscheme::{AbsLock, SchemeConfig};
 use pointsto::PointsTo;
 
@@ -19,14 +19,20 @@ fn var(p: &Program, name: &str) -> VarId {
 
 fn field(p: &Program, name: &str) -> lir::FieldId {
     lir::FieldId(
-        p.fields.iter().position(|fi| p.interner.resolve(fi.name) == name).unwrap() as u32,
+        p.fields
+            .iter()
+            .position(|fi| p.interner.resolve(fi.name) == name)
+            .unwrap() as u32,
     )
 }
 
 /// Renders a section's locks for readable assertions.
 fn lock_strings(p: &Program, sec: &SectionResult) -> Vec<String> {
-    let mut v: Vec<String> =
-        sec.locks.iter().map(|l| p.render_lock(&l.to_spec())).collect();
+    let mut v: Vec<String> = sec
+        .locks
+        .iter()
+        .map(|l| p.render_lock(&l.to_spec()))
+        .collect();
     v.sort();
     v
 }
@@ -68,15 +74,32 @@ fn figure1_move_example() {
 
     let head = field(&p, "head");
     let (to, from) = (var(&p, "to"), var(&p, "from"));
-    let fine_to = lir::PathExpr { base: to, ops: vec![PathOp::Deref, PathOp::Field(head)] };
-    let fine_from = lir::PathExpr { base: from, ops: vec![PathOp::Deref, PathOp::Field(head)] };
-    let has_fine = |path: &lir::PathExpr, eff: Eff| {
-        sec.locks.iter().any(|l| l.path.as_ref() == Some(path) && l.eff == eff)
+    let fine_to = lir::PathExpr {
+        base: to,
+        ops: vec![PathOp::Deref, PathOp::Field(head)],
     };
-    assert!(has_fine(&fine_to, Eff::Rw), "fine rw lock on to->head; got {rendered:?}");
-    assert!(has_fine(&fine_from, Eff::Rw), "fine rw lock on from->head; got {rendered:?}");
+    let fine_from = lir::PathExpr {
+        base: from,
+        ops: vec![PathOp::Deref, PathOp::Field(head)],
+    };
+    let has_fine = |path: &lir::PathExpr, eff: Eff| {
+        sec.locks
+            .iter()
+            .any(|l| l.path.as_ref() == Some(path) && l.eff == eff)
+    };
+    assert!(
+        has_fine(&fine_to, Eff::Rw),
+        "fine rw lock on to->head; got {rendered:?}"
+    );
+    assert!(
+        has_fine(&fine_from, Eff::Rw),
+        "fine rw lock on from->head; got {rendered:?}"
+    );
     let n_coarse = sec.locks.iter().filter(|l| !l.is_fine()).count();
-    assert_eq!(n_coarse, 1, "exactly one coarse lock (the elements); got {rendered:?}");
+    assert_eq!(
+        n_coarse, 1,
+        "exactly one coarse lock (the elements); got {rendered:?}"
+    );
     assert!(
         sec.locks.iter().all(|l| !l.is_global()),
         "no global lock needed; got {rendered:?}"
@@ -114,18 +137,31 @@ fn figure2_alias_tracing() {
     let data = field(&p, "data");
     let (x, y, w) = (var(&p, "x"), var(&p, "y"), var(&p, "w"));
     let has = |base: VarId, ops: Vec<PathOp>, eff: Eff| {
-        sec.locks
-            .iter()
-            .any(|l| l.path.as_ref() == Some(&lir::PathExpr { base, ops: ops.clone() }) && l.eff == eff)
+        sec.locks.iter().any(|l| {
+            l.path.as_ref()
+                == Some(&lir::PathExpr {
+                    base,
+                    ops: ops.clone(),
+                })
+                && l.eff == eff
+        })
     };
     // *(*ȳ + data): the cell z points to, traced to the entry.
     assert!(
-        has(y, vec![PathOp::Deref, PathOp::Field(data), PathOp::Deref], Eff::Rw),
+        has(
+            y,
+            vec![PathOp::Deref, PathOp::Field(data), PathOp::Deref],
+            Eff::Rw
+        ),
         "lock on value of y->data: {:?}",
         lock_strings(&p, sec)
     );
     // *w̄: the aliased case where x->data was overwritten by w.
-    assert!(has(w, vec![PathOp::Deref], Eff::Rw), "lock on *w: {:?}", lock_strings(&p, sec));
+    assert!(
+        has(w, vec![PathOp::Deref], Eff::Rw),
+        "lock on *w: {:?}",
+        lock_strings(&p, sec)
+    );
     // x->data cell itself is written.
     assert!(
         has(x, vec![PathOp::Deref, PathOp::Field(data)], Eff::Rw),
@@ -209,9 +245,14 @@ fn interprocedural_summaries() {
     let sec = &analysis.sections[0];
     let head = field(&p, "head");
     let a = var(&p, "a");
-    let want = lir::PathExpr { base: a, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+    let want = lir::PathExpr {
+        base: a,
+        ops: vec![PathOp::Deref, PathOp::Field(head)],
+    };
     assert!(
-        sec.locks.iter().any(|l| l.path.as_ref() == Some(&want) && l.eff == Eff::Rw),
+        sec.locks
+            .iter()
+            .any(|l| l.path.as_ref() == Some(&want) && l.eff == Eff::Rw),
         "callee's store surfaces as a->head at the caller: {:?}",
         lock_strings(&p, sec)
     );
@@ -230,7 +271,10 @@ fn nested_call_chain() {
     let sec = &analysis.sections[0];
     let head = field(&p, "head");
     let a = var(&p, "a");
-    let want = lir::PathExpr { base: a, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+    let want = lir::PathExpr {
+        base: a,
+        ops: vec![PathOp::Deref, PathOp::Field(head)],
+    };
     assert!(
         sec.locks.iter().any(|l| l.path.as_ref() == Some(&want)),
         "two-level summary: {:?}",
@@ -285,7 +329,9 @@ fn return_value_mapping() {
         ops: vec![PathOp::Deref, PathOp::Field(head), PathOp::Deref],
     };
     assert!(
-        sec.locks.iter().any(|l| l.path.as_ref() == Some(&want) && l.eff == Eff::Rw),
+        sec.locks
+            .iter()
+            .any(|l| l.path.as_ref() == Some(&want) && l.eff == Eff::Rw),
         "callee return traced: {:?}",
         lock_strings(&p, sec)
     );
@@ -305,13 +351,18 @@ fn globals_are_locked_locals_are_not() {
     let sec = &analysis.sections[0];
     let g = var(&p, "g");
     assert!(
-        sec.locks.iter().any(
-            |l| l.path.as_ref() == Some(&lir::PathExpr::var(g)) && l.eff == Eff::Rw
-        ),
+        sec.locks
+            .iter()
+            .any(|l| l.path.as_ref() == Some(&lir::PathExpr::var(g)) && l.eff == Eff::Rw),
         "global cell locked rw: {:?}",
         lock_strings(&p, sec)
     );
-    assert_eq!(sec.locks.len(), 1, "no locks for the local t: {:?}", lock_strings(&p, sec));
+    assert_eq!(
+        sec.locks.len(),
+        1,
+        "no locks for the local t: {:?}",
+        lock_strings(&p, sec)
+    );
 }
 
 /// Merge keeps maximal locks only: a coarse lock subsumes fine locks of
@@ -331,11 +382,17 @@ fn redundant_fine_locks_are_pruned() {
     let sec = &analysis.sections[0];
     // Since the traversal produces a coarse rw... actually ro lock on
     // the node class, any fine ro lock of that class must be pruned.
-    let coarse_classes: Vec<_> =
-        sec.locks.iter().filter(|l| !l.is_fine()).map(|l| (l.pts, l.eff)).collect();
+    let coarse_classes: Vec<_> = sec
+        .locks
+        .iter()
+        .filter(|l| !l.is_fine())
+        .map(|l| (l.pts, l.eff))
+        .collect();
     for l in sec.locks.iter().filter(|l| l.is_fine()) {
         assert!(
-            !coarse_classes.iter().any(|(c, e)| *c == l.pts && l.eff.leq(*e)),
+            !coarse_classes
+                .iter()
+                .any(|(c, e)| *c == l.pts && l.eff.leq(*e)),
             "fine lock {} subsumed by a coarse lock in {:?}",
             l,
             lock_strings(&p, sec)
@@ -362,10 +419,18 @@ fn nested_sections() {
     let inner = &analysis.sections[1];
     let (g, h) = (var(&p, "g"), var(&p, "h"));
     let mentions = |sec: &SectionResult, v: VarId| {
-        sec.locks.iter().any(|l| l.path.as_ref() == Some(&lir::PathExpr::var(v)))
+        sec.locks
+            .iter()
+            .any(|l| l.path.as_ref() == Some(&lir::PathExpr::var(v)))
     };
-    assert!(mentions(outer, g) && mentions(outer, h), "outer protects both");
-    assert!(mentions(inner, h) && !mentions(inner, g), "inner protects only h");
+    assert!(
+        mentions(outer, g) && mentions(outer, h),
+        "outer protects both"
+    );
+    assert!(
+        mentions(inner, h) && !mentions(inner, g),
+        "inner protects only h"
+    );
 }
 
 /// The transformation replaces markers and keeps everything else.
@@ -408,7 +473,10 @@ fn library_specifications() {
     let a = var(&p, "a");
     let head = field(&p, "head");
     let list_class = pt
-        .class_of_path(&lir::PathExpr { base: a, ops: vec![PathOp::Deref] })
+        .class_of_path(&lir::PathExpr {
+            base: a,
+            ops: vec![PathOp::Deref],
+        })
         .unwrap();
     let mut lib = LibrarySpec::new();
     lib.insert(
@@ -422,7 +490,9 @@ fn library_specifications() {
     let sec = &analysis.sections[0];
     // The spec's coarse lock is present.
     assert!(
-        sec.locks.iter().any(|l| !l.is_fine() && l.pts == Some(list_class) && l.eff == Eff::Rw),
+        sec.locks
+            .iter()
+            .any(|l| !l.is_fine() && l.pts == Some(list_class) && l.eff == Eff::Rw),
         "spec lock present: {:?}",
         lock_strings(&p, sec)
     );
@@ -477,12 +547,21 @@ fn section_inside_callee_uses_callee_params() {
     "#;
     let (p, analysis, _) = compile_with_locks(src, 9).unwrap();
     let clear_fn = p.function_named("clear").unwrap();
-    let sec = analysis.sections.iter().find(|s| s.func == clear_fn).unwrap();
+    let sec = analysis
+        .sections
+        .iter()
+        .find(|s| s.func == clear_fn)
+        .unwrap();
     let l = var(&p, "l");
     let head = field(&p, "head");
-    let want = lir::PathExpr { base: l, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+    let want = lir::PathExpr {
+        base: l,
+        ops: vec![PathOp::Deref, PathOp::Field(head)],
+    };
     assert!(
-        sec.locks.iter().any(|k| k.path.as_ref() == Some(&want) && k.eff == Eff::Rw),
+        sec.locks
+            .iter()
+            .any(|k| k.path.as_ref() == Some(&want) && k.eff == Eff::Rw),
         "{:?}",
         lock_strings(&p, sec)
     );
@@ -506,7 +585,10 @@ fn diamond_merges_branch_locks() {
     let has = |base, fld| {
         sec.locks.iter().any(|l| {
             l.path.as_ref()
-                == Some(&lir::PathExpr { base, ops: vec![PathOp::Deref, PathOp::Field(fld)] })
+                == Some(&lir::PathExpr {
+                    base,
+                    ops: vec![PathOp::Deref, PathOp::Field(fld)],
+                })
         })
     };
     assert!(has(a, f) && has(b, g), "{:?}", lock_strings(&p, sec));
@@ -531,7 +613,10 @@ fn summary_reused_across_call_sites() {
     let head = field(&p, "head");
     for name in ["a", "b"] {
         let base = var(&p, name);
-        let want = lir::PathExpr { base, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+        let want = lir::PathExpr {
+            base,
+            ops: vec![PathOp::Deref, PathOp::Field(head)],
+        };
         assert!(
             sec.locks.iter().any(|l| l.path.as_ref() == Some(&want)),
             "missing lock for {name}: {:?}",
@@ -557,7 +642,10 @@ fn aliased_actual_arguments() {
     let has = |fld, eff| {
         sec.locks.iter().any(|l| {
             l.path.as_ref()
-                == Some(&lir::PathExpr { base: x, ops: vec![PathOp::Deref, PathOp::Field(fld)] })
+                == Some(&lir::PathExpr {
+                    base: x,
+                    ops: vec![PathOp::Deref, PathOp::Field(fld)],
+                })
                 && l.eff == eff
         })
     };
@@ -594,7 +682,10 @@ fn loops_and_breaks_inside_sections() {
         "{:?}",
         lock_strings(&p, sec)
     );
-    assert!(sec.locks.iter().any(|l| !l.is_fine()), "traversal needs the node class");
+    assert!(
+        sec.locks.iter().any(|l| !l.is_fine()),
+        "traversal needs the node class"
+    );
 }
 
 /// Effect canonicalization of summaries: a read-only call and a
@@ -620,7 +711,10 @@ fn summary_effects_are_per_call() {
             .iter()
             .find(|l| {
                 l.path.as_ref()
-                    == Some(&lir::PathExpr { base, ops: vec![PathOp::Deref, PathOp::Field(f)] })
+                    == Some(&lir::PathExpr {
+                        base,
+                        ops: vec![PathOp::Deref, PathOp::Field(f)],
+                    })
             })
             .map(|l| l.eff)
     };
@@ -650,7 +744,11 @@ fn hashtable2_put_is_fine_grained() {
         fn main() { init(); put(1, 2); }
     "#;
     let (p, analysis, _) = compile_with_locks(src, 9).unwrap();
-    let sec = analysis.sections.iter().find(|s| !s.locks.is_empty()).unwrap();
+    let sec = analysis
+        .sections
+        .iter()
+        .find(|s| !s.locks.is_empty())
+        .unwrap();
     let rendered = lock_strings(&p, sec);
     // The bucket cell table[b] is written: a fine lock ending in the
     // dynamic [] offset, rw.
@@ -665,5 +763,8 @@ fn hashtable2_put_is_fine_grained() {
     );
     // The new entry's fields need no locks (section-local allocation).
     let entry_writes = sec.locks.iter().filter(|l| l.eff == Eff::Rw).count();
-    assert!(entry_writes <= 3, "entry field stores shed locks: {rendered:?}");
+    assert!(
+        entry_writes <= 3,
+        "entry field stores shed locks: {rendered:?}"
+    );
 }

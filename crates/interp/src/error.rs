@@ -7,7 +7,11 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InterpError {
     /// Dereference of null or an out-of-range address.
-    Fault { func: String, pc: usize, detail: String },
+    Fault {
+        func: String,
+        pc: usize,
+        detail: String,
+    },
     /// The heap is exhausted.
     OutOfMemory,
     /// `assert(x)` failed.
@@ -17,7 +21,11 @@ pub enum InterpError {
     /// The entry function was not found.
     NoSuchFunction(String),
     /// Wrong number of arguments to the entry function.
-    ArityMismatch { func: String, want: usize, got: usize },
+    ArityMismatch {
+        func: String,
+        want: usize,
+        got: usize,
+    },
     /// A mode needed the transformed program but got atomic markers
     /// (or vice versa).
     NeedsTransformedProgram { section: SectionId },
@@ -30,6 +38,26 @@ pub enum InterpError {
         write: bool,
         section: SectionId,
     },
+    /// A fault-plan panic fired on this thread (see `crate::FaultPlan`).
+    /// The worker unwound, its locks were released, and the remaining
+    /// threads kept running.
+    InjectedPanic { tid: u32 },
+    /// A worker thread panicked for a reason other than fault injection
+    /// (a genuine bug); the panic was contained and its locks released.
+    WorkerPanicked { tid: u32, detail: String },
+    /// The virtual-time scheduler wedged: every live thread was blocked
+    /// waiting for a lock release that can no longer happen. Reported
+    /// instead of hanging.
+    SchedulerStalled { tid: u32 },
+    /// The lock runtime refused an acquisition (timeout or detected
+    /// deadlock — see [`mglock::MgLockError`]).
+    Lock {
+        tid: u32,
+        source: mglock::MgLockError,
+    },
+    /// An internal invariant failed; always a bug in the interpreter,
+    /// reported as data instead of a panic so harnesses stay up.
+    Internal { detail: String },
 }
 
 impl fmt::Display for InterpError {
@@ -57,13 +85,38 @@ impl fmt::Display for InterpError {
                     section.0
                 )
             }
-            InterpError::Unprotected { func, pc, addr, write, section } => {
+            InterpError::Unprotected {
+                func,
+                pc,
+                addr,
+                write,
+                section,
+            } => {
                 write!(
                     f,
                     "UNPROTECTED {} of cell {addr} inside section #{} (in `{func}` at {pc})",
                     if *write { "write" } else { "read" },
                     section.0
                 )
+            }
+            InterpError::InjectedPanic { tid } => {
+                write!(f, "injected panic on thread {tid} (fault plan)")
+            }
+            InterpError::WorkerPanicked { tid, detail } => {
+                write!(f, "worker thread {tid} panicked: {detail}")
+            }
+            InterpError::SchedulerStalled { tid } => {
+                write!(
+                    f,
+                    "scheduler stalled: every live thread (incl. {tid}) is \
+                     waiting on a release that cannot happen"
+                )
+            }
+            InterpError::Lock { tid, source } => {
+                write!(f, "lock acquisition failed on thread {tid}: {source}")
+            }
+            InterpError::Internal { detail } => {
+                write!(f, "internal interpreter invariant violated: {detail}")
             }
         }
     }

@@ -26,11 +26,13 @@
 //! ```
 
 mod error;
+pub mod fault;
 mod machine;
 pub mod sim;
 mod worker;
 
 pub use error::InterpError;
+pub use fault::{FaultPlan, FaultStats};
 pub use machine::{ExecMode, Machine, Options};
 pub use sim::CostModel;
 
@@ -59,8 +61,12 @@ mod tests {
         m.run_named("main", &[]).unwrap()
     }
 
-    const ALL_MODES: [ExecMode; 4] =
-        [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm, ExecMode::Validate];
+    const ALL_MODES: [ExecMode; 4] = [
+        ExecMode::Global,
+        ExecMode::MultiGrain,
+        ExecMode::Stm,
+        ExecMode::Validate,
+    ];
 
     #[test]
     fn arithmetic_and_control_flow() {
@@ -233,7 +239,11 @@ mod tests {
             let m = machine_for(src, 3, mode, Options::default()).unwrap();
             m.run_named("setup", &[30]).unwrap();
             m.run_threads("mover", 4, |_| vec![25]).unwrap();
-            assert_eq!(m.run_named("total", &[]).unwrap(), 30, "elements conserved in {mode:?}");
+            assert_eq!(
+                m.run_named("total", &[]).unwrap(),
+                30,
+                "elements conserved in {mode:?}"
+            );
         }
     }
 
@@ -291,7 +301,10 @@ mod tests {
         }
         let m = Machine::new(Arc::new(broken), pt, ExecMode::Validate, Options::default());
         let err = m.run_named("main", &[]).unwrap_err();
-        assert!(matches!(err, InterpError::Unprotected { write: true, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::Unprotected { write: true, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -318,15 +331,24 @@ mod tests {
     fn faults_are_reported() {
         let src = "struct s { f; } fn main() { let x = null; return x->f; }";
         let m = machine_for(src, 3, ExecMode::Global, Options::default()).unwrap();
-        assert!(matches!(m.run_named("main", &[]).unwrap_err(), InterpError::Fault { .. }));
+        assert!(matches!(
+            m.run_named("main", &[]).unwrap_err(),
+            InterpError::Fault { .. }
+        ));
 
         let src = "fn main() { let x = 1; let y = 0; return x / y; }";
         let m = machine_for(src, 3, ExecMode::Global, Options::default()).unwrap();
-        assert!(matches!(m.run_named("main", &[]).unwrap_err(), InterpError::DivByZero { .. }));
+        assert!(matches!(
+            m.run_named("main", &[]).unwrap_err(),
+            InterpError::DivByZero { .. }
+        ));
 
         let src = "fn main() { assert(0); }";
         let m = machine_for(src, 3, ExecMode::Global, Options::default()).unwrap();
-        assert!(matches!(m.run_named("main", &[]).unwrap_err(), InterpError::AssertFailed { .. }));
+        assert!(matches!(
+            m.run_named("main", &[]).unwrap_err(),
+            InterpError::AssertFailed { .. }
+        ));
     }
 
     #[test]
@@ -373,7 +395,9 @@ mod tests {
         "#;
         let run = |mode: ExecMode, threads: usize| {
             let m = machine_for(src, 3, mode, Options::default()).unwrap();
-            let (_, span) = m.run_threads_virtual("work", threads, |_| vec![40]).unwrap();
+            let (_, span) = m
+                .run_threads_virtual("work", threads, |_| vec![40])
+                .unwrap();
             span
         };
         // Read-only sections under multi-grain locks share; under the
@@ -570,7 +594,10 @@ mod tests {
         "#;
         let m = machine_for(src, 3, ExecMode::Stm, Options::default()).unwrap();
         let results = m.run_threads("work", 6, |_| vec![50]).unwrap();
-        assert!(results.iter().all(|&r| r == 101), "local rollback kept: {results:?}");
+        assert!(
+            results.iter().all(|&r| r == 101),
+            "local rollback kept: {results:?}"
+        );
         assert_eq!(m.run_named("main", &[]).unwrap(), 6 * 50 * 101);
     }
 
@@ -615,12 +642,7 @@ mod tests {
                     let m = &m;
                     s.spawn(move || {
                         if t % 2 == 0 {
-                            m.run_fn(
-                                m.program_fn("batch"),
-                                &[100],
-                                t,
-                            )
-                            .unwrap();
+                            m.run_fn(m.program_fn("batch"), &[100], t).unwrap();
                         } else {
                             m.run_fn(m.program_fn("single"), &[100], t).unwrap();
                         }
@@ -638,8 +660,138 @@ mod tests {
     #[test]
     fn out_of_memory_is_reported() {
         let src = "fn main() { let i = 0; while (i < 100) { let x = new(100); i = i + 1; } }";
-        let m =
-            machine_for(src, 0, ExecMode::Global, Options { heap_cells: 512, seed: 1, ..Options::default() }).unwrap();
-        assert!(matches!(m.run_named("main", &[]).unwrap_err(), InterpError::OutOfMemory));
+        let m = machine_for(
+            src,
+            0,
+            ExecMode::Global,
+            Options {
+                heap_cells: 512,
+                seed: 1,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            m.run_named("main", &[]).unwrap_err(),
+            InterpError::OutOfMemory
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and graceful degradation
+
+    const COUNTER_SRC: &str = r#"
+        global c;
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { c = c + 1; nops(20); }
+                i = i + 1;
+            }
+            return 0;
+        }
+        fn main() { return c; }
+    "#;
+
+    #[test]
+    fn injected_panic_is_contained_and_releases_locks() {
+        for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Validate] {
+            let opts = Options {
+                faults: Some(FaultPlan::new(0xBAD).with_panics(200, 1)),
+                ..Options::default()
+            };
+            let m = machine_for(COUNTER_SRC, 3, mode, opts).unwrap();
+            let err = m.run_threads("work", 4, |_| vec![200]).unwrap_err();
+            assert!(
+                matches!(err, InterpError::InjectedPanic { .. }),
+                "{mode:?}: {err}"
+            );
+            assert!(m.locks_quiescent(), "{mode:?}: locks leaked past a panic");
+            assert!(
+                m.mg_stats()
+                    .poisoned_sessions
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    > 0
+            );
+            // The machine stays usable after the contained panics.
+            assert!(m.run_named("main", &[]).unwrap() >= 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn injected_stm_aborts_retry_to_the_correct_result() {
+        let opts = Options {
+            faults: Some(FaultPlan::new(0xF00D).with_stm_aborts(40)),
+            ..Options::default()
+        };
+        let m = machine_for(COUNTER_SRC, 3, ExecMode::Stm, opts).unwrap();
+        m.run_threads("work", 4, |_| vec![100]).unwrap();
+        assert_eq!(m.run_named("main", &[]).unwrap(), 400);
+        let injected = m
+            .fault_stats()
+            .injected_aborts
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(injected > 0, "the plan should have fired");
+        assert!(
+            m.stm_stats().aborts >= injected,
+            "every injection was a real abort"
+        );
+    }
+
+    #[test]
+    fn abort_storm_escalates_to_irrevocable_within_budget() {
+        // Storm: nearly every transactional access aborts, so no
+        // optimistic attempt can finish — progress requires the
+        // irrevocable fallback, which the budget triggers.
+        let opts = Options {
+            faults: Some(FaultPlan::new(0x5707).with_stm_aborts(700)),
+            stm_abort_budget: 3,
+            ..Options::default()
+        };
+        let m = machine_for(COUNTER_SRC, 3, ExecMode::Stm, opts).unwrap();
+        m.run_threads("work", 4, |_| vec![25]).unwrap();
+        assert_eq!(m.run_named("main", &[]).unwrap(), 100, "no increment lost");
+        let stats = m.stm_stats();
+        assert!(
+            stats.fallbacks > 0,
+            "the storm must have escalated: {stats:?}"
+        );
+        // Budget respected: per committed-after-escalation section, at
+        // most `budget` aborts preceded the irrevocable attempt (plus
+        // optimistic sections that squeaked through).
+        assert_eq!(stats.commits, 100);
+    }
+
+    #[test]
+    fn fault_injected_virtual_runs_are_deterministic() {
+        let plan = FaultPlan::new(0xD13)
+            .with_stm_aborts(30)
+            .with_stalls(100, 500)
+            .with_wakeup_delays(100, 250);
+        for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm] {
+            let run = || {
+                let opts = Options {
+                    faults: Some(plan),
+                    ..Options::default()
+                };
+                let m = machine_for(COUNTER_SRC, 3, mode, opts).unwrap();
+                let r = m.run_threads_virtual("work", 4, |_| vec![30]);
+                (r, m.run_named("main", &[]).unwrap())
+            };
+            assert_eq!(run(), run(), "chaos reproduces exactly in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn fault_injected_survivors_pass_validate_coverage() {
+        // The acceptance bar: runs that survive injection still satisfy
+        // Theorem 1 — Validate mode re-checks every in-section access.
+        let opts = Options {
+            faults: Some(FaultPlan::new(0xC07E).with_stalls(150, 400)),
+            ..Options::default()
+        };
+        let m = machine_for(COUNTER_SRC, 3, ExecMode::Validate, opts).unwrap();
+        m.run_threads("work", 4, |_| vec![50]).unwrap();
+        assert_eq!(m.run_named("main", &[]).unwrap(), 200);
     }
 }

@@ -38,6 +38,15 @@ pub struct Options {
     pub quantum: u64,
     /// Virtual-time costs of runtime operations.
     pub costs: crate::sim::CostModel,
+    /// Deterministic fault-injection plan (`None` = no injection).
+    pub faults: Option<crate::fault::FaultPlan>,
+    /// STM degradation: aborts one section may suffer before its next
+    /// retry runs irrevocably in global mode (see `tl2`). High enough
+    /// by default that healthy workloads never escalate.
+    pub stm_abort_budget: u64,
+    /// Degradation policy for the multi-grain lock runtime (timeouts,
+    /// deadlock detection). The default is off: zero overhead.
+    pub mg_config: mglock::RuntimeConfig,
 }
 
 impl Default for Options {
@@ -47,6 +56,9 @@ impl Default for Options {
             seed: 0x5EED_0001,
             quantum: 128,
             costs: crate::sim::CostModel::default(),
+            faults: None,
+            stm_abort_budget: 1024,
+            mg_config: mglock::RuntimeConfig::default(),
         }
     }
 }
@@ -103,6 +115,9 @@ pub struct Machine {
     pub(crate) seed: u64,
     pub(crate) quantum: u64,
     pub(crate) costs: crate::sim::CostModel,
+    pub(crate) faults: Option<crate::fault::FaultPlan>,
+    pub(crate) stm_abort_budget: u64,
+    pub(crate) fault_stats: crate::fault::FaultStats,
 }
 
 impl std::fmt::Debug for Machine {
@@ -121,12 +136,7 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `opts.heap_cells` cannot hold the globals.
-    pub fn new(
-        program: Arc<Program>,
-        pt: Arc<PointsTo>,
-        mode: ExecMode,
-        opts: Options,
-    ) -> Machine {
+    pub fn new(program: Arc<Program>, pt: Arc<PointsTo>, mode: ExecMode, opts: Options) -> Machine {
         let mut storage = Vec::with_capacity(program.vars.len());
         let mut layouts: Vec<FnLayout> = vec![FnLayout::default(); program.functions.len()];
         // First pass: slot assignment per function.
@@ -169,7 +179,10 @@ impl Machine {
         for func in &program.functions {
             for (idx, ins) in func.body.iter().enumerate() {
                 if let Instr::Assign(_, Rvalue::Alloc(_) | Rvalue::AllocDyn(_)) = ins {
-                    let site = AllocSite { func: func.id, idx: idx as u32 };
+                    let site = AllocSite {
+                        func: func.id,
+                        idx: idx as u32,
+                    };
                     if let Some(c) = pt.class_of_site(site) {
                         site_class.insert((func.id, idx as u32), c);
                     }
@@ -186,7 +199,7 @@ impl Machine {
             // Address 0 is null; start allocating at 1.
             brk: AtomicU64::new(1),
             allocs: RwLock::new(Vec::new()),
-            mg: Arc::new(mglock::Runtime::new()),
+            mg: Arc::new(mglock::Runtime::with_config(opts.mg_config)),
             storage,
             layouts,
             site_class,
@@ -196,6 +209,9 @@ impl Machine {
             seed: opts.seed,
             quantum: opts.quantum,
             costs: opts.costs,
+            faults: opts.faults,
+            stm_abort_budget: opts.stm_abort_budget,
+            fault_stats: crate::fault::FaultStats::default(),
         };
         // Allocate the globals' cells.
         let globals = m.program.globals.clone();
@@ -215,7 +231,11 @@ impl Machine {
         if base + n > self.space.len() as u64 {
             return Err(InterpError::OutOfMemory.into());
         }
-        self.allocs.write().push(AllocMeta { base, len: n, class });
+        self.allocs.write().push(AllocMeta {
+            base,
+            len: n,
+            class,
+        });
         Ok(base)
     }
 
@@ -237,6 +257,41 @@ impl Machine {
     /// Multi-grain lock runtime statistics.
     pub fn mg_stats(&self) -> &mglock::Stats {
         self.mg.stats()
+    }
+
+    /// Counters of faults actually injected (all zero without a plan).
+    pub fn fault_stats(&self) -> &crate::fault::FaultStats {
+        &self.fault_stats
+    }
+
+    /// True when every lock node is fully released — no session still
+    /// holds a grant. Chaos suites assert this after crashing workers.
+    pub fn locks_quiescent(&self) -> bool {
+        self.mg.quiescent()
+    }
+
+    /// Snapshot of every degradation-ladder counter: STM
+    /// commits/aborts/irrevocable fallbacks, lock-session poisoning and
+    /// unwind releases, detected deadlocks and timeouts, and injected
+    /// faults by class.
+    pub fn degradation_report(&self) -> lockinfer::DegradationReport {
+        let stm = self.space.global_stats();
+        let mg = self.mg.stats();
+        let fs = &self.fault_stats;
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        lockinfer::DegradationReport {
+            stm_commits: stm.commits,
+            stm_aborts: stm.aborts,
+            stm_fallbacks: stm.fallbacks,
+            poisoned_sessions: ld(&mg.poisoned_sessions),
+            unwind_releases: ld(&mg.unwind_releases),
+            deadlocks_detected: ld(&mg.deadlocks_detected),
+            lock_timeouts: ld(&mg.timeouts),
+            injected_panics: ld(&fs.injected_panics),
+            injected_aborts: ld(&fs.injected_aborts),
+            injected_delays: ld(&fs.injected_delays),
+            injected_stalls: ld(&fs.injected_stalls),
+        }
     }
 
     /// Execution mode.

@@ -45,6 +45,9 @@ pub struct CostModel {
     /// STM: abort/rollback penalty (plus the wasted section work,
     /// which is charged naturally by re-execution).
     pub stm_abort: u64,
+    /// STM: escalating to irrevocable global mode after the abort
+    /// budget (acquiring the commit gate serially).
+    pub stm_fallback: u64,
 }
 
 impl Default for CostModel {
@@ -65,6 +68,7 @@ impl Default for CostModel {
             stm_commit_per_write: 8,
             stm_commit_per_read: 2,
             stm_abort: 150,
+            stm_fallback: 300,
         }
     }
 }
@@ -81,6 +85,10 @@ struct SimInner {
     state: Vec<St>,
     last_release_clock: u64,
     release_epoch: u64,
+    /// Set when every live thread is `Waiting`: no runnable thread
+    /// remains to release anything, so the run can never progress.
+    /// Sticky — once wedged, all waiters drain out with an error.
+    wedged: bool,
 }
 
 /// The shared scheduler. One instance per virtual run.
@@ -99,6 +107,7 @@ impl Sim {
                 state: vec![St::Ready; n],
                 last_release_clock: 0,
                 release_epoch: 0,
+                wedged: false,
             }),
             cv: Condvar::new(),
             quantum,
@@ -127,25 +136,48 @@ impl Sim {
         }
     }
 
+    /// True when no thread can run again: at least one is `Waiting` and
+    /// none is `Ready` to eventually release it. Call with the lock
+    /// held after any state transition away from `Ready`.
+    fn check_wedged(g: &mut SimInner) {
+        if !g.wedged && g.state.contains(&St::Waiting) && !g.state.contains(&St::Ready) {
+            g.wedged = true;
+        }
+    }
+
     /// Marks `tid` blocked on a lock; other threads may run. Only a
     /// future [`Sim::on_release`] makes it runnable again.
     pub fn begin_wait(&self, tid: usize) {
         let mut g = self.inner.lock();
         g.state[tid] = St::Waiting;
+        Self::check_wedged(&mut g);
         self.cv.notify_all();
     }
 
     /// Blocks until some thread releases locks; the releaser promotes
     /// this waiter (with its clock advanced to the release time), after
-    /// which we re-enter the schedule.
-    pub fn await_release(&self, tid: usize) {
+    /// which we re-enter the schedule. Returns `false` when the
+    /// scheduler wedged instead — the caller must abandon the wait and
+    /// report [`crate::InterpError::SchedulerStalled`], never hang.
+    #[must_use]
+    pub fn await_release(&self, tid: usize) -> bool {
         let mut g = self.inner.lock();
-        while g.state[tid] == St::Waiting {
+        loop {
+            if g.wedged {
+                return false;
+            }
+            if g.state[tid] != St::Waiting {
+                break;
+            }
             self.cv.wait(&mut g);
         }
         while !Self::my_turn(&g, tid) {
+            if g.wedged {
+                return false;
+            }
             self.cv.wait(&mut g);
         }
+        true
     }
 
     /// Announces that `tid` released locks at its current clock.
@@ -166,10 +198,14 @@ impl Sim {
         self.cv.notify_all();
     }
 
-    /// Marks `tid` finished.
+    /// Marks `tid` finished. If that leaves only waiters, the schedule
+    /// is wedged (a finished thread releases its locks first, so any
+    /// still-waiting thread waits on something no one holds — a bug
+    /// surfaced as an error, not a hang).
     pub fn finish(&self, tid: usize) {
         let mut g = self.inner.lock();
         g.state[tid] = St::Done;
+        Self::check_wedged(&mut g);
         self.cv.notify_all();
     }
 
@@ -219,7 +255,7 @@ mod tests {
         let h = std::thread::spawn(move || {
             sim2.advance(1, 5); // clock 5 — but tid 0 is min, so gate…
             sim2.begin_wait(1);
-            sim2.await_release(1);
+            assert!(sim2.await_release(1));
             let span = {
                 let g = sim2.inner.lock();
                 g.clocks[1]
@@ -233,5 +269,31 @@ mod tests {
         sim.finish(0);
         let waiter_clock = h.join().unwrap();
         assert_eq!(waiter_clock, 500, "waiter resumed at the release time");
+    }
+
+    #[test]
+    fn wedge_is_detected_not_hung() {
+        // Thread 1 waits; thread 0 finishes without releasing anything.
+        // The waiter must get `false` instead of blocking forever.
+        let sim = Arc::new(Sim::new(2, 10));
+        let sim2 = Arc::clone(&sim);
+        let h = std::thread::spawn(move || {
+            sim2.advance(1, 5);
+            sim2.begin_wait(1);
+            let resumed = sim2.await_release(1);
+            sim2.finish(1);
+            resumed
+        });
+        sim.advance(0, 0);
+        sim.advance(0, 100); // let thread 1 park itself
+        sim.finish(0);
+        assert!(!h.join().unwrap(), "waiter must observe the wedge");
+    }
+
+    #[test]
+    fn late_wait_after_all_finished_is_wedged() {
+        let sim = Sim::new(1, 10);
+        sim.begin_wait(0);
+        assert!(!sim.await_release(0), "sole waiter wedges immediately");
     }
 }

@@ -2,13 +2,17 @@
 //! disciplines, and the thread harness.
 
 use crate::error::{Exc, InterpError};
+use crate::fault::{FaultPanic, Injector};
 use crate::machine::{ExecMode, Machine, Storage};
 use crate::sim::Sim;
 use lir::{ArithOp, CmpOp, FnId, Instr, Intrinsic, LockSpec, PathOp, Rvalue, SectionId, VarId};
 use lockscheme::ConcreteLock;
 use mglock::{Access, Descriptor, FineAddr, Session};
 use pointsto::PtsClass;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use tl2::Backoff;
 
 const MAX_CALL_DEPTH: u32 = 4000;
 
@@ -38,6 +42,13 @@ pub(crate) struct Worker<'m> {
     sim: Option<Arc<Sim>>,
     /// Ticks accumulated since the last scheduling point.
     vticks: u64,
+    /// Fault injection stream (None = no plan configured).
+    injector: Option<Injector>,
+    /// Aborts suffered by the currently-retrying STM section; at
+    /// `Machine::stm_abort_budget` the next attempt escalates.
+    section_aborts: u64,
+    /// Next STM section entry begins irrevocably (starvation fallback).
+    escalate: bool,
 }
 
 impl<'m> Worker<'m> {
@@ -57,6 +68,9 @@ impl<'m> Worker<'m> {
             cur_pc: 0,
             sim: None,
             vticks: 0,
+            injector: m.faults.map(|plan| Injector::new(plan, tid)),
+            section_aborts: 0,
+            escalate: false,
         }
     }
 
@@ -121,12 +135,13 @@ impl<'m> Worker<'m> {
         // Set when *this frame* owns an open STM transaction: the pc of
         // the section-entry instruction and the frame snapshot.
         let mut retry: Option<(usize, Vec<i64>)> = None;
-        let mut backoff = 1u32;
+        let mut backoff = Backoff::new();
         loop {
             let ins = &body[pc];
             self.cur_fn = f;
             self.cur_pc = pc;
             self.tick(1);
+            self.maybe_inject_panic();
             let result: Result<Flow, Exc> = match ins {
                 Instr::EnterAtomic(_) | Instr::AcquireAll(..) => {
                     match self.section_enter(ins, frame, f) {
@@ -143,6 +158,11 @@ impl<'m> Worker<'m> {
                     Ok(closed_all) => {
                         if closed_all {
                             retry = None;
+                            // The section is over: its abort budget and
+                            // contention backoff start fresh.
+                            self.section_aborts = 0;
+                            self.escalate = false;
+                            backoff.reset();
                         }
                         Ok(Flow::Next)
                     }
@@ -161,14 +181,20 @@ impl<'m> Worker<'m> {
                         frame.clone_from(snapshot);
                         pc = *rpc;
                         m.space.note_abort();
+                        self.section_aborts += 1;
+                        if self.section_aborts >= m.stm_abort_budget {
+                            // Starving: the next attempt runs
+                            // irrevocably (see `section_enter`).
+                            self.escalate = true;
+                        }
+                        let spins = backoff.spins();
                         if self.sim.is_some() {
-                            self.tick(m.costs.stm_abort + backoff as u64);
+                            self.tick(m.costs.stm_abort + spins as u64);
                         } else {
-                            for _ in 0..backoff {
+                            for _ in 0..spins {
                                 std::hint::spin_loop();
                             }
                         }
-                        backoff = (backoff * 2).min(1 << 12);
                     }
                     None => return Err(Exc::Abort),
                 },
@@ -213,7 +239,7 @@ impl<'m> Worker<'m> {
                         a + i
                     }
                     Rvalue::Alloc(n) => {
-                        let class = self.class_of_site(f, pc);
+                        let class = self.class_of_site(f, pc)?;
                         self.alloc_cells(*n, class)? as i64
                     }
                     Rvalue::AllocDyn(z) => {
@@ -221,7 +247,7 @@ impl<'m> Worker<'m> {
                         if n < 0 {
                             return Err(self.fault(f, pc, "negative allocation size"));
                         }
-                        let class = self.class_of_site(f, pc);
+                        let class = self.class_of_site(f, pc)?;
                         self.alloc_cells(n as usize, class)? as i64
                     }
                     Rvalue::Null => 0,
@@ -315,13 +341,7 @@ impl<'m> Worker<'m> {
         })
     }
 
-    fn intrinsic(
-        &mut self,
-        i: Intrinsic,
-        vals: &[i64],
-        f: FnId,
-        pc: usize,
-    ) -> Result<i64, Exc> {
+    fn intrinsic(&mut self, i: Intrinsic, vals: &[i64], f: FnId, pc: usize) -> Result<i64, Exc> {
         match i {
             Intrinsic::Nops => {
                 let n = vals[0].max(0) as u64;
@@ -337,7 +357,11 @@ impl<'m> Worker<'m> {
             Intrinsic::Rand => {
                 self.rng = splitmix(self.rng);
                 let n = vals[0];
-                Ok(if n > 0 { ((self.rng >> 11) % n as u64) as i64 } else { 0 })
+                Ok(if n > 0 {
+                    ((self.rng >> 11) % n as u64) as i64
+                } else {
+                    0
+                })
             }
             Intrinsic::Tid => Ok(self.tid as i64),
             Intrinsic::Print => {
@@ -430,6 +454,7 @@ impl<'m> Worker<'m> {
     /// Raw cell read: transactional inside an STM section, direct
     /// otherwise.
     fn heap_read_raw(&mut self, a: u64) -> Result<i64, Exc> {
+        self.maybe_inject_stm_abort()?;
         match self.txn.as_mut() {
             Some(txn) => {
                 let v = txn.read(a as usize).map_err(|_| Exc::Abort);
@@ -443,6 +468,7 @@ impl<'m> Worker<'m> {
     }
 
     fn heap_write_raw(&mut self, a: u64, val: i64, _var_cell: bool) -> Result<(), Exc> {
+        self.maybe_inject_stm_abort()?;
         match self.txn.as_mut() {
             Some(txn) => {
                 txn.write(a as usize, val);
@@ -458,6 +484,52 @@ impl<'m> Worker<'m> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection points (all no-ops without a plan)
+
+    /// Injected mid-section panic: fires only inside an atomic section
+    /// (any discipline), via `resume_unwind` so drop glue runs — the
+    /// session and transaction release on the way out — without
+    /// tripping the global panic hook.
+    fn maybe_inject_panic(&mut self) {
+        let in_section = self.sec_depth > 0 || self.session.nesting_level() > 0;
+        if !in_section {
+            return;
+        }
+        let fire = match self.injector.as_mut() {
+            Some(inj) => inj.take_panic(),
+            None => false,
+        };
+        if fire {
+            self.m
+                .fault_stats
+                .injected_panics
+                .fetch_add(1, Ordering::Relaxed);
+            std::panic::resume_unwind(Box::new(FaultPanic { tid: self.tid }));
+        }
+    }
+
+    /// Injected spurious abort on a transactional access. Suppressed
+    /// while irrevocable: an irrevocable transaction must never abort.
+    fn maybe_inject_stm_abort(&mut self) -> Result<(), Exc> {
+        let abortable = self.txn.as_ref().is_some_and(|t| !t.is_irrevocable());
+        if !abortable {
+            return Ok(());
+        }
+        let fire = match self.injector.as_mut() {
+            Some(inj) => inj.take_stm_abort(),
+            None => false,
+        };
+        if fire {
+            self.m
+                .fault_stats
+                .injected_aborts
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Exc::Abort);
+        }
+        Ok(())
+    }
+
     fn alloc_cells(&mut self, n: usize, class: PtsClass) -> Result<u64, Exc> {
         let base = self.m.alloc(n, class)?;
         if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
@@ -469,12 +541,19 @@ impl<'m> Worker<'m> {
         Ok(base)
     }
 
-    fn class_of_site(&self, f: FnId, pc: usize) -> PtsClass {
+    fn class_of_site(&self, f: FnId, pc: usize) -> Result<PtsClass, Exc> {
         self.m
             .site_class
             .get(&(f, pc as u32))
             .copied()
-            .expect("allocation sites are pre-registered")
+            .ok_or_else(|| {
+                Exc::Err(InterpError::Internal {
+                    detail: format!(
+                        "allocation site {}:{pc} was not pre-registered",
+                        self.m.program.fn_name(f)
+                    ),
+                })
+            })
     }
 
     fn check_protected(&self, a: u64, write: bool, f: FnId, pc: usize) -> Result<(), Exc> {
@@ -482,7 +561,11 @@ impl<'m> Worker<'m> {
             return Ok(());
         }
         let eff = if write { lir::Eff::Rw } else { lir::Eff::Ro };
-        if self.held_concrete.iter().any(|l| l.protects(a, eff, self.m)) {
+        if self
+            .held_concrete
+            .iter()
+            .any(|l| l.protects(a, eff, self.m))
+        {
             return Ok(());
         }
         Err(InterpError::Unprotected {
@@ -512,8 +595,10 @@ impl<'m> Worker<'m> {
         let m = self.m;
         match m.mode {
             ExecMode::Global => {
-                self.session.to_acquire(Descriptor::Global { access: Access::Write });
-                self.acquire_session(1);
+                self.session.to_acquire(Descriptor::Global {
+                    access: Access::Write,
+                });
+                self.acquire_session(1)?;
                 Ok(false)
             }
             ExecMode::MultiGrain | ExecMode::Validate => {
@@ -537,7 +622,7 @@ impl<'m> Worker<'m> {
                         }
                     }
                 }
-                self.acquire_session(evaluated);
+                self.acquire_session(evaluated)?;
                 Ok(false)
             }
             ExecMode::Stm => {
@@ -549,7 +634,11 @@ impl<'m> Worker<'m> {
                         // virtual time.
                         self.flush_ticks();
                     }
-                    self.txn = Some(m.space.begin());
+                    self.txn = Some(if self.escalate {
+                        self.begin_irrevocable()
+                    } else {
+                        m.space.begin()
+                    });
                     Ok(true)
                 } else {
                     Ok(false)
@@ -558,12 +647,70 @@ impl<'m> Worker<'m> {
         }
     }
 
+    /// STM starvation fallback: begins an irrevocable transaction,
+    /// waiting for the commit gate. Under the scheduler the wait is
+    /// cooperative — we charge our own clock until the gate holder
+    /// (whose clock then becomes the minimum) runs and releases it.
+    fn begin_irrevocable(&mut self) -> tl2::Txn<'m> {
+        if self.sim.is_some() {
+            self.tick(self.m.costs.stm_fallback);
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(txn) = self.m.space.try_begin_irrevocable() {
+                return txn;
+            }
+            let spins = backoff.spins();
+            if self.sim.is_some() {
+                self.tick(spins as u64);
+            } else {
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
     /// Acquires the queued locks: blocking in real time, cooperative
     /// try/wait under the virtual scheduler (waiters inherit the
     /// releaser's clock). Charges the protocol's virtual cost.
-    fn acquire_session(&mut self, n_descriptors: u64) {
+    ///
+    /// Errors when the degradation policy trips: an acquisition timeout
+    /// or detected deadlock in real time, a wedged scheduler under
+    /// virtual time. Partially-acquired nodes are released by the
+    /// session's drop (counted as an unwind release).
+    fn acquire_session(&mut self, n_descriptors: u64) -> Result<(), Exc> {
+        let stall = match self.injector.as_mut() {
+            Some(inj) => inj.take_stall(),
+            None => None,
+        };
+        if let Some(t) = stall {
+            self.m
+                .fault_stats
+                .injected_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            if self.sim.is_some() {
+                self.tick(t);
+            } else {
+                for _ in 0..t {
+                    std::hint::spin_loop();
+                }
+            }
+        }
         match self.sim.clone() {
-            None => self.session.acquire_all(),
+            None => {
+                let cfg = self.m.mg.config();
+                if cfg.acquire_timeout.is_some() || cfg.detect_deadlocks {
+                    self.session
+                        .acquire_all_checked()
+                        .map_err(|source| InterpError::Lock {
+                            tid: self.tid,
+                            source,
+                        })?;
+                } else {
+                    self.session.acquire_all();
+                }
+            }
             Some(sim) => {
                 let held_before = self.session.held_count();
                 self.tick(self.m.costs.lock_desc * n_descriptors);
@@ -573,7 +720,20 @@ impl<'m> Worker<'m> {
                         mglock::StepResult::Done => break,
                         mglock::StepResult::WouldBlock => {
                             sim.begin_wait(self.tid as usize);
-                            sim.await_release(self.tid as usize);
+                            if !sim.await_release(self.tid as usize) {
+                                return Err(InterpError::SchedulerStalled { tid: self.tid }.into());
+                            }
+                            let delay = match self.injector.as_mut() {
+                                Some(inj) => inj.take_wakeup_delay(),
+                                None => None,
+                            };
+                            if let Some(t) = delay {
+                                self.m
+                                    .fault_stats
+                                    .injected_delays
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.tick(t);
+                            }
                         }
                     }
                 }
@@ -581,6 +741,7 @@ impl<'m> Worker<'m> {
                 self.tick(self.m.costs.lock_node * acquired);
             }
         }
+        Ok(())
     }
 
     /// Leaves a section; returns true when the outermost level closed
@@ -614,12 +775,20 @@ impl<'m> Worker<'m> {
                 if self.sec_depth > 0 {
                     return Ok(false);
                 }
-                let txn = self.txn.take().expect("txn open at section exit");
+                let txn = self.txn.take().ok_or_else(|| {
+                    Exc::Err(InterpError::Internal {
+                        detail: "no open transaction at STM section exit".into(),
+                    })
+                })?;
                 if self.sim.is_some() {
                     let writes = txn.write_set_len() as u64;
                     // Read-only transactions skip commit-time
                     // validation entirely (the TL2 fast path).
-                    let reads = if writes > 0 { txn.read_set_len() as u64 } else { 0 };
+                    let reads = if writes > 0 {
+                        txn.read_set_len() as u64
+                    } else {
+                        0
+                    };
                     self.tick(
                         m.costs.stm_commit_base
                             + m.costs.stm_commit_per_write * writes
@@ -654,12 +823,21 @@ impl<'m> Worker<'m> {
             lir::Eff::Rw => Access::Write,
         };
         match spec {
-            LockSpec::Global => {
-                Ok(Some((Descriptor::Global { access: Access::Write }, ConcreteLock::Global)))
-            }
+            LockSpec::Global => Ok(Some((
+                Descriptor::Global {
+                    access: Access::Write,
+                },
+                ConcreteLock::Global,
+            ))),
             LockSpec::Coarse { pts, eff } => Ok(Some((
-                Descriptor::Coarse { pts: *pts, access: access(*eff) },
-                ConcreteLock::Coarse { pts: PtsClass(*pts), eff: *eff },
+                Descriptor::Coarse {
+                    pts: *pts,
+                    access: access(*eff),
+                },
+                ConcreteLock::Coarse {
+                    pts: PtsClass(*pts),
+                    eff: *eff,
+                },
             ))),
             LockSpec::Fine { path, pts, eff } => {
                 let mut cur: i64;
@@ -693,7 +871,10 @@ impl<'m> Worker<'m> {
                                     addr: FineAddr::Range(cur as u64),
                                     access: access(*eff),
                                 },
-                                ConcreteLock::Range { base: cur as u64, eff: *eff },
+                                ConcreteLock::Range {
+                                    base: cur as u64,
+                                    eff: *eff,
+                                },
                             )));
                         }
                         PathOp::Field(fd) => {
@@ -717,7 +898,10 @@ impl<'m> Worker<'m> {
                         addr: FineAddr::Cell(cur as u64),
                         access: access(*eff),
                     },
-                    ConcreteLock::Cell { addr: cur as u64, eff: *eff },
+                    ConcreteLock::Cell {
+                        addr: cur as u64,
+                        eff: *eff,
+                    },
                 )))
             }
         }
@@ -734,6 +918,41 @@ fn splitmix(mut x: u64) -> u64 {
 
 // ----------------------------------------------------------------------
 // Thread harness
+
+/// Maps a caught panic payload to a typed error: injected fault panics
+/// are recognized by their payload type; anything else is a genuine
+/// worker bug, contained and reported.
+fn panic_error(tid: u32, payload: Box<dyn std::any::Any + Send>) -> InterpError {
+    if let Some(fp) = payload.downcast_ref::<FaultPanic>() {
+        InterpError::InjectedPanic { tid: fp.tid }
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        InterpError::WorkerPanicked {
+            tid,
+            detail: (*s).to_owned(),
+        }
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        InterpError::WorkerPanicked {
+            tid,
+            detail: s.clone(),
+        }
+    } else {
+        InterpError::WorkerPanicked {
+            tid,
+            detail: "opaque panic payload".to_owned(),
+        }
+    }
+}
+
+/// Converts a worker exit to the public result; `Abort` must have been
+/// consumed by its owning section.
+fn exit_error(e: Exc) -> InterpError {
+    match e {
+        Exc::Err(e) => e,
+        Exc::Abort => InterpError::Internal {
+            detail: "transaction abort escaped its owning section".into(),
+        },
+    }
+}
 
 impl Machine {
     /// Runs `name(args)` on the calling thread (thread id 0).
@@ -776,10 +995,15 @@ impl Machine {
             });
         }
         let mut w = Worker::new(self, tid);
-        match w.call(f, args) {
-            Ok(v) => Ok(v),
-            Err(Exc::Err(e)) => Err(e),
-            Err(Exc::Abort) => unreachable!("aborts are handled at their section"),
+        let r = catch_unwind(AssertUnwindSafe(|| w.call(f, args)));
+        // Drop the worker before reporting: a panicking or erroring
+        // worker may still hold locks or an open transaction, and the
+        // drop glue (session unwind-release, gate guard) frees them.
+        drop(w);
+        match r {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(exit_error(e)),
+            Err(payload) => Err(panic_error(tid, payload)),
         }
     }
 
@@ -811,19 +1035,35 @@ impl Machine {
                 handles.push(scope.spawn(move || {
                     let mut w = Worker::with_sim(self, tid, Arc::clone(&sim));
                     sim.advance(tid as usize, 0);
-                    let r = w.call(f, &argv);
-                    w.flush_ticks();
-                    sim.finish(tid as usize);
-                    match r {
-                        Ok(v) => Ok(v),
-                        Err(Exc::Err(e)) => Err(e),
-                        Err(Exc::Abort) => unreachable!("aborts handled at their section"),
+                    match catch_unwind(AssertUnwindSafe(|| w.call(f, &argv))) {
+                        Ok(Ok(v)) => {
+                            w.flush_ticks();
+                            sim.finish(tid as usize);
+                            Ok(v)
+                        }
+                        Ok(Err(e)) => {
+                            // Unclean exit: release this worker's locks
+                            // (session/transaction drop), promote any
+                            // waiters they unblocked, then leave the
+                            // schedule so the rest can finish.
+                            drop(w);
+                            sim.on_release(tid as usize);
+                            sim.finish(tid as usize);
+                            Err(exit_error(e))
+                        }
+                        Err(payload) => {
+                            drop(w);
+                            sim.on_release(tid as usize);
+                            sim.finish(tid as usize);
+                            Err(panic_error(tid, payload))
+                        }
                     }
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .enumerate()
+                .map(|(tid, h)| h.join().unwrap_or_else(|p| Err(panic_error(tid as u32, p))))
                 .collect::<Result<Vec<i64>, InterpError>>()
         })?;
         Ok((results, sim.makespan()))
@@ -853,7 +1093,8 @@ impl Machine {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .enumerate()
+                .map(|(tid, h)| h.join().unwrap_or_else(|p| Err(panic_error(tid as u32, p))))
                 .collect()
         })
     }

@@ -70,7 +70,11 @@ pub fn atomic_regions(body: &[Instr]) -> Vec<AtomicRegion> {
             Instr::ExitAtomic(s) => {
                 let (open, enter) = stack.pop().expect("unbalanced atomic brackets");
                 assert_eq!(open, *s, "mismatched atomic brackets");
-                out.push(AtomicRegion { id: *s, enter, exit: i as u32 });
+                out.push(AtomicRegion {
+                    id: *s,
+                    enter,
+                    exit: i as u32,
+                });
             }
             _ => {}
         }
@@ -121,8 +125,8 @@ mod tests {
         let body = &p.functions[0].body;
         let preds = predecessors(body);
         assert!(preds[0].is_empty());
-        for i in 1..body.len() {
-            assert_eq!(preds[i], vec![i as u32 - 1]);
+        for (i, ps) in preds.iter().enumerate().take(body.len()).skip(1) {
+            assert_eq!(*ps, vec![i as u32 - 1]);
         }
     }
 

@@ -266,7 +266,10 @@ impl PathExpr {
 
     /// The lock `x̄`.
     pub fn var(base: VarId) -> Self {
-        PathExpr { base, ops: Vec::new() }
+        PathExpr {
+            base,
+            ops: Vec::new(),
+        }
     }
 }
 
@@ -340,12 +343,18 @@ pub struct Function {
 impl Function {
     /// The exit program point (after the last instruction).
     pub fn exit_point(&self) -> Point {
-        Point { func: self.id, idx: self.body.len() as u32 }
+        Point {
+            func: self.id,
+            idx: self.body.len() as u32,
+        }
     }
 
     /// The entry program point.
     pub fn entry_point(&self) -> Point {
-        Point { func: self.id, idx: 0 }
+        Point {
+            func: self.id,
+            idx: 0,
+        }
     }
 }
 
@@ -380,17 +389,16 @@ impl Program {
     /// first use.
     pub fn elem_field(&mut self) -> FieldId {
         let name = self.interner.intern("[]");
-        if let Some((i, _)) = self
-            .fields
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.dynamic)
-        {
+        if let Some((i, _)) = self.fields.iter().enumerate().find(|(_, f)| f.dynamic) {
             debug_assert_eq!(self.fields[i].name, name);
             return FieldId(i as u32);
         }
         let id = FieldId(self.fields.len() as u32);
-        self.fields.push(FieldInfo { name, offset: 0, dynamic: true });
+        self.fields.push(FieldInfo {
+            name,
+            offset: 0,
+            dynamic: true,
+        });
         id
     }
 
@@ -528,7 +536,12 @@ mod tests {
     fn thread_locality() {
         let mut p = Program::new();
         let n = p.interner.intern("x");
-        let g = p.add_var(VarInfo { name: n, owner: None, kind: VarKind::Global, addr_taken: false });
+        let g = p.add_var(VarInfo {
+            name: n,
+            owner: None,
+            kind: VarKind::Global,
+            addr_taken: false,
+        });
         let l = p.add_var(VarInfo {
             name: n,
             owner: Some(FnId(0)),

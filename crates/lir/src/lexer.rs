@@ -294,7 +294,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     push!(Tok::PipePipe);
                     i += 2;
                 } else {
-                    return Err(LexError { line, message: "single `|` is not an operator".into() });
+                    return Err(LexError {
+                        line,
+                        message: "single `|` is not an operator".into(),
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
@@ -336,11 +339,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 push!(tok);
             }
             other => {
-                return Err(LexError { line, message: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, line });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -417,13 +426,16 @@ mod tests {
 
     #[test]
     fn arrow_vs_minus() {
-        assert_eq!(toks("a - b -> c"), vec![
-            Tok::Ident("a".into()),
-            Tok::Minus,
-            Tok::Ident("b".into()),
-            Tok::Arrow,
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a - b -> c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
     }
 }

@@ -96,13 +96,20 @@ pub fn lower(module: &SModule) -> Result<Program, LowerError> {
             } else {
                 let sym = program.interner.intern(fname);
                 let id = FieldId(program.fields.len() as u32);
-                program.fields.push(FieldInfo { name: sym, offset, dynamic: false });
+                program.fields.push(FieldInfo {
+                    name: sym,
+                    offset,
+                    dynamic: false,
+                });
                 field_ids.insert(fname.clone(), id);
                 fids.push(id);
             }
         }
         structs.insert(s.name.clone(), program.structs.len());
-        program.structs.push(StructInfo { name: name_sym, fields: fids });
+        program.structs.push(StructInfo {
+            name: name_sym,
+            fields: fids,
+        });
     }
 
     let mut globals: HashMap<String, VarId> = HashMap::new();
@@ -131,8 +138,12 @@ pub fn lower(module: &SModule) -> Result<Program, LowerError> {
         }
         fn_ids.insert(f.name.clone(), FnId(i as u32));
     }
-    let arity: HashMap<FnId, usize> =
-        module.funcs.iter().enumerate().map(|(i, f)| (FnId(i as u32), f.params.len())).collect();
+    let arity: HashMap<FnId, usize> = module
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (FnId(i as u32), f.params.len()))
+        .collect();
 
     for (i, f) in module.funcs.iter().enumerate() {
         let id = FnId(i as u32);
@@ -168,9 +179,18 @@ pub fn lower(module: &SModule) -> Result<Program, LowerError> {
         }
         ctx.stmts(&f.body)?;
         ctx.instrs.push(Instr::Ret);
-        let FnCtx { instrs, mut locals, .. } = ctx;
+        let FnCtx {
+            instrs, mut locals, ..
+        } = ctx;
         locals.push(ret);
-        program.add_function(Function { id, name: name_sym, params, locals, ret, body: instrs });
+        program.add_function(Function {
+            id,
+            name: name_sym,
+            params,
+            locals,
+            ret,
+            body: instrs,
+        });
     }
 
     Ok(program)
@@ -226,7 +246,10 @@ impl FnCtx<'_> {
 
     fn declare(&mut self, name: &str, kind: VarKind) -> Result<VarId, LowerError> {
         if self.scopes.last().unwrap().contains_key(name) {
-            return err(format!("`{name}` declared twice in the same scope of `{}`", self.fn_name));
+            return err(format!(
+                "`{name}` declared twice in the same scope of `{}`",
+                self.fn_name
+            ));
         }
         let sym = self.program.interner.intern(name);
         let v = self.program.add_var(VarInfo {
@@ -340,7 +363,10 @@ impl FnCtx<'_> {
                 let cv = self.lower_val(c)?;
                 let br = self.emit(Instr::Branch(cv, 0, 0));
                 let body_start = self.here();
-                self.loops.push(LoopCtx { continue_target: head, break_patches: Vec::new() });
+                self.loops.push(LoopCtx {
+                    continue_target: head,
+                    break_patches: Vec::new(),
+                });
                 self.scoped(body)?;
                 self.emit(Instr::Jump(head));
                 let end = self.here();
@@ -384,16 +410,14 @@ impl FnCtx<'_> {
                     None => err(format!("`break` outside a loop in `{}`", self.fn_name)),
                 }
             }
-            SStmt::Continue => {
-                match self.loops.last() {
-                    Some(lp) => {
-                        let target = lp.continue_target;
-                        self.emit(Instr::Jump(target));
-                        Ok(())
-                    }
-                    None => err(format!("`continue` outside a loop in `{}`", self.fn_name)),
+            SStmt::Continue => match self.loops.last() {
+                Some(lp) => {
+                    let target = lp.continue_target;
+                    self.emit(Instr::Jump(target));
+                    Ok(())
                 }
-            }
+                None => err(format!("`continue` outside a loop in `{}`", self.fn_name)),
+            },
             SStmt::Block(body) => self.scoped(body),
         }
     }
@@ -455,10 +479,9 @@ impl FnCtx<'_> {
                 self.emit(Instr::Assign(dest, rv));
             }
             SExpr::NewStruct(name) => {
-                let &si = self
-                    .structs
-                    .get(name)
-                    .ok_or_else(|| LowerError { message: format!("unknown struct `{name}`") })?;
+                let &si = self.structs.get(name).ok_or_else(|| LowerError {
+                    message: format!("unknown struct `{name}`"),
+                })?;
                 let size = self.program.structs[si].fields.len().max(1);
                 self.emit(Instr::Assign(dest, Rvalue::Alloc(size)));
             }
@@ -562,14 +585,16 @@ impl FnCtx<'_> {
         }
         if let Some((intr, n)) = is_intrinsic(name) {
             if vals.len() != n {
-                return err(format!("intrinsic `{name}` expects {n} argument(s), got {}", vals.len()));
+                return err(format!(
+                    "intrinsic `{name}` expects {n} argument(s), got {}",
+                    vals.len()
+                ));
             }
             return Ok(Rvalue::Intrinsic(intr, vals));
         }
-        let &fid = self
-            .fn_ids
-            .get(name)
-            .ok_or_else(|| LowerError { message: format!("unknown function `{name}`") })?;
+        let &fid = self.fn_ids.get(name).ok_or_else(|| LowerError {
+            message: format!("unknown function `{name}`"),
+        })?;
         let want = self.arity[&fid];
         if vals.len() != want {
             return err(format!(
@@ -599,7 +624,10 @@ impl FnCtx<'_> {
         let jmp = self.emit(Instr::Jump(0));
         // Path where the first operand decides the result:
         let decided = self.here();
-        self.emit(Instr::Assign(dest, Rvalue::ConstInt(if is_and { 0 } else { 1 })));
+        self.emit(Instr::Assign(
+            dest,
+            Rvalue::ConstInt(if is_and { 0 } else { 1 }),
+        ));
         let end = self.here();
         self.instrs[br] = if is_and {
             Instr::Branch(va, eval_b, decided)
@@ -651,7 +679,9 @@ mod tests {
     fn lowers_field_store_to_canonical_forms() {
         let (p, b) = body("struct s { f; g; } fn main(p) { p->g = null; }");
         // t0 = p + g ; t1 = null; *t0 = t1  (order: rhs first, then addr)
-        assert!(b.iter().any(|i| matches!(i, I::Assign(_, Rvalue::FieldAddr(_, _)))));
+        assert!(b
+            .iter()
+            .any(|i| matches!(i, I::Assign(_, Rvalue::FieldAddr(_, _)))));
         assert!(b.iter().any(|i| matches!(i, I::Store(_, _))));
         assert_eq!(p.functions[0].params.len(), 1);
     }
@@ -659,7 +689,10 @@ mod tests {
     #[test]
     fn lowers_index_to_dynaddr() {
         let (_, b) = body("fn main(a, i) { let x = a[i]; a[i] = x; }");
-        let dyns = b.iter().filter(|i| matches!(i, I::Assign(_, Rvalue::DynAddr(..)))).count();
+        let dyns = b
+            .iter()
+            .filter(|i| matches!(i, I::Assign(_, Rvalue::DynAddr(..))))
+            .count();
         assert_eq!(dyns, 2);
     }
 
@@ -675,7 +708,10 @@ mod tests {
         let (_, b) = body("struct s { f; } fn main(x) { let c = x != null && x->f == null; }");
         // Must not unconditionally load x->f: there is a branch before it.
         let branch_pos = b.iter().position(|i| matches!(i, I::Branch(..))).unwrap();
-        let load_pos = b.iter().position(|i| matches!(i, I::Assign(_, Rvalue::Load(_)))).unwrap();
+        let load_pos = b
+            .iter()
+            .position(|i| matches!(i, I::Assign(_, Rvalue::Load(_))))
+            .unwrap();
         assert!(branch_pos < load_pos);
     }
 
@@ -693,9 +729,8 @@ mod tests {
 
     #[test]
     fn break_and_continue_resolve() {
-        let (_, b) = body(
-            "fn main(x) { while (1 == 1) { if (x == null) { break; } continue; } return x; }",
-        );
+        let (_, b) =
+            body("fn main(x) { while (1 == 1) { if (x == null) { break; } continue; } return x; }");
         // No unpatched Jump(0) to a Branch... just check all jumps in range.
         for i in &b {
             if let I::Jump(t) = i {
@@ -743,7 +778,9 @@ mod tests {
     #[test]
     fn call_lowering() {
         let (p, b) = body("fn main(q) { let r = helper(q, q); } fn helper(a, b) { return a; }");
-        assert!(b.iter().any(|i| matches!(i, I::Assign(_, Rvalue::Call(FnId(1), args)) if args.len() == 2)));
+        assert!(b
+            .iter()
+            .any(|i| matches!(i, I::Assign(_, Rvalue::Call(FnId(1), args)) if args.len() == 2)));
         assert_eq!(p.functions.len(), 2);
     }
 

@@ -40,7 +40,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -87,7 +90,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: msg.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
     }
 
     fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
@@ -160,7 +166,12 @@ impl Parser {
                         }
                     }
                     let body = self.block()?;
-                    m.funcs.push(SFunc { name, params, body, line });
+                    m.funcs.push(SFunc {
+                        name,
+                        params,
+                        body,
+                        line,
+                    });
                 }
                 other => return self.err(format!("expected item, found {other}")),
             }
@@ -182,7 +193,11 @@ impl Parser {
             Tok::Let => {
                 self.bump();
                 let name = self.ident()?;
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Semi)?;
                 Ok(SStmt::Let(name, init))
             }
@@ -200,7 +215,11 @@ impl Parser {
             }
             Tok::Return => {
                 self.bump();
-                let val = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let val = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 Ok(SStmt::Return(val))
             }
@@ -430,7 +449,9 @@ impl Parser {
                         self.expect(Tok::RParen)?;
                         Ok(SExpr::NewArray(Box::new(n)))
                     }
-                    other => self.err(format!("expected struct name or `(` after `new`, found {other}")),
+                    other => self.err(format!(
+                        "expected struct name or `(` after `new`, found {other}"
+                    )),
                 }
             }
             Tok::LParen => {
@@ -446,7 +467,10 @@ impl Parser {
 
 /// Whether a surface expression can appear on the left of `=` or under `&`.
 fn is_lvalue(e: &SExpr) -> bool {
-    matches!(e, SExpr::Var(_) | SExpr::Deref(_) | SExpr::Arrow(..) | SExpr::Index(..))
+    matches!(
+        e,
+        SExpr::Var(_) | SExpr::Deref(_) | SExpr::Arrow(..) | SExpr::Index(..)
+    )
 }
 
 #[cfg(test)]
@@ -483,7 +507,9 @@ mod tests {
     #[test]
     fn parses_precedence() {
         let m = parse("fn f() { let x = 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
-        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else { panic!() };
+        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else {
+            panic!()
+        };
         // && binds loosest here.
         assert!(matches!(e, SExpr::Binop(BinKind::And, ..)));
     }
@@ -491,7 +517,9 @@ mod tests {
     #[test]
     fn parses_postfix_chains() {
         let m = parse("fn f(p) { let x = p->a->b[3]; }").unwrap();
-        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else { panic!() };
+        let SStmt::Let(_, Some(e)) = &m.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e, SExpr::Index(..)));
     }
 
@@ -512,7 +540,9 @@ mod tests {
     #[test]
     fn parses_else_if_chain() {
         let m = parse("fn f(x) { if (x == 1) { } else if (x == 2) { } else { } }").unwrap();
-        let SStmt::If(_, _, els) = &m.funcs[0].body[0] else { panic!() };
+        let SStmt::If(_, _, els) = &m.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(els[0], SStmt::If(..)));
     }
 

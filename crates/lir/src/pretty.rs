@@ -141,9 +141,15 @@ mod tests {
         let p = compile("struct list { head; } fn f(to) { let x = to->head; }").unwrap();
         let to = p.functions[0].params[0];
         let head = FieldId(
-            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "head").unwrap() as u32,
+            p.fields
+                .iter()
+                .position(|fi| p.interner.resolve(fi.name) == "head")
+                .unwrap() as u32,
         );
-        let path = PathExpr { base: to, ops: vec![PathOp::Deref, PathOp::Field(head)] };
+        let path = PathExpr {
+            base: to,
+            ops: vec![PathOp::Deref, PathOp::Field(head)],
+        };
         assert_eq!(p.render_path(&path), "&(*to).head");
         assert_eq!(p.render_path(&PathExpr::var(to)), "&to");
     }
@@ -162,8 +168,18 @@ mod tests {
         let p = compile("fn main(x) { let y = x; }").unwrap();
         let x = p.functions[0].params[0];
         assert_eq!(p.render_lock(&LockSpec::Global), "GLOBAL[rw]");
-        assert_eq!(p.render_lock(&LockSpec::Coarse { pts: 3, eff: Eff::Ro }), "coarse[ro] P3");
-        let fine = LockSpec::Fine { path: PathExpr::var(x), pts: 1, eff: Eff::Rw };
+        assert_eq!(
+            p.render_lock(&LockSpec::Coarse {
+                pts: 3,
+                eff: Eff::Ro
+            }),
+            "coarse[ro] P3"
+        );
+        let fine = LockSpec::Fine {
+            path: PathExpr::var(x),
+            pts: 1,
+            eff: Eff::Rw,
+        };
         assert_eq!(p.render_lock(&fine), "fine[rw] &x in P1");
     }
 }

@@ -62,8 +62,11 @@ fn expr() -> BoxedStrategy<SExpr> {
             inner.clone().prop_map(|n| SExpr::NewArray(Box::new(n))),
             (ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(f, args)| SExpr::Call(f, args)),
-            (binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| SExpr::Binop(op, Box::new(a), Box::new(b))),
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| SExpr::Binop(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|e| SExpr::Not(Box::new(e))),
             inner.prop_map(|e| SExpr::Neg(Box::new(e))),
         ]
@@ -86,8 +89,7 @@ fn stmt() -> BoxedStrategy<SStmt> {
             let body = prop::collection::vec(inner.clone(), 0..3);
             prop_oneof![
                 body.clone().prop_map(SStmt::Atomic),
-                (expr(), body.clone(), body.clone())
-                    .prop_map(|(c, t, e)| SStmt::If(c, t, e)),
+                (expr(), body.clone(), body.clone()).prop_map(|(c, t, e)| SStmt::If(c, t, e)),
                 (expr(), body.clone()).prop_map(|(c, b)| SStmt::While(c, b)),
                 body.prop_map(SStmt::Block),
             ]
@@ -106,14 +108,27 @@ fn module() -> impl Strategy<Value = SModule> {
         ),
         prop::collection::vec(ident(), 0..3),
         prop::collection::vec(
-            (ident(), prop::collection::vec(ident(), 0..3), prop::collection::vec(stmt(), 0..5))
-                .prop_map(|(name, params, body)| SFunc { name, params, body, line: 0 }),
+            (
+                ident(),
+                prop::collection::vec(ident(), 0..3),
+                prop::collection::vec(stmt(), 0..5),
+            )
+                .prop_map(|(name, params, body)| SFunc {
+                    name,
+                    params,
+                    body,
+                    line: 0,
+                }),
             1..3,
         ),
     )
         .prop_map(|(structs, mut globals, funcs)| {
             globals.dedup();
-            SModule { structs, globals, funcs }
+            SModule {
+                structs,
+                globals,
+                funcs,
+            }
         })
 }
 

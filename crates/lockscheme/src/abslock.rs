@@ -26,12 +26,20 @@ pub struct AbsLock {
 impl AbsLock {
     /// The global lock `⊤ = (Loc, rw)`.
     pub fn global() -> AbsLock {
-        AbsLock { path: None, pts: None, eff: Eff::Rw }
+        AbsLock {
+            path: None,
+            pts: None,
+            eff: Eff::Rw,
+        }
     }
 
     /// The coarse lock `(⊤, P, ε)` protecting a points-to partition.
     pub fn coarse(pts: PtsClass, eff: Eff) -> AbsLock {
-        AbsLock { path: None, pts: Some(pts), eff }
+        AbsLock {
+            path: None,
+            pts: Some(pts),
+            eff,
+        }
     }
 
     /// A fine expression lock, with its points-to component derived
@@ -43,7 +51,11 @@ impl AbsLock {
     /// access).
     pub fn fine(path: PathExpr, eff: Eff, pt: &PointsTo) -> Option<AbsLock> {
         let pts = pt.class_of_path(&path)?;
-        Some(AbsLock { path: Some(path), pts: Some(pts), eff })
+        Some(AbsLock {
+            path: Some(path),
+            pts: Some(pts),
+            eff,
+        })
     }
 
     /// True for the global lock.
@@ -83,17 +95,27 @@ impl AbsLock {
             _ => None,
         };
         // If the paths differ the expression component is ⊤; the pts
-        // component may still agree.
-        let pts = if path.is_some() { pts } else { pts };
-        AbsLock { path, pts, eff: self.eff.join(other.eff) }
+        // component may still agree and is kept either way.
+        AbsLock {
+            path,
+            pts,
+            eff: self.eff.join(other.eff),
+        }
     }
 
     /// Conversion to the transformed-program representation.
     pub fn to_spec(&self) -> LockSpec {
         match (&self.path, &self.pts) {
             (None, None) => LockSpec::Global,
-            (None, Some(p)) => LockSpec::Coarse { pts: p.0, eff: self.eff },
-            (Some(e), Some(p)) => LockSpec::Fine { path: e.clone(), pts: p.0, eff: self.eff },
+            (None, Some(p)) => LockSpec::Coarse {
+                pts: p.0,
+                eff: self.eff,
+            },
+            (Some(e), Some(p)) => LockSpec::Fine {
+                path: e.clone(),
+                pts: p.0,
+                eff: self.eff,
+            },
             (Some(_), None) => unreachable!("fine locks always carry a points-to class"),
         }
     }
@@ -119,7 +141,13 @@ pub struct SchemeConfig {
 impl SchemeConfig {
     /// The paper's full product scheme with expression bound `k`.
     pub fn full(k: usize, elem_field: Option<lir::FieldId>) -> SchemeConfig {
-        SchemeConfig { k, use_expr: true, use_pts: true, use_eff: true, elem_field }
+        SchemeConfig {
+            k,
+            use_expr: true,
+            use_pts: true,
+            use_eff: true,
+            elem_field,
+        }
     }
 
     /// Applies component toggles and representation invariants.
@@ -150,7 +178,9 @@ impl SchemeConfig {
     /// k-limiting + evaluability demotion (see [`AbsLock::normalize`]),
     /// with this config's dynamic-field knowledge.
     fn limit(&self, lock: AbsLock, pt: &PointsTo) -> Option<AbsLock> {
-        let Some(path) = &lock.path else { return Some(lock) };
+        let Some(path) = &lock.path else {
+            return Some(lock);
+        };
         let evaluable = path.ops.iter().enumerate().all(|(i, op)| match op {
             // The anonymous `[]` offset covers *all* elements, so it can
             // only be the final step (the runtime locks the whole
@@ -168,9 +198,17 @@ impl SchemeConfig {
         // charge the base at 1 but keep ops as the dominant term.
         let length = path.ops.len().max(1);
         if length > self.k || !evaluable {
-            Some(AbsLock { path: None, pts: Some(class), eff: lock.eff })
+            Some(AbsLock {
+                path: None,
+                pts: Some(class),
+                eff: lock.eff,
+            })
         } else {
-            Some(AbsLock { path: lock.path, pts: Some(class), eff: lock.eff })
+            Some(AbsLock {
+                path: lock.path,
+                pts: Some(class),
+                eff: lock.eff,
+            })
         }
     }
 }
@@ -261,7 +299,10 @@ mod tests {
         for x in &samples {
             for y in &samples {
                 let j = x.join(y);
-                assert!(x.leq(&j) && y.leq(&j), "join is an upper bound: {x} {y} -> {j}");
+                assert!(
+                    x.leq(&j) && y.leq(&j),
+                    "join is an upper bound: {x} {y} -> {j}"
+                );
                 assert_eq!(x.join(y), y.join(x), "join commutes");
                 for z in &samples {
                     if x.leq(z) && y.leq(z) {
@@ -274,14 +315,24 @@ mod tests {
 
     #[test]
     fn k_limit_promotes_to_coarse() {
-        let (p, pt) = pt_for(
-            "struct s { f; } fn main(a) { let b = a->f; let c = b->f; let d = c->f; }",
-        );
+        let (p, pt) =
+            pt_for("struct s { f; } fn main(a) { let b = a->f; let c = b->f; let d = c->f; }");
         let a = p.functions[0].params[0];
         let f = lir::FieldId(
-            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "f").unwrap() as u32,
+            p.fields
+                .iter()
+                .position(|fi| p.interner.resolve(fi.name) == "f")
+                .unwrap() as u32,
         );
-        let long = path(a, vec![PathOp::Deref, PathOp::Field(f), PathOp::Deref, PathOp::Field(f)]);
+        let long = path(
+            a,
+            vec![
+                PathOp::Deref,
+                PathOp::Field(f),
+                PathOp::Deref,
+                PathOp::Field(f),
+            ],
+        );
         let lock = AbsLock::fine(long.clone(), Eff::Rw, &pt).unwrap();
         let cfg3 = SchemeConfig::full(3, p.elem_field_opt());
         let n = cfg3.normalize(lock.clone(), &pt).unwrap();
@@ -299,8 +350,12 @@ mod tests {
         let elem = p.elem_field_opt().unwrap();
         let cfg = SchemeConfig::full(9, Some(elem));
         // &a[i] — elem in final position: stays fine.
-        let tail = AbsLock::fine(path(a, vec![PathOp::Deref, PathOp::Field(elem)]), Eff::Rw, &pt)
-            .unwrap();
+        let tail = AbsLock::fine(
+            path(a, vec![PathOp::Deref, PathOp::Field(elem)]),
+            Eff::Rw,
+            &pt,
+        )
+        .unwrap();
         let n = cfg.normalize(tail, &pt).unwrap();
         assert!(n.path.is_some());
         // *(a[i]) — elem mid-path: demoted to coarse.
@@ -364,8 +419,17 @@ mod tests {
         let a = p.functions[0].params[0];
         assert_eq!(AbsLock::global().to_spec(), LockSpec::Global);
         let fine = AbsLock::fine(path(a, vec![]), Eff::Ro, &pt).unwrap();
-        assert!(matches!(fine.to_spec(), LockSpec::Fine { eff: Eff::Ro, .. }));
+        assert!(matches!(
+            fine.to_spec(),
+            LockSpec::Fine { eff: Eff::Ro, .. }
+        ));
         let coarse = AbsLock::coarse(PtsClass(2), Eff::Rw);
-        assert_eq!(coarse.to_spec(), LockSpec::Coarse { pts: 2, eff: Eff::Rw });
+        assert_eq!(
+            coarse.to_spec(),
+            LockSpec::Coarse {
+                pts: 2,
+                eff: Eff::Rw
+            }
+        );
     }
 }

@@ -76,7 +76,10 @@ impl ConcreteLock {
         universe: impl IntoIterator<Item = u64>,
         model: &M,
     ) -> (BTreeSet<u64>, Eff) {
-        let set = universe.into_iter().filter(|&l| self.covers(l, model)).collect();
+        let set = universe
+            .into_iter()
+            .filter(|&l| self.covers(l, model))
+            .collect();
         (set, self.eff())
     }
 }
@@ -116,7 +119,7 @@ mod tests {
     struct Toy;
     impl LocationModel for Toy {
         fn class_of(&self, loc: u64) -> Option<PtsClass> {
-            (loc < 10).then(|| PtsClass((loc / 5) as u32))
+            (loc < 10).then_some(PtsClass((loc / 5) as u32))
         }
         fn extent_of(&self, loc: u64) -> Option<(u64, u64)> {
             (loc < 10).then(|| (loc / 5 * 5, 5))
@@ -135,21 +138,33 @@ mod tests {
 
     #[test]
     fn coarse_covers_its_class_only() {
-        let c = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
+        let c = ConcreteLock::Coarse {
+            pts: PtsClass(0),
+            eff: Eff::Rw,
+        };
         assert!(c.protects(3, Eff::Rw, &Toy));
         assert!(!c.protects(7, Eff::Ro, &Toy));
     }
 
     #[test]
     fn effects_limit_protection() {
-        let ro = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
+        let ro = ConcreteLock::Cell {
+            addr: 2,
+            eff: Eff::Ro,
+        };
         assert!(ro.protects(2, Eff::Ro, &Toy));
-        assert!(!ro.protects(2, Eff::Rw, &Toy), "a read lock does not license writes");
+        assert!(
+            !ro.protects(2, Eff::Rw, &Toy),
+            "a read lock does not license writes"
+        );
     }
 
     #[test]
     fn range_lock_covers_the_allocation() {
-        let r = ConcreteLock::Range { base: 5, eff: Eff::Rw };
+        let r = ConcreteLock::Range {
+            base: 5,
+            eff: Eff::Rw,
+        };
         for l in 5..10 {
             assert!(r.protects(l, Eff::Rw, &Toy));
         }
@@ -158,19 +173,43 @@ mod tests {
 
     #[test]
     fn conflict_requires_overlap_and_a_writer() {
-        let a = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
-        let b = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Ro };
-        let w = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
-        let far = ConcreteLock::Cell { addr: 9, eff: Eff::Rw };
-        assert!(!conflict(&a, &b, &UNIVERSE, &Toy), "two readers never conflict");
+        let a = ConcreteLock::Cell {
+            addr: 2,
+            eff: Eff::Ro,
+        };
+        let b = ConcreteLock::Coarse {
+            pts: PtsClass(0),
+            eff: Eff::Ro,
+        };
+        let w = ConcreteLock::Coarse {
+            pts: PtsClass(0),
+            eff: Eff::Rw,
+        };
+        let far = ConcreteLock::Cell {
+            addr: 9,
+            eff: Eff::Rw,
+        };
+        assert!(
+            !conflict(&a, &b, &UNIVERSE, &Toy),
+            "two readers never conflict"
+        );
         assert!(conflict(&a, &w, &UNIVERSE, &Toy));
-        assert!(!conflict(&a, &far, &UNIVERSE, &Toy), "disjoint locks never conflict");
+        assert!(
+            !conflict(&a, &far, &UNIVERSE, &Toy),
+            "disjoint locks never conflict"
+        );
     }
 
     #[test]
     fn coarser_matches_the_lattice() {
-        let fine = ConcreteLock::Cell { addr: 2, eff: Eff::Ro };
-        let class = ConcreteLock::Coarse { pts: PtsClass(0), eff: Eff::Rw };
+        let fine = ConcreteLock::Cell {
+            addr: 2,
+            eff: Eff::Ro,
+        };
+        let class = ConcreteLock::Coarse {
+            pts: PtsClass(0),
+            eff: Eff::Rw,
+        };
         assert!(coarser(&class, &fine, &UNIVERSE, &Toy));
         assert!(!coarser(&fine, &class, &UNIVERSE, &Toy));
         assert!(coarser(&ConcreteLock::Global, &class, &UNIVERSE, &Toy));

@@ -336,14 +336,26 @@ mod tests {
         let a = p.functions[0].params[0];
         let b = p.functions[0].params[1];
         let f = FieldId(
-            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "f").unwrap() as u32,
+            p.fields
+                .iter()
+                .position(|fi| p.interner.resolve(fi.name) == "f")
+                .unwrap() as u32,
         );
         let paths = vec![
             PathExpr::var(a),
             PathExpr::var(b),
-            PathExpr { base: a, ops: vec![PathOp::Deref] },
-            PathExpr { base: a, ops: vec![PathOp::Deref, PathOp::Field(f)] },
-            PathExpr { base: b, ops: vec![PathOp::Deref, PathOp::Field(f), PathOp::Deref] },
+            PathExpr {
+                base: a,
+                ops: vec![PathOp::Deref],
+            },
+            PathExpr {
+                base: a,
+                ops: vec![PathOp::Deref, PathOp::Field(f)],
+            },
+            PathExpr {
+                base: b,
+                ops: vec![PathOp::Deref, PathOp::Field(f), PathOp::Deref],
+            },
         ];
         (p, pt, paths)
     }
@@ -363,7 +375,11 @@ mod tests {
         assert_eq!(s.path(&paths[4], Eff::Rw), None);
         assert!(s.path(&paths[3], Eff::Rw).is_some());
         let s0 = KExprScheme { k: 0 };
-        assert_eq!(s0.path(&paths[0], Eff::Rw), None, "x̄ has length 1: k=0 is all-coarse");
+        assert_eq!(
+            s0.path(&paths[0], Eff::Rw),
+            None,
+            "x̄ has length 1: k=0 is all-coarse"
+        );
         assert_eq!(s0.path(&paths[2], Eff::Rw), None);
         let s1 = KExprScheme { k: 1 };
         assert!(s1.path(&paths[0], Eff::Rw).is_some());
@@ -395,7 +411,10 @@ mod tests {
         let s = FieldScheme;
         check_lattice_laws(&s, &sample_locks(&s, &paths));
         let f = FieldId(
-            p.fields.iter().position(|fi| p.interner.resolve(fi.name) == "f").unwrap() as u32,
+            p.fields
+                .iter()
+                .position(|fi| p.interner.resolve(fi.name) == "f")
+                .unwrap() as u32,
         );
         assert_eq!(s.path(&paths[3], Eff::Rw), Some(BTreeSet::from([f])));
         // A trailing deref forgets the field.
@@ -405,7 +424,10 @@ mod tests {
     #[test]
     fn product_composes_soundly() {
         let (_, pt, paths) = fixtures();
-        let s = Product(KExprScheme { k: 3 }, Product(PtsScheme { pt: &pt }, EffScheme));
+        let s = Product(
+            KExprScheme { k: 3 },
+            Product(PtsScheme { pt: &pt }, EffScheme),
+        );
         check_lattice_laws(&s, &sample_locks(&s, &paths));
         let l = s.path(&paths[3], Eff::Ro);
         assert!(l.0.is_some(), "expression component survives k=3");

@@ -26,13 +26,17 @@
 //! session.release_all();
 //! ```
 
+pub mod error;
 pub mod modelock;
 pub mod modes;
 pub mod runtime;
 
+pub use error::MgLockError;
 pub use modelock::ModeLock;
 pub use modes::Mode;
-pub use runtime::{Access, Descriptor, FineAddr, Runtime, Session, Stats, StepResult};
+pub use runtime::{
+    Access, Descriptor, FineAddr, Runtime, RuntimeConfig, Session, Stats, StepResult,
+};
 
 #[cfg(test)]
 mod tests {
@@ -42,7 +46,11 @@ mod tests {
     use std::time::Duration;
 
     fn fine(pts: u32, cell: u64, access: Access) -> Descriptor {
-        Descriptor::Fine { pts, addr: FineAddr::Cell(cell), access }
+        Descriptor::Fine {
+            pts,
+            addr: FineAddr::Cell(cell),
+            access,
+        }
     }
 
     #[test]
@@ -99,7 +107,10 @@ mod tests {
     fn coarse_lock_excludes_fine_writers_in_its_partition() {
         let rt = Arc::new(Runtime::new());
         let mut holder = Session::new(Arc::clone(&rt));
-        holder.to_acquire(Descriptor::Coarse { pts: 5, access: Access::Write });
+        holder.to_acquire(Descriptor::Coarse {
+            pts: 5,
+            access: Access::Write,
+        });
         holder.acquire_all();
 
         let rt2 = Arc::clone(&rt);
@@ -113,7 +124,11 @@ mod tests {
             s.release_all();
         });
         std::thread::sleep(Duration::from_millis(40));
-        assert_eq!(entered.load(Ordering::SeqCst), 0, "fine writer blocked by coarse X");
+        assert_eq!(
+            entered.load(Ordering::SeqCst),
+            0,
+            "fine writer blocked by coarse X"
+        );
         holder.release_all();
         h.join().unwrap();
         assert_eq!(entered.load(Ordering::SeqCst), 1);
@@ -129,7 +144,10 @@ mod tests {
             let barrier = Arc::clone(&barrier);
             handles.push(std::thread::spawn(move || {
                 let mut s = Session::new(rt);
-                s.to_acquire(Descriptor::Coarse { pts: 1, access: Access::Read });
+                s.to_acquire(Descriptor::Coarse {
+                    pts: 1,
+                    access: Access::Read,
+                });
                 s.acquire_all();
                 barrier.wait();
                 s.release_all();
@@ -144,7 +162,9 @@ mod tests {
     fn global_lock_excludes_everything() {
         let rt = Arc::new(Runtime::new());
         let mut g = Session::new(Arc::clone(&rt));
-        g.to_acquire(Descriptor::Global { access: Access::Write });
+        g.to_acquire(Descriptor::Global {
+            access: Access::Write,
+        });
         g.acquire_all();
 
         let rt2 = Arc::clone(&rt);
@@ -211,7 +231,11 @@ mod tests {
     fn range_and_cell_locks_are_distinct_nodes() {
         let rt = Arc::new(Runtime::new());
         let mut a = Session::new(Arc::clone(&rt));
-        a.to_acquire(Descriptor::Fine { pts: 0, addr: FineAddr::Range(64), access: Access::Write });
+        a.to_acquire(Descriptor::Fine {
+            pts: 0,
+            addr: FineAddr::Range(64),
+            access: Access::Write,
+        });
         a.acquire_all();
         // A cell lock at the same numeric address is a different node;
         // at this layer it does not conflict (the *compiler* guarantees
@@ -256,11 +280,15 @@ mod tests {
         let mut stepper = Session::new(Arc::clone(&rt));
         stepper.to_acquire(fine(0, 9, Access::Write)); // free
         stepper.to_acquire(fine(1, 5, Access::Write)); // held by holder
-        // Progresses up to the contended node, then parks.
+                                                       // Progresses up to the contended node, then parks.
         assert_eq!(stepper.acquire_all_step(), StepResult::WouldBlock);
         let partial = stepper.held_count();
         assert!(partial >= 1, "earlier nodes stay held");
-        assert_eq!(stepper.acquire_all_step(), StepResult::WouldBlock, "still blocked");
+        assert_eq!(
+            stepper.acquire_all_step(),
+            StepResult::WouldBlock,
+            "still blocked"
+        );
         holder.release_all();
         assert_eq!(stepper.acquire_all_step(), StepResult::Done);
         assert_eq!(stepper.nesting_level(), 1);
@@ -311,6 +339,125 @@ mod tests {
         s.release_all();
         assert_eq!(r.acquire_all_step(), runtime::StepResult::Done);
         r.release_all();
+    }
+
+    #[test]
+    fn checked_acquisition_times_out_and_releases_partial() {
+        let rt = Arc::new(Runtime::with_config(RuntimeConfig {
+            acquire_timeout: Some(Duration::from_millis(40)),
+            detect_deadlocks: false,
+        }));
+        let mut holder = Session::new(Arc::clone(&rt));
+        holder.to_acquire(fine(1, 5, Access::Write));
+        holder.acquire_all();
+
+        let mut s = Session::new(Arc::clone(&rt));
+        s.to_acquire(fine(0, 9, Access::Write)); // free — acquired first
+        s.to_acquire(fine(1, 5, Access::Write)); // held — will time out
+        assert_eq!(s.acquire_all_checked(), Err(MgLockError::AcquireTimeout));
+        assert_eq!(s.held_count(), 0, "partial batch released on error");
+        assert_eq!(s.nesting_level(), 0);
+        assert_eq!(rt.stats().timeouts.load(Ordering::Relaxed), 1);
+        holder.release_all();
+        // The session is reusable after the error.
+        s.to_acquire(fine(1, 5, Access::Write));
+        assert_eq!(s.acquire_all_checked(), Ok(()));
+        s.release_all();
+    }
+
+    #[test]
+    fn checked_acquisition_detects_cross_thread_deadlock() {
+        // Protocol misuse: each thread interleaves two sessions, holding
+        // one batch while acquiring another — the two-phase discipline
+        // the global order depends on is broken, and a genuine wait-for
+        // cycle forms. With detection enabled at least one thread must
+        // get a typed error instead of hanging.
+        let rt = Arc::new(Runtime::with_config(RuntimeConfig {
+            acquire_timeout: None,
+            detect_deadlocks: true,
+        }));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for (own, other) in [(1u64, 2u64), (2, 1)] {
+            let rt = Arc::clone(&rt);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut first = Session::new(Arc::clone(&rt));
+                first.to_acquire(fine(0, own, Access::Write));
+                first.acquire_all_checked().unwrap();
+                barrier.wait();
+                let mut second = Session::new(Arc::clone(&rt));
+                second.to_acquire(fine(0, other, Access::Write));
+                let r = second.acquire_all_checked();
+                if r.is_ok() {
+                    second.release_all();
+                }
+                first.release_all();
+                r
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let cycles = results
+            .iter()
+            .filter(|r| matches!(r, Err(MgLockError::DeadlockDetected { .. })))
+            .count();
+        assert!(cycles >= 1, "the cycle must be reported, got {results:?}");
+        assert!(rt.stats().deadlocks_detected.load(Ordering::Relaxed) >= 1);
+        assert!(rt.quiescent(), "all grants released after recovery");
+    }
+
+    #[test]
+    fn checked_acquisition_with_detection_passes_clean_workloads() {
+        // Figure 1(b) symmetric contention again, now through the
+        // checked path with detection on: conforming use must never be
+        // reported as a deadlock.
+        let rt = Arc::new(Runtime::with_config(RuntimeConfig {
+            acquire_timeout: None,
+            detect_deadlocks: true,
+        }));
+        let mut handles = Vec::new();
+        for flip in [false, true] {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let mut s = Session::new(Arc::clone(&rt));
+                    let (a, b) = if flip { (7, 3) } else { (3, 7) };
+                    s.to_acquire(fine(0, a, Access::Write));
+                    s.to_acquire(fine(0, b, Access::Write));
+                    s.acquire_all_checked().expect("no false deadlock");
+                    s.release_all();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rt.stats().deadlocks_detected.load(Ordering::Relaxed), 0);
+        assert!(rt.quiescent());
+    }
+
+    #[test]
+    fn panicking_holder_poisons_but_releases() {
+        let rt = Arc::new(Runtime::new());
+        let rt2 = Arc::clone(&rt);
+        let _ = std::thread::spawn(move || {
+            let mut s = Session::new(rt2);
+            s.to_acquire(fine(0, 11, Access::Write));
+            s.acquire_all();
+            panic!("worker dies inside the section");
+        })
+        .join();
+        assert_eq!(rt.stats().poisoned_sessions.load(Ordering::Relaxed), 1);
+        assert!(
+            rt.stats().unwind_releases.load(Ordering::Relaxed) >= 2,
+            "root + fine released"
+        );
+        assert!(rt.quiescent(), "the unwound locks are free again");
+        // And another thread can take the same locks.
+        let mut s = Session::new(rt);
+        s.to_acquire(fine(0, 11, Access::Write));
+        s.acquire_all();
+        s.release_all();
     }
 
     #[test]

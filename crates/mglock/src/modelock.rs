@@ -70,6 +70,45 @@ impl ModeLock {
         st.granted[mode as usize] += 1;
     }
 
+    /// Like [`ModeLock::acquire`], but gives up after `timeout` and
+    /// returns whether the grant was obtained. Used by the runtime's
+    /// degradation ladder to turn indefinite blocking into a typed
+    /// error.
+    pub fn acquire_timed(&self, mode: Mode, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if st.admits(mode) {
+            st.granted[mode as usize] += 1;
+            return true;
+        }
+        let excl = matches!(mode, Mode::X | Mode::Six);
+        if excl {
+            st.waiting_excl += 1;
+        }
+        let granted = loop {
+            if st.admits_ignoring_preference(mode, excl) {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            self.cond.wait_for(&mut st, deadline - now);
+        };
+        if excl {
+            st.waiting_excl -= 1;
+        }
+        if granted {
+            st.granted[mode as usize] += 1;
+        } else {
+            // Our queued-writer marker may have deferred readers; let
+            // them re-evaluate now that we are gone.
+            drop(st);
+            self.cond.notify_all();
+        }
+        granted
+    }
+
     /// Attempts a non-blocking grant.
     pub fn try_acquire(&self, mode: Mode) -> bool {
         let mut st = self.state.lock();
@@ -88,7 +127,10 @@ impl ModeLock {
     /// Panics if the node was not held in `mode`.
     pub fn release(&self, mode: Mode) {
         let mut st = self.state.lock();
-        assert!(st.granted[mode as usize] > 0, "release of unheld mode {mode}");
+        assert!(
+            st.granted[mode as usize] > 0,
+            "release of unheld mode {mode}"
+        );
         st.granted[mode as usize] -= 1;
         drop(st);
         self.cond.notify_all();

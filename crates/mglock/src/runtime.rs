@@ -19,6 +19,7 @@
 //! threads use the same order, locks are two-phase (held to
 //! `release_all`), so the protocol is deadlock free.
 
+use crate::error::MgLockError;
 use crate::modelock::ModeLock;
 use crate::modes::Mode;
 use parking_lot::Mutex;
@@ -26,6 +27,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Effect requested by a descriptor: read-only maps to shared modes,
 /// read-write to exclusive ones. (Mirror of `lir::Eff`, kept local so
@@ -65,7 +67,11 @@ pub enum Descriptor {
     /// A coarse partition lock `(⊤, P)`.
     Coarse { pts: u32, access: Access },
     /// A fine lock `(e, P)` whose expression evaluated to `addr`.
-    Fine { pts: u32, addr: FineAddr, access: Access },
+    Fine {
+        pts: u32,
+        addr: FineAddr,
+        access: Access,
+    },
 }
 
 /// A node in the lock tree, in the global acquisition order: root
@@ -84,6 +90,88 @@ pub struct Stats {
     pub batches: AtomicU64,
     /// Individual node acquisitions.
     pub node_acquisitions: AtomicU64,
+    /// Sessions dropped while inside a section or holding locks
+    /// (i.e. unwound by a panic rather than closed by `release_all`).
+    pub poisoned_sessions: AtomicU64,
+    /// Node grants released by [`Session`]'s drop glue instead of
+    /// `release_all` — each one is a lock a crashed thread would
+    /// otherwise have wedged.
+    pub unwind_releases: AtomicU64,
+    /// Wait-for cycles reported by [`Session::acquire_all_checked`].
+    pub deadlocks_detected: AtomicU64,
+    /// Acquisitions abandoned at [`RuntimeConfig::acquire_timeout`].
+    pub timeouts: AtomicU64,
+}
+
+/// Degradation-ladder policy for a [`Runtime`]. The default (no
+/// timeout, no detection) adds zero overhead to the hot path; both
+/// features only matter to [`Session::acquire_all_checked`] callers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeConfig {
+    /// Upper bound on how long one `acquire_all_checked` batch may
+    /// block on a single node before failing with
+    /// [`MgLockError::AcquireTimeout`].
+    pub acquire_timeout: Option<Duration>,
+    /// Maintain a thread-keyed wait-for graph and fail acquisitions
+    /// that would close a cycle with
+    /// [`MgLockError::DeadlockDetected`]. Cycles cannot arise from
+    /// conforming use of the protocol; this catches misuse such as
+    /// interleaving two sessions on one thread.
+    pub detect_deadlocks: bool,
+}
+
+/// Wait-for bookkeeping, maintained only when
+/// [`RuntimeConfig::detect_deadlocks`] is set. Keyed by per-thread ids
+/// (not sessions): a thread blocked through one session while holding
+/// locks through another is exactly the misuse worth catching.
+#[derive(Default)]
+struct WaitGraph {
+    holders: HashMap<NodeKey, Vec<(u64, Mode)>>,
+    waiting: HashMap<u64, (NodeKey, Mode)>,
+}
+
+impl WaitGraph {
+    /// Looks for a conflict cycle starting from `tid` requesting
+    /// `mode` on `key`. Edges: requester → conflicting holder → the
+    /// node that holder's thread is blocked on → … Returns the thread
+    /// ids on the cycle, starting with `tid`.
+    fn find_cycle(&self, tid: u64, key: NodeKey, mode: Mode) -> Option<Vec<u64>> {
+        let mut path = vec![tid];
+        let mut visited = vec![tid];
+        self.dfs(tid, key, mode, &mut path, &mut visited)
+    }
+
+    fn dfs(
+        &self,
+        origin: u64,
+        key: NodeKey,
+        mode: Mode,
+        path: &mut Vec<u64>,
+        visited: &mut Vec<u64>,
+    ) -> Option<Vec<u64>> {
+        for &(holder, held) in self.holders.get(&key)?.iter() {
+            if held.compatible(mode) {
+                continue;
+            }
+            if holder == origin {
+                // A conflicting grant held by the requester itself — the
+                // degenerate self-deadlock (e.g. an S→X upgrade attempt).
+                return Some(path.clone());
+            }
+            if visited.contains(&holder) {
+                continue;
+            }
+            visited.push(holder);
+            if let Some(&(next_key, next_mode)) = self.waiting.get(&holder) {
+                path.push(holder);
+                if let Some(cycle) = self.dfs(origin, next_key, next_mode, path, visited) {
+                    return Some(cycle);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
 }
 
 /// The shared lock-table runtime. Clone the [`Arc`] into every thread
@@ -91,11 +179,16 @@ pub struct Stats {
 pub struct Runtime {
     shards: Vec<Mutex<HashMap<NodeKey, Arc<ModeLock>>>>,
     stats: Stats,
+    config: RuntimeConfig,
+    graph: Mutex<WaitGraph>,
 }
 
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Runtime").field("stats", &self.stats).finish()
+        f.debug_struct("Runtime")
+            .field("stats", &self.stats)
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -107,18 +200,56 @@ impl Default for Runtime {
 
 const N_SHARDS: usize = 64;
 
+/// How often a detection-enabled blocked acquisition re-examines the
+/// wait-for graph (a cycle may only close after we start waiting).
+const DETECT_RECHECK: Duration = Duration::from_millis(10);
+
+/// Runtime-assigned id of the calling thread, used as the wait-graph
+/// key (stable, small, and printable — unlike `std::thread::ThreadId`).
+fn graph_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
 impl Runtime {
-    /// Creates an empty lock table.
+    /// Creates an empty lock table with the default (zero-overhead)
+    /// configuration.
     pub fn new() -> Self {
+        Self::with_config(RuntimeConfig::default())
+    }
+
+    /// Creates an empty lock table with an explicit degradation policy.
+    pub fn with_config(config: RuntimeConfig) -> Self {
         Runtime {
             shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             stats: Stats::default(),
+            config,
+            graph: Mutex::new(WaitGraph::default()),
         }
+    }
+
+    /// The active degradation policy.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
     }
 
     /// Acquisition statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// True when no node is granted in any mode — every session has
+    /// released (or been unwound). The fault-injection suites assert
+    /// this after crashing workers to prove panics cannot leak locks.
+    pub fn quiescent(&self) -> bool {
+        self.shards.iter().all(|s| {
+            s.lock()
+                .values()
+                .all(|n| n.granted().iter().all(|&c| c == 0))
+        })
     }
 
     fn node(&self, key: NodeKey) -> Arc<ModeLock> {
@@ -130,6 +261,28 @@ impl Runtime {
         };
         let mut map = self.shards[shard].lock();
         Arc::clone(map.entry(key).or_insert_with(|| Arc::new(ModeLock::new())))
+    }
+
+    fn note_granted(&self, key: NodeKey, mode: Mode) {
+        if self.config.detect_deadlocks {
+            self.graph
+                .lock()
+                .holders
+                .entry(key)
+                .or_default()
+                .push((graph_tid(), mode));
+        }
+    }
+
+    fn note_released(&self, key: NodeKey, mode: Mode) {
+        if self.config.detect_deadlocks {
+            let tid = graph_tid();
+            if let Some(hs) = self.graph.lock().holders.get_mut(&key) {
+                if let Some(i) = hs.iter().position(|&(t, m)| t == tid && m == mode) {
+                    hs.swap_remove(i);
+                }
+            }
+        }
     }
 }
 
@@ -149,7 +302,7 @@ pub enum StepResult {
 pub struct Session {
     rt: Arc<Runtime>,
     pending: Vec<Descriptor>,
-    held: Vec<(Arc<ModeLock>, Mode)>,
+    held: Vec<(NodeKey, Arc<ModeLock>, Mode)>,
     nlevel: u32,
     /// In-progress step-wise acquisition: remaining (node, mode) pairs
     /// in *descending* order (popped from the back).
@@ -186,7 +339,10 @@ impl Session {
     fn plan(&mut self) -> Vec<(NodeKey, Mode)> {
         let mut modes: BTreeMap<NodeKey, Mode> = BTreeMap::new();
         let want = |k: NodeKey, m: Mode, modes: &mut BTreeMap<NodeKey, Mode>| {
-            modes.entry(k).and_modify(|cur| *cur = cur.combine(m)).or_insert(m);
+            modes
+                .entry(k)
+                .and_modify(|cur| *cur = cur.combine(m))
+                .or_insert(m);
         };
         for d in self.pending.drain(..) {
             match d {
@@ -230,11 +386,114 @@ impl Session {
         for (key, mode) in self.plan() {
             let node = self.rt.node(key);
             node.acquire(mode);
-            self.rt.stats.node_acquisitions.fetch_add(1, Ordering::Relaxed);
-            self.held.push((node, mode));
+            self.rt
+                .stats
+                .node_acquisitions
+                .fetch_add(1, Ordering::Relaxed);
+            self.rt.note_granted(key, mode);
+            self.held.push((key, node, mode));
         }
         self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.nlevel = 1;
+    }
+
+    /// Like [`Session::acquire_all`], but honours the runtime's
+    /// [`RuntimeConfig`]: acquisitions observe the configured timeout,
+    /// and (when detection is enabled) a wait-for cycle is reported as
+    /// a typed error instead of hanging. On error the partial batch is
+    /// released and the pending list is empty — the session is reusable.
+    ///
+    /// # Errors
+    ///
+    /// [`MgLockError::AcquireTimeout`] past the configured bound;
+    /// [`MgLockError::DeadlockDetected`] when this acquisition would
+    /// close a wait-for cycle (a locking-protocol violation).
+    pub fn acquire_all_checked(&mut self) -> Result<(), MgLockError> {
+        if self.nlevel > 0 {
+            self.nlevel += 1;
+            return Ok(());
+        }
+        for (key, mode) in self.plan() {
+            let node = self.rt.node(key);
+            if let Err(e) = self.acquire_node_checked(key, &node, mode) {
+                for (k, n, m) in self.held.drain(..).rev() {
+                    n.release(m);
+                    self.rt.note_released(k, m);
+                }
+                return Err(e);
+            }
+            self.rt
+                .stats
+                .node_acquisitions
+                .fetch_add(1, Ordering::Relaxed);
+            self.rt.note_granted(key, mode);
+            self.held.push((key, node, mode));
+        }
+        self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.nlevel = 1;
+        Ok(())
+    }
+
+    /// One node of a checked batch: non-blocking fast path, then a
+    /// bounded wait that re-examines the wait-for graph every
+    /// [`DETECT_RECHECK`] (a cycle may only close after we block).
+    fn acquire_node_checked(
+        &self,
+        key: NodeKey,
+        node: &ModeLock,
+        mode: Mode,
+    ) -> Result<(), MgLockError> {
+        if node.try_acquire(mode) {
+            return Ok(());
+        }
+        let cfg = self.rt.config;
+        let deadline = cfg.acquire_timeout.map(|t| std::time::Instant::now() + t);
+        if cfg.detect_deadlocks {
+            self.rt
+                .graph
+                .lock()
+                .waiting
+                .insert(graph_tid(), (key, mode));
+        }
+        let result = loop {
+            if cfg.detect_deadlocks {
+                let cycle = self.rt.graph.lock().find_cycle(graph_tid(), key, mode);
+                if let Some(cycle) = cycle {
+                    self.rt
+                        .stats
+                        .deadlocks_detected
+                        .fetch_add(1, Ordering::Relaxed);
+                    break Err(MgLockError::DeadlockDetected { cycle });
+                }
+            }
+            let slice = match deadline {
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        self.rt.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        break Err(MgLockError::AcquireTimeout);
+                    }
+                    if cfg.detect_deadlocks {
+                        DETECT_RECHECK.min(d - now)
+                    } else {
+                        d - now
+                    }
+                }
+                None if cfg.detect_deadlocks => DETECT_RECHECK,
+                None => {
+                    // No policy bounds this wait: block for real.
+                    node.acquire(mode);
+                    break Ok(());
+                }
+            };
+            if node.acquire_timed(mode, slice) {
+                break Ok(());
+            }
+        };
+        if cfg.detect_deadlocks {
+            self.rt.graph.lock().waiting.remove(&graph_tid());
+        }
+        result
     }
 
     /// Non-blocking variant of [`Session::acquire_all`] for cooperative
@@ -258,8 +517,12 @@ impl Session {
             if !node.try_acquire(mode) {
                 return StepResult::WouldBlock;
             }
-            self.rt.stats.node_acquisitions.fetch_add(1, Ordering::Relaxed);
-            self.held.push((node, mode));
+            self.rt
+                .stats
+                .node_acquisitions
+                .fetch_add(1, Ordering::Relaxed);
+            self.rt.note_granted(key, mode);
+            self.held.push((key, node, mode));
             self.cursor.pop();
         }
         self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -276,8 +539,9 @@ impl Session {
         if self.nlevel > 0 {
             return;
         }
-        for (node, mode) in self.held.drain(..).rev() {
+        for (key, node, mode) in self.held.drain(..).rev() {
             node.release(mode);
+            self.rt.note_released(key, mode);
         }
     }
 
@@ -295,9 +559,53 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         // Sessions abandoned mid-section (e.g. on panic) must not wedge
-        // other threads.
-        for (node, mode) in self.held.drain(..).rev() {
-            node.release(mode);
+        // other threads: release everything, children before ancestors,
+        // and account for the poisoning so harnesses can report it.
+        if self.nlevel > 0 || self.stepping || !self.held.is_empty() {
+            self.rt
+                .stats
+                .poisoned_sessions
+                .fetch_add(1, Ordering::Relaxed);
         }
+        for (key, node, mode) in self.held.drain(..).rev() {
+            node.release(mode);
+            self.rt.note_released(key, mode);
+            self.rt
+                .stats
+                .unwind_releases
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod graph_tests {
+    use super::*;
+
+    #[test]
+    fn crafted_wait_cycle_is_found() {
+        // t1 holds cell 1 (X) and waits for cell 2; t2 holds cell 2 (X).
+        // When t2 asks for cell 1 the graph has a 2-cycle.
+        let mut g = WaitGraph::default();
+        let k1 = NodeKey::Fine(0, FineAddr::Cell(1));
+        let k2 = NodeKey::Fine(0, FineAddr::Cell(2));
+        g.holders.insert(k1, vec![(1, Mode::S)]);
+        g.holders.insert(k2, vec![(2, Mode::X)]);
+        g.waiting.insert(1, (k2, Mode::X));
+        assert_eq!(g.find_cycle(2, k1, Mode::X), Some(vec![2, 1]));
+        // A compatible holder does not form an edge: IS coexists with
+        // the S grant, so there is nothing to wait for.
+        assert_eq!(g.find_cycle(2, k1, Mode::Is), None);
+        // Without the wait edge there is no cycle.
+        g.waiting.clear();
+        assert_eq!(g.find_cycle(2, k1, Mode::X), None);
+    }
+
+    #[test]
+    fn self_upgrade_is_a_degenerate_cycle() {
+        let mut g = WaitGraph::default();
+        let k = NodeKey::Pts(3);
+        g.holders.insert(k, vec![(7, Mode::S)]);
+        assert_eq!(g.find_cycle(7, k, Mode::X), Some(vec![7]));
     }
 }

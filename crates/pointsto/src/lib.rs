@@ -78,7 +78,10 @@ struct Builder {
 
 impl Builder {
     fn new(n: usize) -> Self {
-        Builder { parent: (0..n as u32).collect(), succ: vec![None; n] }
+        Builder {
+            parent: (0..n as u32).collect(),
+            succ: vec![None; n],
+        }
     }
 
     fn fresh(&mut self) -> u32 {
@@ -152,7 +155,10 @@ impl PointsTo {
         for func in &program.functions {
             for (i, ins) in func.body.iter().enumerate() {
                 if let Instr::Assign(_, Rvalue::Alloc(_) | Rvalue::AllocDyn(_)) = ins {
-                    let site = AllocSite { func: func.id, idx: i as u32 };
+                    let site = AllocSite {
+                        func: func.id,
+                        idx: i as u32,
+                    };
                     site_index.insert(site, sites.len());
                     sites.push(site);
                 }
@@ -189,7 +195,10 @@ impl PointsTo {
                                 b.unify(px, py);
                             }
                             Rvalue::Alloc(_) | Rvalue::AllocDyn(_) => {
-                                let site = AllocSite { func: func.id, idx: i as u32 };
+                                let site = AllocSite {
+                                    func: func.id,
+                                    idx: i as u32,
+                                };
                                 let px = b.deref(cx);
                                 b.unify(px, cell_of_site(&site_index, site));
                             }
@@ -205,8 +214,7 @@ impl PointsTo {
                                     }
                                 }
                                 if maybe_ptr[callee.ret.0 as usize] {
-                                    let (px, pr) =
-                                        (b.deref(cx), b.deref(cell_of_var(callee.ret)));
+                                    let (px, pr) = (b.deref(cx), b.deref(cell_of_var(callee.ret)));
                                     b.unify(px, pr);
                                 }
                             }
@@ -217,12 +225,10 @@ impl PointsTo {
                             | Rvalue::Intrinsic(..) => {}
                         }
                     }
-                    Instr::Store(x, y) => {
-                        if maybe_ptr[y.0 as usize] {
-                            let px = b.deref(cell_of_var(*x));
-                            let (ppx, py) = (b.deref(px), b.deref(cell_of_var(*y)));
-                            b.unify(ppx, py);
-                        }
+                    Instr::Store(x, y) if maybe_ptr[y.0 as usize] => {
+                        let px = b.deref(cell_of_var(*x));
+                        let (ppx, py) = (b.deref(px), b.deref(cell_of_var(*y)));
+                        b.unify(ppx, py);
                     }
                     _ => {}
                 }
@@ -282,7 +288,9 @@ impl PointsTo {
 
     /// The class of the cells allocated at `site`, if the site exists.
     pub fn class_of_site(&self, site: AllocSite) -> Option<PtsClass> {
-        self.site_index.get(&site).map(|&i| self.class_of_raw((self.n_vars + i) as u32))
+        self.site_index
+            .get(&site)
+            .map(|&i| self.class_of_raw((self.n_vars + i) as u32))
     }
 
     /// The points-to successor `s → s'`, if any pointer was ever stored
@@ -326,7 +334,9 @@ impl PointsTo {
     pub fn sites_in_class(&self, s: PtsClass) -> Vec<AllocSite> {
         self.members[s.0 as usize]
             .iter()
-            .filter(|&&c| c as usize >= self.n_vars && (c as usize) < self.n_vars + self.sites.len())
+            .filter(|&&c| {
+                c as usize >= self.n_vars && (c as usize) < self.n_vars + self.sites.len()
+            })
             .map(|&c| self.sites[c as usize - self.n_vars])
             .collect()
     }
@@ -479,8 +489,14 @@ mod tests {
         let (x, y) = (var(&p, 0, "x"), var(&p, 0, "y"));
         assert_eq!(pt.deref(pt.class_of_var(x)), pt.deref(pt.class_of_var(y)));
         // mayAlias(*x̄, *ȳ) should hold.
-        let px = PathExpr { base: x, ops: vec![lir::PathOp::Deref] };
-        let py = PathExpr { base: y, ops: vec![lir::PathOp::Deref] };
+        let px = PathExpr {
+            base: x,
+            ops: vec![lir::PathOp::Deref],
+        };
+        let py = PathExpr {
+            base: y,
+            ops: vec![lir::PathOp::Deref],
+        };
         assert!(pt.may_alias_paths(&px, &py));
     }
 
@@ -502,7 +518,10 @@ mod tests {
         let pt = PointsTo::analyze(&p);
         let tree = p.globals[0];
         let table = p.globals[1];
-        assert_ne!(pt.deref(pt.class_of_var(tree)), pt.deref(pt.class_of_var(table)));
+        assert_ne!(
+            pt.deref(pt.class_of_var(tree)),
+            pt.deref(pt.class_of_var(table))
+        );
     }
 
     #[test]
@@ -538,10 +557,18 @@ mod tests {
         let l = var(&p, 0, "l");
         // &l, value-of-l (one deref), head cell (deref+field = same class).
         let c0 = pt.class_of_path(&PathExpr::var(l)).unwrap();
-        let c1 = pt.class_of_path(&PathExpr { base: l, ops: vec![lir::PathOp::Deref] }).unwrap();
+        let c1 = pt
+            .class_of_path(&PathExpr {
+                base: l,
+                ops: vec![lir::PathOp::Deref],
+            })
+            .unwrap();
         assert_ne!(c0, c1);
         let head_f = lir::FieldId(
-            p.fields.iter().position(|f| p.interner.resolve(f.name) == "head").unwrap() as u32,
+            p.fields
+                .iter()
+                .position(|f| p.interner.resolve(f.name) == "head")
+                .unwrap() as u32,
         );
         let c2 = pt
             .class_of_path(&PathExpr {
@@ -557,7 +584,10 @@ mod tests {
         let p = compile("fn main() { let x = null; }").unwrap();
         let pt = PointsTo::analyze(&p);
         let x = var(&p, 0, "x");
-        let deref_x = PathExpr { base: x, ops: vec![lir::PathOp::Deref] };
+        let deref_x = PathExpr {
+            base: x,
+            ops: vec![lir::PathOp::Deref],
+        };
         assert_eq!(pt.class_of_path(&deref_x), None);
         // Syntactically equal paths still alias themselves.
         assert!(pt.may_alias_paths(&deref_x, &deref_x));

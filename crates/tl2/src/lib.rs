@@ -50,6 +50,62 @@ pub struct TxnStats {
     pub commits: u64,
     /// Aborted attempts before the successful one.
     pub aborts: u64,
+    /// Transactions that exhausted their abort budget and completed as
+    /// irrevocable global-mode executions.
+    pub fallbacks: u64,
+}
+
+/// Capped exponential backoff, shared by every retry loop in the
+/// workspace (STM retry here, the interpreter's section retry). Spin
+/// counts double on each step and saturate at the cap.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    cur: u32,
+    cap: u32,
+}
+
+impl Backoff {
+    /// The default spin cap (2^12), matching the historical retry loops.
+    pub const DEFAULT_CAP: u32 = 1 << 12;
+
+    /// A backoff starting at one spin with the default cap.
+    pub fn new() -> Backoff {
+        Backoff::with_cap(Backoff::DEFAULT_CAP)
+    }
+
+    /// A backoff starting at one spin with the given cap.
+    pub fn with_cap(cap: u32) -> Backoff {
+        Backoff {
+            cur: 1,
+            cap: cap.max(1),
+        }
+    }
+
+    /// The spin count for this step; doubles (up to the cap) for the
+    /// next. Use directly when the delay is charged to a virtual clock.
+    pub fn spins(&mut self) -> u32 {
+        let s = self.cur;
+        self.cur = self.cur.saturating_mul(2).min(self.cap);
+        s
+    }
+
+    /// Busy-waits for this step's spin count.
+    pub fn spin(&mut self) {
+        for _ in 0..self.spins() {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Restarts from one spin (e.g. after a successful acquisition).
+    pub fn reset(&mut self) {
+        self.cur = 1;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::new()
+    }
 }
 
 const LOCK_BIT: u64 = 1;
@@ -66,6 +122,12 @@ pub struct Space {
     clock: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
+    fallbacks: AtomicU64,
+    /// Degradation gate: optimistic commits take it shared for the
+    /// duration of the commit protocol; an irrevocable transaction holds
+    /// it exclusively for its whole lifetime, so the two write paths can
+    /// never interleave on a cell.
+    commit_gate: std::sync::RwLock<()>,
 }
 
 impl std::fmt::Debug for Space {
@@ -82,11 +144,16 @@ impl Space {
     pub fn new(n: usize) -> Space {
         Space {
             cells: (0..n)
-                .map(|_| Cell { value: AtomicI64::new(0), vlock: AtomicU64::new(0) })
+                .map(|_| Cell {
+                    value: AtomicI64::new(0),
+                    vlock: AtomicU64::new(0),
+                })
                 .collect(),
             clock: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            commit_gate: std::sync::RwLock::new(()),
         }
     }
 
@@ -110,11 +177,12 @@ impl Space {
         self.cells[i].value.store(v, Ordering::Release);
     }
 
-    /// Global abort/commit counters since construction.
+    /// Global abort/commit/fallback counters since construction.
     pub fn global_stats(&self) -> TxnStats {
         TxnStats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -127,6 +195,45 @@ impl Space {
             rv: self.clock.load(Ordering::Acquire),
             reads: Vec::new(),
             writes: HashMap::new(),
+            irrevocable: None,
+        }
+    }
+
+    /// Attempts to begin an irrevocable transaction: one that executes
+    /// in global mode, can never abort, and excludes every optimistic
+    /// commit for its lifetime. This is the degradation path for
+    /// transactions starved by repeated conflicts. Fails (returning
+    /// `None`) while another irrevocable transaction or an optimistic
+    /// commit holds the gate; callers on a virtual-time scheduler must
+    /// use this non-blocking form and charge the retry delay to their
+    /// own clock, or they would stall the scheduler for real.
+    pub fn try_begin_irrevocable(&self) -> Option<Txn<'_>> {
+        let guard = self.commit_gate.try_write().ok()?;
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Some(Txn {
+            space: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: HashMap::new(),
+            irrevocable: Some(guard),
+        })
+    }
+
+    /// Blocking form of [`Space::try_begin_irrevocable`] for real-time
+    /// callers. Do not use under a cooperative scheduler: it parks the
+    /// OS thread until the gate frees.
+    pub fn begin_irrevocable(&self) -> Txn<'_> {
+        let guard = self
+            .commit_gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Txn {
+            space: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: HashMap::new(),
+            irrevocable: Some(guard),
         }
     }
 
@@ -149,29 +256,48 @@ impl Space {
     /// cannot).
     pub fn atomically<T>(
         &self,
+        body: impl FnMut(&mut Txn<'_>) -> Result<T, TxnError>,
+    ) -> (T, TxnStats) {
+        self.atomically_budgeted(u64::MAX, body)
+    }
+
+    /// Like [`Space::atomically`], but after `budget` aborted attempts
+    /// the transaction escalates to irrevocable global-mode execution
+    /// (the graceful-degradation ladder's last rung), which cannot
+    /// abort. Inside an irrevocable attempt `body` sees a transaction
+    /// whose reads are infallible; returning `Err` from there is treated
+    /// as a retryable condition and re-enters the irrevocable loop.
+    pub fn atomically_budgeted<T>(
+        &self,
+        budget: u64,
         mut body: impl FnMut(&mut Txn<'_>) -> Result<T, TxnError>,
     ) -> (T, TxnStats) {
         let mut stats = TxnStats::default();
-        let mut backoff = 1u32;
+        let mut backoff = Backoff::new();
         loop {
-            let mut txn = self.begin();
-            match body(&mut txn) {
-                Ok(out) => match txn.commit() {
-                    Ok(()) => {
-                        stats.commits = 1;
-                        self.commits.fetch_add(1, Ordering::Relaxed);
-                        return (out, stats);
+            let mut txn = if stats.aborts >= budget {
+                match self.try_begin_irrevocable() {
+                    Some(t) => t,
+                    None => {
+                        backoff.spin();
+                        continue;
                     }
-                    Err(TxnError) => {}
-                },
-                Err(TxnError) => {}
+                }
+            } else {
+                self.begin()
+            };
+            let irrevocable = txn.is_irrevocable();
+            if let Ok(out) = body(&mut txn) {
+                if txn.commit().is_ok() {
+                    stats.commits = 1;
+                    stats.fallbacks = u64::from(irrevocable);
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return (out, stats);
+                }
             }
             stats.aborts += 1;
             self.aborts.fetch_add(1, Ordering::Relaxed);
-            for _ in 0..backoff {
-                std::hint::spin_loop();
-            }
-            backoff = (backoff * 2).min(1 << 12);
+            backoff.spin();
         }
     }
 }
@@ -182,6 +308,10 @@ pub struct Txn<'s> {
     rv: u64,
     reads: Vec<usize>,
     writes: HashMap<usize, i64>,
+    /// `Some` while this transaction runs irrevocably; the guard holds
+    /// [`Space::commit_gate`] exclusively, keeping every optimistic
+    /// commit out until the transaction finishes.
+    irrevocable: Option<std::sync::RwLockWriteGuard<'s, ()>>,
 }
 
 impl std::fmt::Debug for Txn<'_> {
@@ -190,6 +320,7 @@ impl std::fmt::Debug for Txn<'_> {
             .field("rv", &self.rv)
             .field("reads", &self.reads.len())
             .field("writes", &self.writes.len())
+            .field("irrevocable", &self.irrevocable.is_some())
             .finish()
     }
 }
@@ -205,6 +336,12 @@ impl Txn<'_> {
     pub fn read(&mut self, i: usize) -> Result<i64, TxnError> {
         if let Some(&v) = self.writes.get(&i) {
             return Ok(v);
+        }
+        if self.irrevocable.is_some() {
+            // No optimistic commit can run while we hold the gate, and
+            // our own writes go straight to the cells, so a direct load
+            // is always consistent.
+            return Ok(self.space.cells[i].value.load(Ordering::Acquire));
         }
         let cell = &self.space.cells[i];
         let pre = cell.vlock.load(Ordering::Acquire);
@@ -228,7 +365,15 @@ impl Txn<'_> {
         self.reads.len()
     }
 
-    /// Transactional write (buffered until commit).
+    /// True while this transaction runs in irrevocable global mode.
+    pub fn is_irrevocable(&self) -> bool {
+        self.irrevocable.is_some()
+    }
+
+    /// Transactional write (buffered until commit in both modes — an
+    /// irrevocable transaction still publishes its whole write set
+    /// atomically under the lock-bit protocol, or concurrent optimistic
+    /// readers could see a torn multi-cell snapshot).
     pub fn write(&mut self, i: usize, v: i64) {
         assert!(i < self.space.cells.len(), "cell {i} out of range");
         self.writes.insert(i, v);
@@ -244,9 +389,40 @@ impl Txn<'_> {
     pub fn commit(self) -> Result<(), TxnError> {
         let space = self.space;
         if self.writes.is_empty() {
-            // Read-only transactions validated every read against rv.
+            // Read-only transactions validated every read against rv
+            // (or, when irrevocable, read under exclusion).
             return Ok(());
         }
+        if self.irrevocable.is_some() {
+            // The exclusively-held gate means no optimistic commit or
+            // other irrevocable transaction is writing: locking cannot
+            // fail and the read set needs no validation. The usual TL2
+            // order (lock all, bump clock, write back + release) still
+            // matters so optimistic readers see lock bits or a too-new
+            // version instead of a partial write-back.
+            for &i in self.writes.keys() {
+                let cell = &space.cells[i];
+                let cur = cell.vlock.load(Ordering::Acquire);
+                debug_assert_eq!(cur & LOCK_BIT, 0, "no other writer while the gate is held");
+                cell.vlock.store(cur | LOCK_BIT, Ordering::Release);
+            }
+            let wv = space.clock.fetch_add(1, Ordering::AcqRel) + 1;
+            for (&i, &val) in &self.writes {
+                let cell = &space.cells[i];
+                cell.value.store(val, Ordering::Release);
+                cell.vlock.store(wv << 1, Ordering::Release);
+            }
+            // Dropping `self` releases the gate.
+            return Ok(());
+        }
+        // Exclude any irrevocable transaction for the commit's duration;
+        // if one is in flight (or starting), abort rather than block —
+        // blocking here would wedge cooperative schedulers.
+        let _gate = match space.commit_gate.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return Err(TxnError),
+        };
         // Lock the write set in address order (bounded spin, else abort).
         let mut addrs: Vec<usize> = self.writes.keys().copied().collect();
         addrs.sort_unstable();
@@ -461,6 +637,93 @@ mod tests {
             });
         }
         assert_eq!(s.global_stats().commits, 5);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut b = Backoff::with_cap(8);
+        assert_eq!(b.spins(), 1);
+        assert_eq!(b.spins(), 2);
+        assert_eq!(b.spins(), 4);
+        assert_eq!(b.spins(), 8);
+        assert_eq!(b.spins(), 8, "spin count saturates at the cap");
+        b.reset();
+        assert_eq!(b.spins(), 1, "reset restarts the ladder");
+        let mut d = Backoff::new();
+        for _ in 0..40 {
+            assert!(d.spins() <= Backoff::DEFAULT_CAP);
+        }
+        assert_eq!(d.spins(), Backoff::DEFAULT_CAP);
+    }
+
+    #[test]
+    fn abort_budget_escalates_to_irrevocable() {
+        let s = Space::new(2);
+        let (out, st) = s.atomically_budgeted(4, |t| {
+            if t.is_irrevocable() {
+                let v = t.read(0)?;
+                t.write(0, v + 7);
+                Ok(42)
+            } else {
+                // Simulate a transaction that always conflicts.
+                Err(TxnError)
+            }
+        });
+        assert_eq!(out, 42);
+        assert_eq!(st.aborts, 4, "exactly the budget is spent optimistically");
+        assert_eq!(st.fallbacks, 1, "then the fallback engages");
+        assert_eq!(s.read_direct(0), 7);
+        assert_eq!(s.global_stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn irrevocable_writer_keeps_optimistic_readers_consistent() {
+        // Same invariant as readers_see_consistent_snapshots, but the
+        // writer runs irrevocably: its write-through protocol must still
+        // make torn reads impossible for optimistic readers.
+        let s = Arc::new(Space::new(2));
+        let stop = Arc::new(AtomicU64::new(0));
+        let w = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0i64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    v += 1;
+                    let mut t = s.begin_irrevocable();
+                    t.write(0, v);
+                    t.write(1, v);
+                    t.commit().unwrap();
+                    s.note_commit();
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..3000 {
+                    let ((a, b), _) = s.atomically(|t| Ok((t.read(0)?, t.read(1)?)));
+                    assert_eq!(a, b, "torn snapshot observed past an irrevocable writer");
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        w.join().unwrap();
+        assert!(s.global_stats().fallbacks > 0);
+    }
+
+    #[test]
+    fn irrevocable_reads_see_own_writes() {
+        let s = Space::new(4);
+        let mut t = s.begin_irrevocable();
+        t.write(2, 9);
+        assert_eq!(t.read(2).unwrap(), 9);
+        t.commit().unwrap();
+        assert_eq!(s.read_direct(2), 9);
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl Gen {
             let target = if self.ptrs.is_empty() || self.rng.below(3) == 0 {
                 v.clone()
             } else {
-                self.pick_ptr_of((ty + 1) % N_STRUCTS).unwrap_or_else(|| v.clone())
+                self.pick_ptr_of((ty + 1) % N_STRUCTS)
+                    .unwrap_or_else(|| v.clone())
             };
             let _ = writeln!(self.out, "{pad}{v}->s{ty}_f{f} = {target};");
         }
@@ -83,8 +84,7 @@ impl Gen {
     }
 
     fn pick_ptr_of(&mut self, ty: usize) -> Option<String> {
-        let matching: Vec<&(String, usize)> =
-            self.ptrs.iter().filter(|(_, t)| *t == ty).collect();
+        let matching: Vec<&(String, usize)> = self.ptrs.iter().filter(|(_, t)| *t == ty).collect();
         if matching.is_empty() {
             None
         } else {
@@ -255,7 +255,10 @@ pub fn runnable(seed: u64, stmts: usize) -> RunSpec {
     // Checksum.
     let _ = writeln!(g.out, "    let sum = 0;");
     let _ = writeln!(g.out, "    let i = 0;");
-    let _ = writeln!(g.out, "    while (i < 16) {{ sum = sum + scratch[i] * (i + 1); i = i + 1; }}");
+    let _ = writeln!(
+        g.out,
+        "    while (i < 16) {{ sum = sum + scratch[i] * (i + 1); i = i + 1; }}"
+    );
     let _ = writeln!(g.out, "    return sum;");
     let _ = writeln!(g.out, "}}");
     RunSpec {

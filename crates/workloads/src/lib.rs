@@ -115,7 +115,10 @@ mod tests {
         let cfg = SchemeConfig::full(9, program.elem_field_opt());
         let analysis = lockinfer::analyze_program(&program, &pt, cfg);
         let counts = analysis.lock_counts();
-        assert!(counts.fine_rw > 0, "hashtable-2 put has a fine rw lock: {counts}");
+        assert!(
+            counts.fine_rw > 0,
+            "hashtable-2 put has a fine rw lock: {counts}"
+        );
 
         let spec = micro::rbtree(Contention::High, 10, 0);
         let program = lir::compile(&spec.source).unwrap();
@@ -132,7 +135,10 @@ mod tests {
                 );
             }
         }
-        assert!(counts.coarse_ro > 0, "rbtree gets read-only coarse locks: {counts}");
+        assert!(
+            counts.coarse_ro > 0,
+            "rbtree gets read-only coarse locks: {counts}"
+        );
     }
 
     #[test]
@@ -145,7 +151,11 @@ mod tests {
         // tree_get's section takes only ro locks.
         let get_fn = program.function_named("tree_get").unwrap();
         let sec = analysis.sections.iter().find(|s| s.func == get_fn).unwrap();
-        assert!(sec.locks.iter().all(|l| l.eff == lir::Eff::Ro), "{:?}", sec.locks);
+        assert!(
+            sec.locks.iter().all(|l| l.eff == lir::Eff::Ro),
+            "{:?}",
+            sec.locks
+        );
     }
 
     #[test]
@@ -157,7 +167,11 @@ mod tests {
         let analysis = lockinfer::analyze_program(&program, &pt, cfg);
         let tree_put = program.function_named("tree_put").unwrap();
         let ht_put = program.function_named("ht_put").unwrap();
-        let tree_sec = analysis.sections.iter().find(|s| s.func == tree_put).unwrap();
+        let tree_sec = analysis
+            .sections
+            .iter()
+            .find(|s| s.func == tree_put)
+            .unwrap();
         let ht_sec = analysis.sections.iter().find(|s| s.func == ht_put).unwrap();
         let tree_classes: Vec<_> = tree_sec.locks.iter().filter_map(|l| l.pts).collect();
         let ht_classes: Vec<_> = ht_sec.locks.iter().filter_map(|l| l.pts).collect();
@@ -172,7 +186,10 @@ mod tests {
         for (name, kloc) in [("a", 5.0), ("b", 12.0)] {
             let spec = spec_like::generate(name, kloc, 42);
             let got = spec.kloc();
-            assert!((got - kloc).abs() / kloc < 0.15, "{name}: wanted ~{kloc} KLOC, got {got}");
+            assert!(
+                (got - kloc).abs() / kloc < 0.15,
+                "{name}: wanted ~{kloc} KLOC, got {got}"
+            );
             let program = lir::compile(&spec.source).unwrap();
             assert_eq!(program.n_sections, 1, "main wrapped in one atomic section");
         }

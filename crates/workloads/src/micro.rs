@@ -48,14 +48,7 @@ pub fn weights(c: Contention) -> (i64, i64, i64) {
 }
 
 /// Builds the standard micro RunSpec around a source + op names.
-fn spec(
-    name: &str,
-    source: String,
-    c: Contention,
-    ops: i64,
-    nopk: i64,
-    keyspace: i64,
-) -> RunSpec {
+fn spec(name: &str, source: String, c: Contention, ops: i64, nopk: i64, keyspace: i64) -> RunSpec {
     let (putw, getw, totw) = weights(c);
     RunSpec {
         name: format!("{name}-{}", c.suffix()),

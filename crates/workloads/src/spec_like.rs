@@ -41,8 +41,9 @@ pub fn generate(name: &str, target_kloc: f64, seed: u64) -> RunSpec {
     let mut rng = Rng(seed ^ 0xC0FF_EE00);
     let mut src = String::new();
     for s in 0..N_STRUCTS {
-        let fields: Vec<String> =
-            (0..FIELDS_PER_STRUCT).map(|f| format!("s{s}_f{f};")).collect();
+        let fields: Vec<String> = (0..FIELDS_PER_STRUCT)
+            .map(|f| format!("s{s}_f{f};"))
+            .collect();
         let _ = writeln!(src, "struct s{s} {{ {} }}", fields.join(" "));
     }
     let globals: Vec<String> = (0..N_GLOBALS).map(|g| format!("g{g}")).collect();
@@ -98,12 +99,14 @@ impl FnGen<'_> {
         let mut out = String::new();
         let _ = writeln!(out, "fn fn_{id}(p0, p1) {{");
         // Parameters carry rotating types so call chains stay typed.
-        let mut vars: Vec<TypedVar> =
-            vec![("p0".into(), id % N_STRUCTS), ("p1".into(), (id + 1) % N_STRUCTS)];
+        let mut vars: Vec<TypedVar> = vec![
+            ("p0".into(), id % N_STRUCTS),
+            ("p1".into(), (id + 1) % N_STRUCTS),
+        ];
         let mut n_locals = 0usize;
         let stmts = 14 + self.rng.below(18);
         for _ in 0..stmts {
-            self.stmt(&mut out, 1, &mut vars, &mut n_locals, earlier, id);
+            self.stmt(&mut out, 1, &mut vars, &mut n_locals, earlier);
         }
         let ret = vars[self.rng.below(vars.len())].0.clone();
         let _ = writeln!(out, "    return {ret};");
@@ -138,7 +141,6 @@ impl FnGen<'_> {
         vars: &mut Vec<TypedVar>,
         n_locals: &mut usize,
         earlier: &[String],
-        fn_id: usize,
     ) {
         let pad = "    ".repeat(depth);
         match self.rng.below(10) {
@@ -192,12 +194,12 @@ impl FnGen<'_> {
                 let _ = writeln!(out, "{pad}if ({x} == {y}) {{");
                 let scope = vars.len();
                 for _ in 0..1 + self.rng.below(3) {
-                    self.stmt(out, depth + 1, vars, n_locals, earlier, fn_id);
+                    self.stmt(out, depth + 1, vars, n_locals, earlier);
                 }
                 vars.truncate(scope);
                 let _ = writeln!(out, "{pad}}} else {{");
                 for _ in 0..1 + self.rng.below(2) {
-                    self.stmt(out, depth + 1, vars, n_locals, earlier, fn_id);
+                    self.stmt(out, depth + 1, vars, n_locals, earlier);
                 }
                 vars.truncate(scope);
                 let _ = writeln!(out, "{pad}}}");
@@ -210,7 +212,7 @@ impl FnGen<'_> {
                 let _ = writeln!(out, "{pad}    {c} = {c} + 1;");
                 let scope = vars.len();
                 for _ in 0..1 + self.rng.below(2) {
-                    self.stmt(out, depth + 1, vars, n_locals, earlier, fn_id);
+                    self.stmt(out, depth + 1, vars, n_locals, earlier);
                 }
                 vars.truncate(scope);
                 let _ = writeln!(out, "{pad}}}");
@@ -220,8 +222,11 @@ impl FnGen<'_> {
                 // matching arguments so flow stays typed.
                 let j = self.rng.below(earlier.len());
                 let callee = earlier[j].clone();
-                let arg = |want: usize, out: &mut String, slf: &mut Self,
-                               vars: &mut Vec<TypedVar>, n_locals: &mut usize| {
+                let arg = |want: usize,
+                           out: &mut String,
+                           slf: &mut Self,
+                           vars: &mut Vec<TypedVar>,
+                           n_locals: &mut usize| {
                     match slf.pick_of(vars, want) {
                         Some((a, _)) => a.clone(),
                         None => {

@@ -419,5 +419,11 @@ fn check() {
 /// All five kernels with the low-contention parameter set the paper
 /// uses for Table 2.
 pub fn all(ops: i64, nopk: i64) -> Vec<RunSpec> {
-    vec![genome(ops, nopk), vacation(ops, nopk), kmeans(ops, nopk), bayes(ops, nopk), labyrinth(ops, nopk)]
+    vec![
+        genome(ops, nopk),
+        vacation(ops, nopk),
+        kmeans(ops, nopk),
+        bayes(ops, nopk),
+        labyrinth(ops, nopk),
+    ]
 }

@@ -23,7 +23,10 @@ fn run(k: usize, mode: ExecMode, threads: usize) -> (f64, u64) {
         transformed,
         pt,
         mode,
-        Options { heap_cells: spec.heap_cells, ..Options::default() },
+        Options {
+            heap_cells: spec.heap_cells,
+            ..Options::default()
+        },
     );
     let (init_fn, init_args) = &spec.init;
     machine.run_named(init_fn, init_args).expect("init");
@@ -37,7 +40,10 @@ fn run(k: usize, mode: ExecMode, threads: usize) -> (f64, u64) {
 
 fn main() {
     println!("hashtable-2, high contention (puts 4x), 8 threads, virtual time");
-    println!("{:<22} {:>12} {:>12}", "configuration", "seconds", "STM aborts");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "configuration", "seconds", "STM aborts"
+    );
     let (g, _) = run(0, ExecMode::Global, 8);
     println!("{:<22} {:>12.4} {:>12}", "global lock", g, "-");
     let (c, _) = run(0, ExecMode::MultiGrain, 8);

@@ -80,12 +80,18 @@ fn main() {
     println!();
 
     let elements = 40;
-    for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm, ExecMode::Validate] {
+    for mode in [
+        ExecMode::Global,
+        ExecMode::MultiGrain,
+        ExecMode::Stm,
+        ExecMode::Validate,
+    ] {
         let pt = Arc::new(pointsto::PointsTo::analyze(&program));
-        let machine =
-            Machine::new(Arc::new(transformed.clone()), pt, mode, Options::default());
+        let machine = Machine::new(Arc::new(transformed.clone()), pt, mode, Options::default());
         machine.run_named("setup", &[elements]).expect("setup");
-        machine.run_threads("mover", 4, |_| vec![50]).expect("movers");
+        machine
+            .run_threads("mover", 4, |_| vec![50])
+            .expect("movers");
         let total = machine.run_named("total", &[]).expect("total");
         println!(
             "{mode:?}: 4 symmetric movers × 50 rounds — {total} elements survive \

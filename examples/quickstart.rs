@@ -76,11 +76,17 @@ fn main() {
     // 2. Execute the transformed program with the multi-granularity
     //    lock runtime, 8 threads.
     let pt = Arc::new(pointsto::PointsTo::analyze(&program));
-    let machine =
-        Machine::new(Arc::new(transformed), pt, ExecMode::MultiGrain, Options::default());
+    let machine = Machine::new(
+        Arc::new(transformed),
+        pt,
+        ExecMode::MultiGrain,
+        Options::default(),
+    );
     let accounts = 64;
     machine.run_named("init", &[accounts]).expect("init");
-    machine.run_threads("worker", 8, |_| vec![2_000, accounts]).expect("workers");
+    machine
+        .run_threads("worker", 8, |_| vec![2_000, accounts])
+        .expect("workers");
     let total = machine.run_named("sum", &[accounts]).expect("sum");
     println!("=== Run ===");
     println!("after 16,000 concurrent transfers, total balance = {total}");

@@ -45,7 +45,13 @@ fn main() {
     // two-level chain into the elements.
     let exprs = [
         ("x̄ = &to", PathExpr::var(to)),
-        ("&(to->head)", PathExpr { base: to, ops: vec![PathOp::Deref, PathOp::Field(head)] }),
+        (
+            "&(to->head)",
+            PathExpr {
+                base: to,
+                ops: vec![PathOp::Deref, PathOp::Field(head)],
+            },
+        ),
         (
             "&(to->head->next)",
             PathExpr {
@@ -95,7 +101,10 @@ fn main() {
 
     println!();
     println!("=== Product Σ_3 × Σ≡ × Σ_ε (the paper's instantiation) ===");
-    let s = Product(KExprScheme { k: 3 }, Product(PtsScheme { pt: &pt }, EffScheme));
+    let s = Product(
+        KExprScheme { k: 3 },
+        Product(PtsScheme { pt: &pt }, EffScheme),
+    );
     for (name, e) in &exprs {
         let (expr, (class, eff)) = s.path(e, Eff::Ro);
         println!(

@@ -29,9 +29,13 @@ fn main() {
         Options::default(),
     );
     let (init_fn, init_args) = &spec.init;
-    machine.run_named(init_fn, init_args).expect("init validates");
+    machine
+        .run_named(init_fn, init_args)
+        .expect("init validates");
     let (worker_fn, worker_args) = &spec.worker;
-    machine.run_threads(worker_fn, 4, |_| worker_args.clone()).expect("workers validate");
+    machine
+        .run_threads(worker_fn, 4, |_| worker_args.clone())
+        .expect("workers validate");
     machine.run_named("check", &[]).expect("invariants hold");
     println!("inferred locks cover every access inside every section ✓");
 
@@ -53,17 +57,26 @@ fn main() {
         }
     }
     println!("sabotaged the first section: removed {removed} coarse lock(s)");
-    let machine =
-        Machine::new(Arc::new(broken), pt, ExecMode::Validate, Options::default());
+    let machine = Machine::new(Arc::new(broken), pt, ExecMode::Validate, Options::default());
     // The prefill already exercises the sabotaged section, so the very
     // first run trips the checker.
     let err = machine
         .run_named(init_fn, init_args)
         .err()
-        .or_else(|| machine.run_threads(worker_fn, 1, |_| worker_args.clone()).err())
+        .or_else(|| {
+            machine
+                .run_threads(worker_fn, 1, |_| worker_args.clone())
+                .err()
+        })
         .expect("the checker must catch the hole");
     match &err {
-        InterpError::Unprotected { func, pc, addr, write, section } => {
+        InterpError::Unprotected {
+            func,
+            pc,
+            addr,
+            write,
+            section,
+        } => {
             println!(
                 "checker caught it: unprotected {} of cell {addr} in `{func}` \
                  at instruction {pc} (section #{})",

@@ -66,19 +66,20 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut want = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut want = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--k" => args.k = want("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--emit" => args.emit = Some(want("--emit")?),
             "--run" => args.run = Some(want("--run")?),
             "--threads" => {
-                args.threads =
-                    want("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                args.threads = want("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--heap" => {
-                args.heap_cells = want("--heap")?.parse().map_err(|e| format!("--heap: {e}"))?
+                args.heap_cells = want("--heap")?
+                    .parse()
+                    .map_err(|e| format!("--heap: {e}"))?
             }
             "--args" => {
                 args.run_args = want("--args")?
@@ -131,8 +132,8 @@ fn main() -> ExitCode {
 }
 
 fn drive(args: Args) -> Result<(), String> {
-    let src = std::fs::read_to_string(&args.input)
-        .map_err(|e| format!("reading {}: {e}", args.input))?;
+    let src =
+        std::fs::read_to_string(&args.input).map_err(|e| format!("reading {}: {e}", args.input))?;
     if args.emit.as_deref() == Some("fmt") {
         let module = lir::parser::parse(&src).map_err(|e| e.to_string())?;
         print!("{}", module.to_source());
@@ -181,17 +182,28 @@ fn drive(args: Args) -> Result<(), String> {
         Arc::new(transformed),
         pt,
         args.mode,
-        Options { heap_cells: args.heap_cells, ..Options::default() },
+        Options {
+            heap_cells: args.heap_cells,
+            ..Options::default()
+        },
     );
     if args.threads <= 1 && !args.virtual_time {
-        let r = machine.run_named(&entry, &args.run_args).map_err(|e| e.to_string())?;
+        let r = machine
+            .run_named(&entry, &args.run_args)
+            .map_err(|e| e.to_string())?;
         println!("{entry} returned {r}");
     } else if args.virtual_time {
         let (results, makespan) = machine
             .run_threads_virtual(&entry, args.threads, |_| args.run_args.clone())
             .map_err(|e| e.to_string())?;
-        println!("{entry} on {} virtual threads returned {:?}", args.threads, results);
-        println!("virtual makespan: {makespan} ticks ({:.6} s)", makespan as f64 * 1e-9);
+        println!(
+            "{entry} on {} virtual threads returned {:?}",
+            args.threads, results
+        );
+        println!(
+            "virtual makespan: {makespan} ticks ({:.6} s)",
+            makespan as f64 * 1e-9
+        );
     } else {
         let results = machine
             .run_threads(&entry, args.threads, |_| args.run_args.clone())
@@ -221,7 +233,11 @@ fn emit_dot(program: &lir::Program) {
                 .render_instr(ins)
                 .replace('\\', "\\\\")
                 .replace('"', "\\\"");
-            let short = if text.len() > 48 { format!("{}…", &text[..47]) } else { text };
+            let short = if text.len() > 48 {
+                format!("{}…", &text[..47])
+            } else {
+                text
+            };
             println!("    n{}_{i} [label=\"{i}: {short}\"];", func.id.0);
         }
         for (i, _) in func.body.iter().enumerate() {
@@ -250,7 +266,10 @@ fn emit_pointsto(program: &lir::Program, pt: &pointsto::PointsTo) {
             .iter()
             .map(|s| format!("{}@{}", program.fn_name(s.func), s.idx))
             .collect();
-        let deref = pt.deref(class).map(|d| format!(" -> P{}", d.0)).unwrap_or_default();
+        let deref = pt
+            .deref(class)
+            .map(|d| format!(" -> P{}", d.0))
+            .unwrap_or_default();
         println!(
             "P{c}{deref}: vars [{}] allocs [{}]",
             names.join(", "),

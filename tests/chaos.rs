@@ -1,0 +1,230 @@
+//! Seeded chaos suite: micro-benchmarks × {Global, MultiGrain, Stm} ×
+//! fault plans, each run twice under a watchdog.
+//!
+//! The acceptance bar for the fault-injection harness:
+//!
+//! * every run **terminates** (watchdogged — a wedge is a test failure,
+//!   not a hang) with either a result or a *typed* error;
+//! * every run is **deterministic**: same plan, same digest (results,
+//!   makespan, printed output, degradation counters), twice;
+//! * locks are **quiescent** afterwards no matter how workers died;
+//! * surviving multi-grain runs pass the Theorem-1 coverage check when
+//!   re-executed under Validate mode with the same plan;
+//! * an abort storm drives TL2 into its irrevocable fallback within the
+//!   configured abort budget.
+
+use atomic_lock_inference as ali;
+
+use ali::interp::{ExecMode, FaultPlan, InterpError, Machine, Options};
+use ali::lir;
+use ali::lockinfer::DegradationReport;
+use ali::lockscheme::SchemeConfig;
+use ali::pointsto::PointsTo;
+use ali::workloads::{micro, Contention, RunSpec};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const K: usize = 3;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// The chaos corpus: small instances of three structurally different
+/// micro-benchmarks (list, open hashtable, red-black tree).
+fn specs() -> Vec<RunSpec> {
+    vec![
+        micro::list(Contention::High, 40, 20),
+        micro::hashtable2(Contention::High, 60, 20),
+        micro::rbtree(Contention::Low, 40, 20),
+    ]
+}
+
+/// Three seeded plans covering the whole fault surface.
+fn plans() -> [FaultPlan; 3] {
+    [
+        FaultPlan::new(0x0A11)
+            .with_stm_aborts(60)
+            .with_stalls(120, 400),
+        FaultPlan::new(0x0B22)
+            .with_panics(8, 1)
+            .with_wakeup_delays(150, 300),
+        FaultPlan::new(0x0C33)
+            .with_stm_aborts(250)
+            .with_panics(4, 1)
+            .with_stalls(80, 250)
+            .with_wakeup_delays(80, 200),
+    ]
+}
+
+fn build(spec: &RunSpec, mode: ExecMode, opts: Options) -> Machine {
+    let program = lir::compile(&spec.source).expect("chaos specs compile");
+    let pt = Arc::new(PointsTo::analyze(&program));
+    let cfg = SchemeConfig::full(K, program.elem_field_opt());
+    let analysis = ali::lockinfer::analyze_program(&program, &pt, cfg);
+    let transformed = Arc::new(ali::lockinfer::transform(&program, &analysis));
+    Machine::new(transformed, pt, mode, opts)
+}
+
+/// Everything observable about one chaos run; two runs of the same
+/// (spec, mode, plan) must produce equal digests.
+#[derive(Debug, PartialEq)]
+struct Digest {
+    init: Result<i64, InterpError>,
+    outcome: Option<Result<(Vec<i64>, u64), InterpError>>,
+    output: Vec<String>,
+    quiescent: bool,
+    report: DegradationReport,
+    check: Option<Result<i64, InterpError>>,
+}
+
+/// Runs `spec` once under `mode` with `plan` injected, inside a
+/// watchdog: exceeding [`WATCHDOG`] is reported as a hang.
+fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> Digest {
+    let label = format!("{} [{mode:?}] plan {:#x}", spec.name, plan.seed);
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let opts = Options {
+            heap_cells: spec.heap_cells,
+            faults: Some(plan),
+            stm_abort_budget: 64,
+            ..Options::default()
+        };
+        let m = build(&spec, mode, opts);
+        let (init_fn, init_args) = &spec.init;
+        let init = m.run_named(init_fn, init_args);
+        let (worker_fn, worker_args) = &spec.worker;
+        let outcome = init
+            .is_ok()
+            .then(|| m.run_threads_virtual(worker_fn, THREADS, |_| worker_args.clone()));
+        // The post-run invariant check only applies to surviving runs:
+        // a mid-section panic under a lock runtime legitimately leaves
+        // partial updates behind (locks are not a rollback mechanism).
+        let check = match (&outcome, spec.check) {
+            (Some(Ok(_)), Some(check_fn)) => Some(m.run_named(check_fn, &[])),
+            _ => None,
+        };
+        let _ = tx.send(Digest {
+            init,
+            outcome,
+            output: m.output(),
+            quiescent: m.locks_quiescent(),
+            report: m.degradation_report(),
+            check,
+        });
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(digest) => {
+            let _ = handle.join();
+            digest
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("sender dropped without panicking"),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: run exceeded the {WATCHDOG:?} watchdog — a hang")
+        }
+    }
+}
+
+/// An error that surfaced from a chaos run must be one the fault model
+/// can legitimately produce — never an internal invariant failure, an
+/// unprotected access, or an uncontained panic.
+fn assert_typed(label: &str, e: &InterpError) {
+    assert!(
+        matches!(
+            e,
+            InterpError::InjectedPanic { .. }
+                | InterpError::SchedulerStalled { .. }
+                | InterpError::Lock { .. }
+        ),
+        "{label}: untyped or impossible chaos error: {e}"
+    );
+}
+
+#[test]
+fn chaos_matrix_terminates_deterministically() {
+    for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm] {
+        for plan in plans() {
+            for spec in specs() {
+                let label = format!("{} [{mode:?}] plan {:#x}", spec.name, plan.seed);
+                let first = chaos_run(spec.clone(), mode, plan);
+                let second = chaos_run(spec, mode, plan);
+                assert_eq!(first, second, "{label}: chaos must reproduce exactly");
+                if let Err(e) = &first.init {
+                    assert_typed(&label, e);
+                }
+                if let Some(Err(e)) = &first.outcome {
+                    assert_typed(&label, e);
+                }
+                assert!(first.quiescent, "{label}: locks leaked");
+                if let Some(check) = &first.check {
+                    assert!(check.is_ok(), "{label}: survivor broke its invariant");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_survivors_pass_theorem_1_coverage() {
+    // Re-run the multi-grain combinations under Validate mode: every
+    // in-section access of a surviving execution must be covered by a
+    // held lock (Theorem 1), fault plan and all.
+    for plan in plans() {
+        for spec in specs() {
+            let label = format!("{} [Validate] plan {:#x}", spec.name, plan.seed);
+            let digest = chaos_run(spec, ExecMode::Validate, plan);
+            if let Err(e) = &digest.init {
+                assert_typed(&label, e);
+            }
+            if let Some(Err(e)) = &digest.outcome {
+                assert_typed(&label, e);
+            }
+            assert!(digest.quiescent, "{label}: locks leaked");
+        }
+    }
+}
+
+#[test]
+fn abort_storm_forces_irrevocable_fallback_within_budget() {
+    let spec = micro::hashtable2(Contention::High, 30, 20);
+    let plan = FaultPlan::new(0x5707).with_stm_aborts(700);
+    let label = format!("{} [Stm] abort storm", spec.name);
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let opts = Options {
+            heap_cells: spec.heap_cells,
+            faults: Some(plan),
+            stm_abort_budget: 4,
+            ..Options::default()
+        };
+        let m = build(&spec, ExecMode::Stm, opts);
+        let (init_fn, init_args) = &spec.init;
+        m.run_named(init_fn, init_args).expect("storm init");
+        let (worker_fn, worker_args) = &spec.worker;
+        m.run_threads_virtual(worker_fn, THREADS, |_| worker_args.clone())
+            .expect("the fallback must carry the storm to completion");
+        if let Some(check_fn) = spec.check {
+            m.run_named(check_fn, &[]).expect("storm invariant");
+        }
+        let _ = tx.send(m.degradation_report());
+    });
+    let report = match rx.recv_timeout(WATCHDOG) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!(),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!("{label}: hang"),
+    };
+    let _ = handle.join();
+    assert!(
+        report.stm_fallbacks > 0,
+        "{label}: the storm must escalate to irrevocable mode: {report}"
+    );
+    assert!(
+        report.stm_commits > 0,
+        "{label}: and still commit: {report}"
+    );
+}

@@ -18,7 +18,10 @@ fn run_spec(spec: &RunSpec, mode: ExecMode, k: usize, threads: usize) {
         transformed,
         pt,
         mode,
-        Options { heap_cells: spec.heap_cells, ..Options::default() },
+        Options {
+            heap_cells: spec.heap_cells,
+            ..Options::default()
+        },
     );
     let (init_fn, init_args) = &spec.init;
     machine
@@ -98,8 +101,9 @@ fn virtual_and_real_execution_agree_on_results() {
         let (init_fn, init_args) = &spec.init;
         machine.run_named(init_fn, init_args).unwrap();
         let (worker_fn, worker_args) = &spec.worker;
-        let (_, makespan) =
-            machine.run_threads_virtual(worker_fn, 4, |_| worker_args.clone()).unwrap();
+        let (_, makespan) = machine
+            .run_threads_virtual(worker_fn, 4, |_| worker_args.clone())
+            .unwrap();
         assert!(makespan > 0);
         machine.run_named("check", &[]).unwrap();
     }
@@ -119,8 +123,9 @@ fn fine_beats_coarse_on_hashtable2_in_virtual_time() {
         let (init_fn, init_args) = &spec.init;
         machine.run_named(init_fn, init_args).unwrap();
         let (worker_fn, worker_args) = &spec.worker;
-        let (_, span) =
-            machine.run_threads_virtual(worker_fn, 8, |_| worker_args.clone()).unwrap();
+        let (_, span) = machine
+            .run_threads_virtual(worker_fn, 8, |_| worker_args.clone())
+            .unwrap();
         span
     };
     let coarse = span_at(0);

@@ -32,36 +32,41 @@ fn fixture() -> (lir::Program, pointsto::PointsTo) {
 fn lock_strategy() -> impl Strategy<Value = AbsLock> {
     let (p, pt) = fixture();
     let n_vars = p.vars.len() as u32;
-    let fields: Vec<lir::FieldId> =
-        (0..p.fields.len() as u32).map(lir::FieldId).collect();
+    let fields: Vec<lir::FieldId> = (0..p.fields.len() as u32).map(lir::FieldId).collect();
     (
         0..n_vars,
         proptest::collection::vec(
             prop_oneof![
-                Just(None),                      // Deref
-                (0..fields.len()).prop_map(Some) // Field
+                Just(None),                       // Deref
+                (0..fields.len()).prop_map(Some)  // Field
             ],
             0..4,
         ),
         prop_oneof![Just(Eff::Ro), Just(Eff::Rw)],
         any::<bool>(),
     )
-        .prop_filter_map("lock must protect something", move |(base, ops, eff, coarse)| {
-            let ops: Vec<PathOp> = ops
-                .into_iter()
-                .map(|o| match o {
-                    None => PathOp::Deref,
-                    Some(i) => PathOp::Field(fields[i]),
-                })
-                .collect();
-            let path = PathExpr { base: lir::VarId(base), ops };
-            if coarse {
-                let c = pt.class_of_path(&path)?;
-                Some(AbsLock::coarse(c, eff))
-            } else {
-                AbsLock::fine(path, eff, &pt)
-            }
-        })
+        .prop_filter_map(
+            "lock must protect something",
+            move |(base, ops, eff, coarse)| {
+                let ops: Vec<PathOp> = ops
+                    .into_iter()
+                    .map(|o| match o {
+                        None => PathOp::Deref,
+                        Some(i) => PathOp::Field(fields[i]),
+                    })
+                    .collect();
+                let path = PathExpr {
+                    base: lir::VarId(base),
+                    ops,
+                };
+                if coarse {
+                    let c = pt.class_of_path(&path)?;
+                    Some(AbsLock::coarse(c, eff))
+                } else {
+                    AbsLock::fine(path, eff, &pt)
+                }
+            },
+        )
 }
 
 proptest! {
@@ -144,8 +149,8 @@ proptest! {
                 model[*i] += *v as i64;
             }
         }
-        for i in 0..16 {
-            prop_assert_eq!(space.read_direct(i), model[i]);
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(space.read_direct(i), *want);
         }
     }
 

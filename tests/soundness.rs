@@ -15,10 +15,16 @@ fn checksum(spec: &workloads::RunSpec, mode: ExecMode, k: usize) -> i64 {
         transformed,
         pt,
         mode,
-        Options { heap_cells: spec.heap_cells, ..Options::default() },
+        Options {
+            heap_cells: spec.heap_cells,
+            ..Options::default()
+        },
     );
     machine.run_named("main", &[]).unwrap_or_else(|e| {
-        panic!("{} under {mode:?} (k={k}): {e}\n--- source ---\n{}", spec.name, spec.source)
+        panic!(
+            "{} under {mode:?} (k={k}): {e}\n--- source ---\n{}",
+            spec.name, spec.source
+        )
     })
 }
 
@@ -37,7 +43,7 @@ fn inferred_locks_cover_all_section_accesses() {
 /// Single-threaded differential equivalence: the transformation plus
 /// each runtime discipline must preserve program results exactly.
 #[test]
-fn all_modes_compute_the_same_result()  {
+fn all_modes_compute_the_same_result() {
     for seed in 60..110 {
         let spec = workloads::fuzz::runnable(seed, 60);
         let expect = checksum(&spec, ExecMode::Global, 3);
@@ -68,10 +74,7 @@ fn inferred_lock_sets_are_non_redundant() {
                 for a in &sec.locks {
                     for b in &sec.locks {
                         if a != b {
-                            assert!(
-                                !a.leq(b),
-                                "seed {seed} k={k}: redundant lock {a} ≤ {b}"
-                            );
+                            assert!(!a.leq(b), "seed {seed} k={k}: redundant lock {a} ≤ {b}");
                         }
                     }
                 }
