@@ -1,0 +1,217 @@
+//! `trace-dump` — record, validate, profile, and replay execution
+//! traces of the evaluation workloads.
+//!
+//! ```text
+//! trace-dump record <workload> [--mode M] [--k N] [--threads N] [--ops N]
+//!                              [--faults] [--out FILE]
+//! trace-dump validate <trace.json>
+//! trace-dump profile  <trace.json>
+//! trace-dump replay   <trace.json>
+//! ```
+//!
+//! * `record` runs a named workload (`list`, `hashtable`, `hashtable2`,
+//!   `rbtree`, `th`, `genome`, `vacation`, `kmeans`) under the
+//!   deterministic virtual-time scheduler with event tracing on, prints
+//!   the lockset-validation verdict and per-section profiles, and —
+//!   with `--out` — writes the self-describing trace as canonical JSON.
+//! * `validate` re-checks a trace file against the Eraser-style
+//!   lockset discipline (every in-section access licensed by a held
+//!   lock at the right mode).
+//! * `profile` prints per-section contention/hold-time histograms.
+//! * `replay` re-executes the run embedded in a trace file and
+//!   verifies the fresh digest matches, byte for byte.
+//!
+//! Exit status is nonzero on a validation failure or digest mismatch,
+//! so all four subcommands double as CI checks.
+
+use atomic_lock_inference::replay::{self, RunConfig};
+use interp::{ExecMode, FaultPlan};
+use std::process::ExitCode;
+use workloads::{micro, stamp, Contention, RunSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace-dump record <workload> [--mode global|multigrain|stm|validate] \
+         [--k N] [--threads N] [--ops N] [--faults] [--out FILE]\n\
+         \x20      trace-dump validate <trace.json>\n\
+         \x20      trace-dump profile  <trace.json>\n\
+         \x20      trace-dump replay   <trace.json>\n\
+         workloads: list hashtable hashtable2 rbtree th genome vacation kmeans"
+    );
+    ExitCode::from(2)
+}
+
+fn workload(name: &str, ops: i64) -> Option<RunSpec> {
+    let c = Contention::Low;
+    Some(match name {
+        "list" => micro::list(c, ops, 1),
+        "hashtable" => micro::hashtable(c, ops, 1),
+        "hashtable2" => micro::hashtable2(c, ops, 1),
+        "rbtree" => micro::rbtree(c, ops, 1),
+        "th" => micro::th(c, ops, 1),
+        "genome" => stamp::genome(ops, 1),
+        "vacation" => stamp::vacation(ops, 1),
+        "kmeans" => stamp::kmeans(ops, 1),
+        _ => return None,
+    })
+}
+
+fn parse_exec_mode(s: &str) -> Option<ExecMode> {
+    Some(match s {
+        "global" => ExecMode::Global,
+        "multigrain" | "mg" => ExecMode::MultiGrain,
+        "stm" => ExecMode::Stm,
+        "validate" => ExecMode::Validate,
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> Result<trace::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    trace::Trace::from_json(&text)
+}
+
+fn report(t: &trace::Trace) -> bool {
+    let by_kind = t
+        .counts()
+        .into_iter()
+        .map(|(k, n)| format!("{k}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "trace: {} events ({by_kind}), {} allocs, dropped={}",
+        t.events.len(),
+        t.allocs.len(),
+        t.dropped
+    );
+    println!("digest: {}", t.digest());
+    print!("{}", trace::profile::render(&trace::profile::profile(t)));
+    match trace::validate(t) {
+        Ok(v) => {
+            println!(
+                "lockset validation: checked={} exempt={} violations={}{}",
+                v.checked,
+                v.exempt,
+                v.violations.len(),
+                if v.crashed.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (crashed threads: {:?})", v.crashed)
+                }
+            );
+            for viol in &v.violations {
+                println!("  VIOLATION {viol}");
+            }
+            v.passed()
+        }
+        Err(e) => {
+            println!("lockset validation: SKIPPED — {e}");
+            false
+        }
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("record: missing workload name")?;
+    let mut mode = ExecMode::MultiGrain;
+    let mut k = 9usize;
+    let mut threads = 4usize;
+    let mut ops = 200i64;
+    let mut faults = None;
+    let mut out = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("record: {flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                let v = val("a mode")?;
+                mode = parse_exec_mode(&v).ok_or_else(|| format!("record: bad mode `{v}`"))?;
+            }
+            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--threads" => {
+                threads = val("a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--faults" => {
+                faults = Some(
+                    FaultPlan::new(0xC405)
+                        .with_stm_aborts(30)
+                        .with_stalls(100, 400)
+                        .with_wakeup_delays(100, 200),
+                );
+            }
+            "--out" => out = Some(val("a path")?),
+            other => return Err(format!("record: unknown flag `{other}`")),
+        }
+    }
+    let spec = workload(name, ops).ok_or_else(|| format!("record: unknown workload `{name}`"))?;
+    let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    cfg.faults = faults;
+    let rec = replay::record(&cfg)?;
+    println!(
+        "{name} mode={mode:?} k={k} threads={threads} ops={ops}: makespan={} ticks{}",
+        rec.outcome.makespan,
+        match &rec.outcome.error {
+            Some(e) => format!(" ERROR: {e}"),
+            None => String::new(),
+        }
+    );
+    let ok = report(&rec.trace);
+    if let Some(path) = out {
+        std::fs::write(&path, rec.trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_replay(path: &str) -> Result<ExitCode, String> {
+    let t = load(path)?;
+    let rec = replay::replay(&t)?;
+    let (orig, fresh) = (t.digest(), rec.trace.digest());
+    println!("recorded digest: {orig}");
+    println!("replayed digest: {fresh}");
+    if orig == fresh {
+        println!("replay: DETERMINISTIC");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("replay: MISMATCH");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let r = match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("record", rest) => cmd_record(rest),
+            ("validate", [path]) => load(path).map(|t| {
+                if report(&t) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }),
+            ("profile", [path]) => load(path).map(|t| {
+                print!("{}", trace::profile::render(&trace::profile::profile(&t)));
+                ExitCode::SUCCESS
+            }),
+            ("replay", [path]) => cmd_replay(path),
+            _ => return usage(),
+        },
+        None => return usage(),
+    };
+    r.unwrap_or_else(|e| {
+        eprintln!("trace-dump: {e}");
+        ExitCode::from(2)
+    })
+}

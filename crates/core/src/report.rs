@@ -73,6 +73,12 @@ pub struct DegradationReport {
     pub deadlocks_detected: u64,
     /// Acquisitions refused by the configured timeout.
     pub lock_timeouts: u64,
+    /// Lock batches released and re-acquired because a fine-grained
+    /// descriptor drifted while the session waited (the guarded
+    /// structure moved between evaluation and grant). Informational —
+    /// revalidation is the protocol *working*, not degrading — so it
+    /// does not affect [`DegradationReport::is_clean`].
+    pub lock_revalidations: u64,
     /// Faults injected by the active plan, by class.
     pub injected_panics: u64,
     pub injected_aborts: u64,
@@ -88,6 +94,7 @@ impl DegradationReport {
         let DegradationReport {
             stm_commits: _,
             stm_aborts: _,
+            lock_revalidations: _,
             stm_fallbacks,
             poisoned_sessions,
             unwind_releases,
@@ -115,7 +122,7 @@ impl fmt::Display for DegradationReport {
         write!(
             f,
             "stm {}c/{}a/{}f  poisoned {}  unwound {}  deadlocks {}  timeouts {}  \
-             injected p{}/a{}/d{}/s{}",
+             revalidated {}  injected p{}/a{}/d{}/s{}",
             self.stm_commits,
             self.stm_aborts,
             self.stm_fallbacks,
@@ -123,6 +130,7 @@ impl fmt::Display for DegradationReport {
             self.unwind_releases,
             self.deadlocks_detected,
             self.lock_timeouts,
+            self.lock_revalidations,
             self.injected_panics,
             self.injected_aborts,
             self.injected_delays,

@@ -108,6 +108,10 @@ pub struct FaultStats {
     pub injected_delays: AtomicU64,
     /// Acquisition batches stalled.
     pub injected_stalls: AtomicU64,
+    /// Not an injection: lock batches released and re-acquired because
+    /// a fine descriptor drifted during the wait. Lives here because
+    /// this is the machine's bucket of cross-thread runtime counters.
+    pub lock_revalidations: AtomicU64,
 }
 
 /// Panic payload used by injected panics; the harness recognizes it and

@@ -47,6 +47,10 @@ pub struct Options {
     /// Degradation policy for the multi-grain lock runtime (timeouts,
     /// deadlock detection). The default is off: zero overhead.
     pub mg_config: mglock::RuntimeConfig,
+    /// Event-trace recording (`None` = no tracing, zero overhead).
+    /// When set, every worker registers a per-thread recorder and the
+    /// merged trace is available from [`Machine::take_trace`].
+    pub trace: Option<trace::TraceConfig>,
 }
 
 impl Default for Options {
@@ -59,6 +63,7 @@ impl Default for Options {
             faults: None,
             stm_abort_budget: 1024,
             mg_config: mglock::RuntimeConfig::default(),
+            trace: None,
         }
     }
 }
@@ -118,6 +123,7 @@ pub struct Machine {
     pub(crate) faults: Option<crate::fault::FaultPlan>,
     pub(crate) stm_abort_budget: u64,
     pub(crate) fault_stats: crate::fault::FaultStats,
+    pub(crate) tracer: Option<Arc<trace::Recorder>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -191,11 +197,16 @@ impl Machine {
         }
         let field_offset = program.fields.iter().map(|fi| fi.offset).collect();
         let elem_field = program.elem_field_opt();
+        let tracer = opts.trace.map(|cfg| Arc::new(trace::Recorder::new(cfg)));
+        let space = tl2::Space::new(opts.heap_cells);
+        if let Some(t) = &tracer {
+            space.set_observer(Some(Arc::clone(t) as Arc<dyn tl2::StmObserver>));
+        }
         let mut m = Machine {
             program,
             pt,
             mode,
-            space: tl2::Space::new(opts.heap_cells),
+            space,
             // Address 0 is null; start allocating at 1.
             brk: AtomicU64::new(1),
             allocs: RwLock::new(Vec::new()),
@@ -212,6 +223,7 @@ impl Machine {
             faults: opts.faults,
             stm_abort_budget: opts.stm_abort_budget,
             fault_stats: crate::fault::FaultStats::default(),
+            tracer,
         };
         // Allocate the globals' cells.
         let globals = m.program.globals.clone();
@@ -291,12 +303,43 @@ impl Machine {
             injected_aborts: ld(&fs.injected_aborts),
             injected_delays: ld(&fs.injected_delays),
             injected_stalls: ld(&fs.injected_stalls),
+            lock_revalidations: ld(&fs.lock_revalidations),
         }
     }
 
     /// Execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// True when this machine was built with tracing enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains the recorded events into a merged, epoch-ordered trace
+    /// stamped with this machine's mode/seed metadata and the current
+    /// allocation-table snapshot (the bump allocator never reuses
+    /// addresses, so the final table is valid for every recorded
+    /// access). Returns `None` when tracing was not enabled. A second
+    /// call returns only events recorded since the first.
+    pub fn take_trace(&self) -> Option<trace::Trace> {
+        let rec = self.tracer.as_ref()?;
+        let allocs = self
+            .allocs
+            .read()
+            .iter()
+            .map(|a| trace::AllocRecord {
+                base: a.base,
+                len: a.len,
+                class: a.class.0,
+            })
+            .collect();
+        let meta = vec![
+            ("mode".to_owned(), format!("{:?}", self.mode)),
+            ("seed".to_owned(), self.seed.to_string()),
+        ];
+        Some(rec.take(meta, allocs))
     }
 
     fn alloc_meta_of(&self, loc: u64) -> Option<AllocMeta> {

@@ -114,6 +114,12 @@ impl Sim {
         }
     }
 
+    /// The thread's current virtual clock (scheduling points only; add
+    /// any unflushed ticks the caller has accumulated since).
+    pub fn clock_of(&self, tid: usize) -> u64 {
+        self.inner.lock().clocks[tid]
+    }
+
     fn my_turn(g: &SimInner, tid: usize) -> bool {
         if g.state[tid] != St::Ready {
             return false;

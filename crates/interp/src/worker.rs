@@ -49,15 +49,25 @@ pub(crate) struct Worker<'m> {
     section_aborts: u64,
     /// Next STM section entry begins irrevocably (starvation fallback).
     escalate: bool,
+    /// This thread's event sink (None = machine not built with tracing).
+    tracer: Option<Arc<trace::ThreadRecorder>>,
+    /// Set while lock descriptors are re-evaluated *under* the freshly
+    /// acquired grants (drift detection): those path reads are part of
+    /// the acquisition protocol, not of the section body, so they are
+    /// exempt from both Validate-mode coverage checks and the trace.
+    revalidating: bool,
 }
 
 impl<'m> Worker<'m> {
     pub(crate) fn new(m: &'m Machine, tid: u32) -> Worker<'m> {
+        let tracer = m.tracer.as_ref().map(|r| r.register(tid));
+        let mut session = Session::new(Arc::clone(&m.mg));
+        session.set_observer(tracer.clone().map(|t| t as Arc<dyn mglock::LockObserver>));
         Worker {
             m,
             tid,
             rng: splitmix(m.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1))),
-            session: Session::new(Arc::clone(&m.mg)),
+            session,
             txn: None,
             sec_depth: 0,
             depth: 0,
@@ -71,6 +81,8 @@ impl<'m> Worker<'m> {
             injector: m.faults.map(|plan| Injector::new(plan, tid)),
             section_aborts: 0,
             escalate: false,
+            tracer,
+            revalidating: false,
         }
     }
 
@@ -100,6 +112,52 @@ impl<'m> Worker<'m> {
             let t = std::mem::take(&mut self.vticks);
             sim.advance(self.tid as usize, t);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (all no-ops when the machine was built without a tracer)
+
+    /// The thread's current virtual clock (0 in real-time runs).
+    fn now(&self) -> u64 {
+        match &self.sim {
+            Some(sim) => sim.clock_of(self.tid as usize) + self.vticks,
+            None => 0,
+        }
+    }
+
+    /// Publishes the current clock to the recorder so runtime-side
+    /// observer callbacks (lock grants, STM lifecycle) stamp correctly.
+    fn sync_trace_clock(&self) {
+        if let Some(t) = &self.tracer {
+            t.set_clock(self.now());
+        }
+    }
+
+    /// Records one event stamped with the current clock.
+    fn trace_event(&self, kind: trace::EventKind) {
+        if let Some(t) = &self.tracer {
+            t.set_clock(self.now());
+            t.record(kind);
+        }
+    }
+
+    /// Records an in-section shared access. Accesses outside any
+    /// section (including lock-spec evaluation, which runs before
+    /// `acquire_all` at nesting level 0, and post-acquisition descriptor
+    /// revalidation) are not part of the lockset discipline and are
+    /// skipped.
+    fn trace_access(&self, addr: u64, write: bool) {
+        if self.tracer.is_none() || self.revalidating {
+            return;
+        }
+        if self.sec_depth == 0 && self.session.nesting_level() == 0 {
+            return;
+        }
+        self.trace_event(if write {
+            trace::EventKind::Write { addr }
+        } else {
+            trace::EventKind::Read { addr }
+        });
     }
 
     pub(crate) fn call(&mut self, f: FnId, args: &[i64]) -> Result<i64, Exc> {
@@ -154,7 +212,7 @@ impl<'m> Worker<'m> {
                         Err(e) => Err(e),
                     }
                 }
-                Instr::ExitAtomic(_) | Instr::ReleaseAll(_) => match self.section_exit() {
+                Instr::ExitAtomic(_) | Instr::ReleaseAll(_) => match self.section_exit(ins) {
                     Ok(closed_all) => {
                         if closed_all {
                             retry = None;
@@ -180,7 +238,8 @@ impl<'m> Worker<'m> {
                         self.sec_depth = 0;
                         frame.clone_from(snapshot);
                         pc = *rpc;
-                        m.space.note_abort();
+                        self.sync_trace_clock();
+                        m.space.note_abort_by(self.tid as u64);
                         self.section_aborts += 1;
                         if self.section_aborts >= m.stm_abort_budget {
                             // Starving: the next attempt runs
@@ -390,10 +449,12 @@ impl<'m> Worker<'m> {
             Storage::Indirect(s) => {
                 let a = frame[s as usize] as u64;
                 self.check_var_access(a, false)?;
+                self.trace_access(a, false);
                 self.heap_read_raw(a)
             }
             Storage::Global(a) => {
                 self.check_var_access(a, false)?;
+                self.trace_access(a, false);
                 self.heap_read_raw(a)
             }
         }
@@ -408,10 +469,12 @@ impl<'m> Worker<'m> {
             Storage::Indirect(s) => {
                 let a = frame[s as usize] as u64;
                 self.check_var_access(a, true)?;
+                self.trace_access(a, true);
                 self.heap_write_raw(a, val, true)
             }
             Storage::Global(a) => {
                 self.check_var_access(a, true)?;
+                self.trace_access(a, true);
                 self.heap_write_raw(a, val, true)
             }
         }
@@ -421,8 +484,13 @@ impl<'m> Worker<'m> {
     /// heapified locals).
     fn check_var_access(&self, a: u64, write: bool) -> Result<(), Exc> {
         // Lock-spec evaluation happens before `acquire_all`, while the
-        // nesting level is still 0, so it is naturally exempt here.
-        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+        // nesting level is still 0, so it is naturally exempt here;
+        // post-acquisition revalidation runs at level 1 and is exempted
+        // explicitly.
+        if self.m.mode == ExecMode::Validate
+            && !self.revalidating
+            && self.session.nesting_level() > 0
+        {
             self.check_protected(a, write, self.cur_fn, self.cur_pc)?;
         }
         Ok(())
@@ -440,6 +508,7 @@ impl<'m> Worker<'m> {
         if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
             self.check_protected(a, false, f, pc)?;
         }
+        self.trace_access(a, false);
         self.heap_read_raw(a)
     }
 
@@ -448,6 +517,7 @@ impl<'m> Worker<'m> {
         if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
             self.check_protected(a, true, f, pc)?;
         }
+        self.trace_access(a, true);
         self.heap_write_raw(a, val, false)
     }
 
@@ -505,6 +575,9 @@ impl<'m> Worker<'m> {
                 .fault_stats
                 .injected_panics
                 .fetch_add(1, Ordering::Relaxed);
+            self.trace_event(trace::EventKind::Fault {
+                class: trace::FaultClass::Panic,
+            });
             std::panic::resume_unwind(Box::new(FaultPanic { tid: self.tid }));
         }
     }
@@ -525,6 +598,9 @@ impl<'m> Worker<'m> {
                 .fault_stats
                 .injected_aborts
                 .fetch_add(1, Ordering::Relaxed);
+            self.trace_event(trace::EventKind::Fault {
+                class: trace::FaultClass::SpuriousAbort,
+            });
             return Err(Exc::Abort);
         }
         Ok(())
@@ -532,6 +608,13 @@ impl<'m> Worker<'m> {
 
     fn alloc_cells(&mut self, n: usize, class: PtsClass) -> Result<u64, Exc> {
         let base = self.m.alloc(n, class)?;
+        let in_section = self.sec_depth > 0 || self.session.nesting_level() > 0;
+        if in_section {
+            self.trace_event(trace::EventKind::Alloc {
+                base,
+                len: n.max(1) as u64,
+            });
+        }
         if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
             // Cells allocated by this thread during the section are
             // private until it publishes them: exempt from coverage
@@ -593,6 +676,15 @@ impl<'m> Worker<'m> {
     /// STM transaction (and must snapshot for retry).
     fn section_enter(&mut self, ins: &Instr, frame: &mut [i64], f: FnId) -> Result<bool, Exc> {
         let m = self.m;
+        if self.tracer.is_some() {
+            let sid = match ins {
+                Instr::AcquireAll(s, _) | Instr::EnterAtomic(s) => *s,
+                _ => unreachable!("section markers handled by exec"),
+            };
+            // Every nesting level (and every STM retry) records an
+            // entry; lock grants follow at the outermost level only.
+            self.trace_event(trace::EventKind::SectionEnter { section: sid.0 });
+        }
         match m.mode {
             ExecMode::Global => {
                 self.session.to_acquire(Descriptor::Global {
@@ -609,20 +701,47 @@ impl<'m> Worker<'m> {
                     }
                     _ => unreachable!(),
                 };
-                let mut evaluated = 0;
-                if self.session.nesting_level() == 0 {
-                    self.current_section = sid;
+                if self.session.nesting_level() > 0 {
+                    // Nested entry: the outer level's grants cover it.
+                    self.acquire_session(0)?;
+                    return Ok(false);
+                }
+                self.current_section = sid;
+                loop {
+                    self.held_concrete.clear();
+                    let mut planned = Vec::new();
                     for spec in specs {
                         if let Some((d, c)) = self.eval_spec(spec, frame, f)? {
                             self.session.to_acquire(d);
-                            evaluated += 1;
+                            planned.push(d);
                             if m.mode == ExecMode::Validate {
                                 self.held_concrete.push(c);
                             }
                         }
                     }
+                    self.acquire_session(planned.len() as u64)?;
+                    // Fine descriptors were evaluated *before* blocking.
+                    // If the guarded structure moved while this thread
+                    // waited (e.g. a concurrent section resized the
+                    // array the path names), the locks now held cover a
+                    // stale footprint. Re-evaluate under the grants and
+                    // retry on drift; every retry implies some other
+                    // section committed in between, so the loop makes
+                    // system-wide progress.
+                    if self.eval_specs_quiet(specs, frame, f)? == planned {
+                        break;
+                    }
+                    m.fault_stats
+                        .lock_revalidations
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.session.release_all();
+                    if let Some(sim) = &self.sim {
+                        sim.on_release(self.tid as usize);
+                        if self.tracer.is_some() {
+                            self.flush_ticks();
+                        }
+                    }
                 }
-                self.acquire_session(evaluated)?;
                 Ok(false)
             }
             ExecMode::Stm => {
@@ -657,7 +776,8 @@ impl<'m> Worker<'m> {
         }
         let mut backoff = Backoff::new();
         loop {
-            if let Some(txn) = self.m.space.try_begin_irrevocable() {
+            self.sync_trace_clock();
+            if let Some(txn) = self.m.space.try_begin_irrevocable_by(self.tid as u64) {
                 return txn;
             }
             let spins = backoff.spins();
@@ -689,6 +809,9 @@ impl<'m> Worker<'m> {
                 .fault_stats
                 .injected_stalls
                 .fetch_add(1, Ordering::Relaxed);
+            self.trace_event(trace::EventKind::Fault {
+                class: trace::FaultClass::Stall,
+            });
             if self.sim.is_some() {
                 self.tick(t);
             } else {
@@ -699,6 +822,7 @@ impl<'m> Worker<'m> {
         }
         match self.sim.clone() {
             None => {
+                self.sync_trace_clock();
                 let cfg = self.m.mg.config();
                 if cfg.acquire_timeout.is_some() || cfg.detect_deadlocks {
                     self.session
@@ -716,6 +840,7 @@ impl<'m> Worker<'m> {
                 self.tick(self.m.costs.lock_desc * n_descriptors);
                 self.flush_ticks();
                 loop {
+                    self.sync_trace_clock();
                     match self.session.acquire_all_step() {
                         mglock::StepResult::Done => break,
                         mglock::StepResult::WouldBlock => {
@@ -732,6 +857,9 @@ impl<'m> Worker<'m> {
                                     .fault_stats
                                     .injected_delays
                                     .fetch_add(1, Ordering::Relaxed);
+                                self.trace_event(trace::EventKind::Fault {
+                                    class: trace::FaultClass::WakeupDelay,
+                                });
                                 self.tick(t);
                             }
                         }
@@ -746,8 +874,12 @@ impl<'m> Worker<'m> {
 
     /// Leaves a section; returns true when the outermost level closed
     /// (for STM: the transaction committed).
-    fn section_exit(&mut self) -> Result<bool, Exc> {
+    fn section_exit(&mut self, ins: &Instr) -> Result<bool, Exc> {
         let m = self.m;
+        let sid = match ins {
+            Instr::ExitAtomic(s) | Instr::ReleaseAll(s) => *s,
+            _ => unreachable!("section markers handled by exec"),
+        };
         match m.mode {
             ExecMode::Global | ExecMode::MultiGrain | ExecMode::Validate => {
                 let will_close = self.session.nesting_level() == 1;
@@ -759,11 +891,24 @@ impl<'m> Worker<'m> {
                         self.flush_ticks();
                     }
                 }
+                // Exit before the releases: the validator checks every
+                // access while the grants are still held, and release
+                // events trail the section like the runtime's own order.
+                self.trace_event(trace::EventKind::SectionExit { section: sid.0 });
                 self.session.release_all();
                 let closed = self.session.nesting_level() == 0;
                 if closed {
                     if let Some(sim) = &self.sim {
                         sim.on_release(self.tid as usize);
+                        // When tracing, re-enter the schedule before
+                        // executing (and stamping) anything further:
+                        // a promoted waiter with the smaller (clock,
+                        // tid) must record its grants first, or the
+                        // epoch order of the merged trace would depend
+                        // on physical thread timing.
+                        if self.tracer.is_some() {
+                            self.flush_ticks();
+                        }
                     }
                     self.held_concrete.clear();
                     self.my_allocs.clear();
@@ -773,6 +918,10 @@ impl<'m> Worker<'m> {
             ExecMode::Stm => {
                 self.sec_depth -= 1;
                 if self.sec_depth > 0 {
+                    // Inner exits always survive; the outermost one is
+                    // recorded only after a successful commit (an
+                    // aborted attempt ends in `StmAbort` instead).
+                    self.trace_event(trace::EventKind::SectionExit { section: sid.0 });
                     return Ok(false);
                 }
                 let txn = self.txn.take().ok_or_else(|| {
@@ -780,25 +929,24 @@ impl<'m> Worker<'m> {
                         detail: "no open transaction at STM section exit".into(),
                     })
                 })?;
+                let writes = txn.write_set_len() as u64;
+                let reads = txn.read_set_len() as u64;
                 if self.sim.is_some() {
-                    let writes = txn.write_set_len() as u64;
                     // Read-only transactions skip commit-time
                     // validation entirely (the TL2 fast path).
-                    let reads = if writes > 0 {
-                        txn.read_set_len() as u64
-                    } else {
-                        0
-                    };
+                    let vreads = if writes > 0 { reads } else { 0 };
                     self.tick(
                         m.costs.stm_commit_base
                             + m.costs.stm_commit_per_write * writes
-                            + m.costs.stm_commit_per_read * reads,
+                            + m.costs.stm_commit_per_read * vreads,
                     );
                     self.flush_ticks();
                 }
+                self.sync_trace_clock();
                 match txn.commit() {
                     Ok(()) => {
-                        m.space.note_commit();
+                        m.space.note_commit_by(self.tid as u64, reads, writes);
+                        self.trace_event(trace::EventKind::SectionExit { section: sid.0 });
                         Ok(true)
                     }
                     Err(_) => Err(Exc::Abort),
@@ -904,6 +1052,36 @@ impl<'m> Worker<'m> {
                     },
                 )))
             }
+        }
+    }
+
+    /// Re-evaluates the section's lock specs with access checks and
+    /// tracing muted (the reads belong to the acquisition protocol, not
+    /// the section body). Used for post-acquisition drift detection;
+    /// side-effect free, charges no virtual time.
+    fn eval_specs_quiet(
+        &mut self,
+        specs: &[LockSpec],
+        frame: &[i64],
+        f: FnId,
+    ) -> Result<Vec<Descriptor>, Exc> {
+        self.revalidating = true;
+        let mut out = Vec::new();
+        let mut err = None;
+        for spec in specs {
+            match self.eval_spec(spec, frame, f) {
+                Ok(Some((d, _))) => out.push(d),
+                Ok(None) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.revalidating = false;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 }

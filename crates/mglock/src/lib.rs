@@ -35,7 +35,8 @@ pub use error::MgLockError;
 pub use modelock::ModeLock;
 pub use modes::Mode;
 pub use runtime::{
-    Access, Descriptor, FineAddr, Runtime, RuntimeConfig, Session, Stats, StepResult,
+    Access, Descriptor, FineAddr, LockObserver, NodeKey, Runtime, RuntimeConfig, Session, Stats,
+    StepResult,
 };
 
 #[cfg(test)]

@@ -76,11 +76,23 @@ pub enum Descriptor {
 
 /// A node in the lock tree, in the global acquisition order: root
 /// first, then partitions, then fine nodes grouped by partition.
+/// Public so tracing observers can name the node a grant refers to.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-enum NodeKey {
+pub enum NodeKey {
     Root,
     Pts(u32),
     Fine(u32, FineAddr),
+}
+
+/// Observer of a [`Session`]'s grant lifecycle. Implemented by tracing
+/// backends (the `trace` crate's per-thread recorder); the runtime
+/// calls it synchronously on the granting/releasing thread, including
+/// for unwind releases from [`Session`]'s drop glue.
+pub trait LockObserver: Send + Sync {
+    /// `node` was granted to the session in `mode`.
+    fn lock_acquired(&self, node: NodeKey, mode: Mode);
+    /// The session released its `mode` grant on `node`.
+    fn lock_released(&self, node: NodeKey, mode: Mode);
 }
 
 /// Counters exposed for benchmarks and tests.
@@ -309,6 +321,8 @@ pub struct Session {
     cursor: Vec<(NodeKey, Mode)>,
     /// Whether a step-wise acquisition is in flight.
     stepping: bool,
+    /// Grant-lifecycle observer (tracing); `None` costs nothing.
+    observer: Option<Arc<dyn LockObserver>>,
 }
 
 impl fmt::Debug for Session {
@@ -331,6 +345,19 @@ impl Session {
             nlevel: 0,
             cursor: Vec::new(),
             stepping: false,
+            observer: None,
+        }
+    }
+
+    /// Installs (or clears) a grant-lifecycle observer. Grants already
+    /// held are not replayed to a newly installed observer.
+    pub fn set_observer(&mut self, observer: Option<Arc<dyn LockObserver>>) {
+        self.observer = observer;
+    }
+
+    fn notify_acquired(&self, key: NodeKey, mode: Mode) {
+        if let Some(obs) = &self.observer {
+            obs.lock_acquired(key, mode);
         }
     }
 
@@ -391,6 +418,7 @@ impl Session {
                 .node_acquisitions
                 .fetch_add(1, Ordering::Relaxed);
             self.rt.note_granted(key, mode);
+            self.notify_acquired(key, mode);
             self.held.push((key, node, mode));
         }
         self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -416,9 +444,13 @@ impl Session {
         for (key, mode) in self.plan() {
             let node = self.rt.node(key);
             if let Err(e) = self.acquire_node_checked(key, &node, mode) {
+                let obs = self.observer.clone();
                 for (k, n, m) in self.held.drain(..).rev() {
                     n.release(m);
                     self.rt.note_released(k, m);
+                    if let Some(obs) = &obs {
+                        obs.lock_released(k, m);
+                    }
                 }
                 return Err(e);
             }
@@ -427,6 +459,7 @@ impl Session {
                 .node_acquisitions
                 .fetch_add(1, Ordering::Relaxed);
             self.rt.note_granted(key, mode);
+            self.notify_acquired(key, mode);
             self.held.push((key, node, mode));
         }
         self.rt.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -522,6 +555,7 @@ impl Session {
                 .node_acquisitions
                 .fetch_add(1, Ordering::Relaxed);
             self.rt.note_granted(key, mode);
+            self.notify_acquired(key, mode);
             self.held.push((key, node, mode));
             self.cursor.pop();
         }
@@ -539,9 +573,13 @@ impl Session {
         if self.nlevel > 0 {
             return;
         }
+        let obs = self.observer.clone();
         for (key, node, mode) in self.held.drain(..).rev() {
             node.release(mode);
             self.rt.note_released(key, mode);
+            if let Some(obs) = &obs {
+                obs.lock_released(key, mode);
+            }
         }
     }
 
@@ -567,9 +605,13 @@ impl Drop for Session {
                 .poisoned_sessions
                 .fetch_add(1, Ordering::Relaxed);
         }
+        let obs = self.observer.clone();
         for (key, node, mode) in self.held.drain(..).rev() {
             node.release(mode);
             self.rt.note_released(key, mode);
+            if let Some(obs) = &obs {
+                obs.lock_released(key, mode);
+            }
             self.rt
                 .stats
                 .unwind_releases

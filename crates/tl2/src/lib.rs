@@ -108,6 +108,21 @@ impl Default for Backoff {
     }
 }
 
+/// Observer of transaction lifecycle transitions, for tracing backends.
+/// Callbacks carry the thread token the driver passed to the tagged
+/// notification methods ([`Space::note_commit_by`] and friends), so a
+/// machine-wide observer can route the event to the right per-thread
+/// buffer.
+pub trait StmObserver: Send + Sync {
+    /// The token's outermost transaction committed with the given
+    /// read/write set sizes.
+    fn txn_commit(&self, token: u64, reads: u64, writes: u64);
+    /// The token's current attempt aborted (it will retry).
+    fn txn_abort(&self, token: u64);
+    /// The token's transaction escalated to irrevocable global mode.
+    fn txn_fallback(&self, token: u64);
+}
+
 const LOCK_BIT: u64 = 1;
 
 struct Cell {
@@ -128,6 +143,9 @@ pub struct Space {
     /// it exclusively for its whole lifetime, so the two write paths can
     /// never interleave on a cell.
     commit_gate: std::sync::RwLock<()>,
+    /// Lifecycle observer for the tagged notification methods; `None`
+    /// costs one relaxed load per notification.
+    observer: std::sync::RwLock<Option<std::sync::Arc<dyn StmObserver>>>,
 }
 
 impl std::fmt::Debug for Space {
@@ -154,6 +172,26 @@ impl Space {
             aborts: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             commit_gate: std::sync::RwLock::new(()),
+            observer: std::sync::RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears) the lifecycle observer used by the tagged
+    /// notification methods.
+    pub fn set_observer(&self, observer: Option<std::sync::Arc<dyn StmObserver>>) {
+        *self
+            .observer
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = observer;
+    }
+
+    fn with_observer(&self, f: impl FnOnce(&dyn StmObserver)) {
+        let g = self
+            .observer
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(obs) = g.as_deref() {
+            f(obs);
         }
     }
 
@@ -247,6 +285,29 @@ impl Space {
     /// begin/commit drivers).
     pub fn note_commit(&self) {
         self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Like [`Space::note_abort`], additionally notifying the observer
+    /// with the driver's thread token.
+    pub fn note_abort_by(&self, token: u64) {
+        self.note_abort();
+        self.with_observer(|o| o.txn_abort(token));
+    }
+
+    /// Like [`Space::note_commit`], additionally notifying the observer
+    /// with the driver's thread token and the committed read/write set
+    /// sizes.
+    pub fn note_commit_by(&self, token: u64, reads: u64, writes: u64) {
+        self.note_commit();
+        self.with_observer(|o| o.txn_commit(token, reads, writes));
+    }
+
+    /// Like [`Space::try_begin_irrevocable`], additionally notifying
+    /// the observer (on success) with the driver's thread token.
+    pub fn try_begin_irrevocable_by(&self, token: u64) -> Option<Txn<'_>> {
+        let txn = self.try_begin_irrevocable()?;
+        self.with_observer(|o| o.txn_fallback(token));
+        Some(txn)
     }
 
     /// Runs `body` transactionally, retrying on conflict until it

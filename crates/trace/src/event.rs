@@ -1,0 +1,95 @@
+//! The structured event vocabulary of a runtime trace.
+//!
+//! One [`Event`] is recorded per observable runtime action: section
+//! boundaries, lock-tree grants and releases (with their Fig. 6 mode),
+//! shared heap accesses, STM lifecycle transitions, and injected
+//! faults. Events carry the global merge epoch (total order), the
+//! recording thread, and that thread's virtual clock at the time.
+
+use mglock::{Mode, NodeKey};
+
+/// Which fault-injection class fired (mirrors `interp::fault`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Mid-section panic (the worker unwound).
+    Panic,
+    /// Spurious transactional abort.
+    SpuriousAbort,
+    /// Pre-acquisition stall.
+    Stall,
+    /// Delayed lock-wait wakeup.
+    WakeupDelay,
+}
+
+impl FaultClass {
+    pub(crate) fn tag(self) -> &'static str {
+        match self {
+            FaultClass::Panic => "panic",
+            FaultClass::SpuriousAbort => "abort",
+            FaultClass::Stall => "stall",
+            FaultClass::WakeupDelay => "delay",
+        }
+    }
+
+    pub(crate) fn from_tag(s: &str) -> Option<FaultClass> {
+        Some(match s {
+            "panic" => FaultClass::Panic,
+            "abort" => FaultClass::SpuriousAbort,
+            "stall" => FaultClass::Stall,
+            "delay" => FaultClass::WakeupDelay,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An atomic section was entered (every nesting level records one).
+    SectionEnter { section: u32 },
+    /// An atomic section was left. In STM mode this is recorded only
+    /// when the attempt survives (inner levels always; the outermost
+    /// level after a successful commit) — an aborted attempt ends with
+    /// [`EventKind::StmAbort`] instead.
+    SectionExit { section: u32 },
+    /// A lock-tree node was granted in `mode` (from `mglock`).
+    LockAcquire { node: NodeKey, mode: Mode },
+    /// A lock-tree node grant was released (including unwind releases
+    /// from a panicking worker's session drop).
+    LockRelease { node: NodeKey, mode: Mode },
+    /// An in-section shared read of heap cell `addr`.
+    Read { addr: u64 },
+    /// An in-section shared write of heap cell `addr`.
+    Write { addr: u64 },
+    /// An in-section allocation: cells `[base, base+len)` are private
+    /// to the allocating thread until the section publishes them
+    /// (Lemma 2's reachability proviso) — the validator exempts them.
+    Alloc { base: u64, len: u64 },
+    /// The outermost STM section committed with the given read/write
+    /// set sizes (from `tl2`).
+    StmCommit { reads: u64, writes: u64 },
+    /// The current STM attempt aborted and will retry; the thread's
+    /// section depth resets to zero.
+    StmAbort,
+    /// The STM starvation fallback engaged: the next attempt runs
+    /// irrevocably (from `tl2`).
+    StmFallback,
+    /// A fault-injection point fired.
+    Fault { class: FaultClass },
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Global merge order: a monotone counter stamped at record time.
+    /// Under the virtual-time scheduler exactly one thread runs at a
+    /// time, so epochs give a deterministic total order.
+    pub epoch: u64,
+    /// Recording thread.
+    pub tid: u32,
+    /// The thread's virtual clock when the event fired (0 in real-time
+    /// runs, which have no virtual clock).
+    pub clock: u64,
+    /// What happened.
+    pub kind: EventKind,
+}

@@ -1,0 +1,571 @@
+//! JSON export/import of traces.
+//!
+//! The build environment has no registry access (see
+//! `shims/README.md`), so instead of serde this module hand-rolls a
+//! canonical encoder and a small recursive-descent parser for the
+//! subset of JSON the trace format uses: objects, arrays, strings
+//! (with escapes — trace metadata embeds program source), and
+//! unsigned integers.
+//!
+//! The encoding is canonical — no optional whitespace, fixed key
+//! order — so byte equality of two exports is exactly trace equality,
+//! which the determinism tests rely on.
+//!
+//! ```text
+//! {"format":"ali-trace-v1",
+//!  "dropped":0,
+//!  "meta":[["mode","MultiGrain"],...],
+//!  "allocs":[[base,len,class],...],
+//!  "events":[[epoch,tid,clock,KIND],...]}
+//! KIND := ["enter",s] | ["exit",s]
+//!       | ["acq",NODE,MODE] | ["rel",NODE,MODE]
+//!       | ["rd",addr] | ["wr",addr] | ["al",base,len]
+//!       | ["cmt",reads,writes] | ["ab"] | ["fb"] | ["flt",CLASS]
+//! NODE := ["root"] | ["pts",p] | ["cell",p,addr] | ["range",p,base]
+//! MODE := "IS" | "IX" | "S" | "SIX" | "X"
+//! ```
+
+use crate::event::{Event, EventKind, FaultClass};
+use crate::{AllocRecord, Trace};
+use mglock::{FineAddr, Mode, NodeKey};
+use std::fmt::Write as _;
+
+const FORMAT: &str = "ali-trace-v1";
+
+// ----------------------------------------------------------------------
+// Encoding
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn mode_tag(m: Mode) -> &'static str {
+    match m {
+        Mode::Is => "IS",
+        Mode::Ix => "IX",
+        Mode::S => "S",
+        Mode::Six => "SIX",
+        Mode::X => "X",
+    }
+}
+
+fn mode_from_tag(s: &str) -> Option<Mode> {
+    Some(match s {
+        "IS" => Mode::Is,
+        "IX" => Mode::Ix,
+        "S" => Mode::S,
+        "SIX" => Mode::Six,
+        "X" => Mode::X,
+        _ => return None,
+    })
+}
+
+fn push_node(out: &mut String, n: NodeKey) {
+    match n {
+        NodeKey::Root => out.push_str("[\"root\"]"),
+        NodeKey::Pts(p) => {
+            let _ = write!(out, "[\"pts\",{p}]");
+        }
+        NodeKey::Fine(p, FineAddr::Cell(a)) => {
+            let _ = write!(out, "[\"cell\",{p},{a}]");
+        }
+        NodeKey::Fine(p, FineAddr::Range(b)) => {
+            let _ = write!(out, "[\"range\",{p},{b}]");
+        }
+    }
+}
+
+fn push_kind(out: &mut String, k: EventKind) {
+    match k {
+        EventKind::SectionEnter { section } => {
+            let _ = write!(out, "[\"enter\",{section}]");
+        }
+        EventKind::SectionExit { section } => {
+            let _ = write!(out, "[\"exit\",{section}]");
+        }
+        EventKind::LockAcquire { node, mode } => {
+            out.push_str("[\"acq\",");
+            push_node(out, node);
+            out.push(',');
+            push_escaped(out, mode_tag(mode));
+            out.push(']');
+        }
+        EventKind::LockRelease { node, mode } => {
+            out.push_str("[\"rel\",");
+            push_node(out, node);
+            out.push(',');
+            push_escaped(out, mode_tag(mode));
+            out.push(']');
+        }
+        EventKind::Read { addr } => {
+            let _ = write!(out, "[\"rd\",{addr}]");
+        }
+        EventKind::Write { addr } => {
+            let _ = write!(out, "[\"wr\",{addr}]");
+        }
+        EventKind::Alloc { base, len } => {
+            let _ = write!(out, "[\"al\",{base},{len}]");
+        }
+        EventKind::StmCommit { reads, writes } => {
+            let _ = write!(out, "[\"cmt\",{reads},{writes}]");
+        }
+        EventKind::StmAbort => out.push_str("[\"ab\"]"),
+        EventKind::StmFallback => out.push_str("[\"fb\"]"),
+        EventKind::Fault { class } => {
+            out.push_str("[\"flt\",");
+            push_escaped(out, class.tag());
+            out.push(']');
+        }
+    }
+}
+
+/// Canonical JSON encoding of a trace.
+pub fn encode(t: &Trace) -> String {
+    let mut out = String::with_capacity(64 + t.events.len() * 24);
+    out.push_str("{\"format\":");
+    push_escaped(&mut out, FORMAT);
+    let _ = write!(out, ",\"dropped\":{},\"meta\":[", t.dropped);
+    for (i, (k, v)) in t.meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_escaped(&mut out, k);
+        out.push(',');
+        push_escaped(&mut out, v);
+        out.push(']');
+    }
+    out.push_str("],\"allocs\":[");
+    for (i, a) in t.allocs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{},{}]", a.base, a.len, a.class);
+    }
+    out.push_str("],\"events\":[");
+    for (i, e) in t.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{},{},", e.epoch, e.tid, e.clock);
+        push_kind(&mut out, e.kind);
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Decoding
+
+/// A parsed JSON value (the subset the trace format uses: no floats,
+/// no booleans, no null).
+enum Value {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, what: &str) -> PResult<T> {
+        Err(format!("trace json: {what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> PResult<()> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", c as char))
+        }
+    }
+
+    fn value(&mut self) -> PResult<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b) if b.is_ascii_digit() => Ok(Value::Num(self.number()?)),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn number(&mut self) -> PResult<u64> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("trace json: bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> PResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "trace json: bad \\u escape".to_owned())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "trace json: bad \\u escape".to_owned())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| "trace json: bad codepoint".to_owned())?,
+                            );
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-scan as UTF-8 from the byte we consumed.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "trace json: invalid utf-8".to_owned())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> PResult<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> PResult<Value> {
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(items));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            items.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(items));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+fn as_num(v: &Value, what: &str) -> PResult<u64> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("trace json: {what} must be a number")),
+    }
+}
+
+fn as_str<'v>(v: &'v Value, what: &str) -> PResult<&'v str> {
+    match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("trace json: {what} must be a string")),
+    }
+}
+
+fn as_arr<'v>(v: &'v Value, what: &str) -> PResult<&'v [Value]> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        _ => Err(format!("trace json: {what} must be an array")),
+    }
+}
+
+fn node_from(v: &Value) -> PResult<NodeKey> {
+    let items = as_arr(v, "node")?;
+    let tag = as_str(items.first().ok_or("trace json: empty node")?, "node tag")?;
+    Ok(match (tag, items.len()) {
+        ("root", 1) => NodeKey::Root,
+        ("pts", 2) => NodeKey::Pts(as_num(&items[1], "pts")? as u32),
+        ("cell", 3) => NodeKey::Fine(
+            as_num(&items[1], "pts")? as u32,
+            FineAddr::Cell(as_num(&items[2], "addr")?),
+        ),
+        ("range", 3) => NodeKey::Fine(
+            as_num(&items[1], "pts")? as u32,
+            FineAddr::Range(as_num(&items[2], "base")?),
+        ),
+        _ => return Err(format!("trace json: unknown node `{tag}`")),
+    })
+}
+
+fn kind_from(v: &Value) -> PResult<EventKind> {
+    let items = as_arr(v, "event kind")?;
+    let tag = as_str(items.first().ok_or("trace json: empty kind")?, "kind tag")?;
+    let num = |i: usize| as_num(&items[i], tag);
+    Ok(match (tag, items.len()) {
+        ("enter", 2) => EventKind::SectionEnter {
+            section: num(1)? as u32,
+        },
+        ("exit", 2) => EventKind::SectionExit {
+            section: num(1)? as u32,
+        },
+        ("acq", 3) | ("rel", 3) => {
+            let node = node_from(&items[1])?;
+            let mode = mode_from_tag(as_str(&items[2], "mode")?)
+                .ok_or_else(|| "trace json: unknown mode".to_owned())?;
+            if tag == "acq" {
+                EventKind::LockAcquire { node, mode }
+            } else {
+                EventKind::LockRelease { node, mode }
+            }
+        }
+        ("rd", 2) => EventKind::Read { addr: num(1)? },
+        ("wr", 2) => EventKind::Write { addr: num(1)? },
+        ("al", 3) => EventKind::Alloc {
+            base: num(1)?,
+            len: num(2)?,
+        },
+        ("cmt", 3) => EventKind::StmCommit {
+            reads: num(1)?,
+            writes: num(2)?,
+        },
+        ("ab", 1) => EventKind::StmAbort,
+        ("fb", 1) => EventKind::StmFallback,
+        ("flt", 2) => EventKind::Fault {
+            class: FaultClass::from_tag(as_str(&items[1], "fault class")?)
+                .ok_or_else(|| "trace json: unknown fault class".to_owned())?,
+        },
+        _ => return Err(format!("trace json: unknown event kind `{tag}`")),
+    })
+}
+
+/// Parses a trace from its canonical JSON encoding.
+pub fn decode(s: &str) -> Result<Trace, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trace json: trailing content".into());
+    }
+    let Value::Obj(fields) = root else {
+        return Err("trace json: top level must be an object".into());
+    };
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("trace json: missing `{name}`"))
+    };
+    let format = as_str(field("format")?, "format")?;
+    if format != FORMAT {
+        return Err(format!("trace json: unsupported format `{format}`"));
+    }
+    let mut t = Trace {
+        dropped: as_num(field("dropped")?, "dropped")?,
+        ..Trace::default()
+    };
+    for pair in as_arr(field("meta")?, "meta")? {
+        let kv = as_arr(pair, "meta entry")?;
+        if kv.len() != 2 {
+            return Err("trace json: meta entries are [key,value]".into());
+        }
+        t.meta.push((
+            as_str(&kv[0], "meta key")?.to_owned(),
+            as_str(&kv[1], "meta value")?.to_owned(),
+        ));
+    }
+    for rec in as_arr(field("allocs")?, "allocs")? {
+        let a = as_arr(rec, "alloc record")?;
+        if a.len() != 3 {
+            return Err("trace json: alloc records are [base,len,class]".into());
+        }
+        t.allocs.push(AllocRecord {
+            base: as_num(&a[0], "base")?,
+            len: as_num(&a[1], "len")?,
+            class: as_num(&a[2], "class")? as u32,
+        });
+    }
+    for rec in as_arr(field("events")?, "events")? {
+        let e = as_arr(rec, "event")?;
+        if e.len() != 4 {
+            return Err("trace json: events are [epoch,tid,clock,kind]".into());
+        }
+        t.events.push(Event {
+            epoch: as_num(&e[0], "epoch")?,
+            tid: as_num(&e[1], "tid")? as u32,
+            clock: as_num(&e[2], "clock")?,
+            kind: kind_from(&e[3])?,
+        });
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips() {
+        let kinds = [
+            EventKind::SectionEnter { section: 3 },
+            EventKind::SectionExit { section: 3 },
+            EventKind::LockAcquire {
+                node: NodeKey::Root,
+                mode: Mode::Ix,
+            },
+            EventKind::LockAcquire {
+                node: NodeKey::Pts(7),
+                mode: Mode::Six,
+            },
+            EventKind::LockRelease {
+                node: NodeKey::Fine(1, FineAddr::Cell(99)),
+                mode: Mode::X,
+            },
+            EventKind::LockRelease {
+                node: NodeKey::Fine(1, FineAddr::Range(64)),
+                mode: Mode::S,
+            },
+            EventKind::Read { addr: 12 },
+            EventKind::Write { addr: 13 },
+            EventKind::Alloc { base: 100, len: 8 },
+            EventKind::StmCommit {
+                reads: 4,
+                writes: 2,
+            },
+            EventKind::StmAbort,
+            EventKind::StmFallback,
+            EventKind::Fault {
+                class: FaultClass::WakeupDelay,
+            },
+        ];
+        let t = Trace {
+            meta: vec![
+                ("mode".into(), "Stm".into()),
+                (
+                    "source".into(),
+                    "fn main() {\n  \"quoted\\path\"\t\u{1}\n}".into(),
+                ),
+            ],
+            allocs: vec![AllocRecord {
+                base: 1,
+                len: 2,
+                class: 3,
+            }],
+            events: kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| Event {
+                    epoch: i as u64,
+                    tid: (i % 3) as u32,
+                    clock: 10 * i as u64,
+                    kind,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let json = encode(&t);
+        let back = decode(&json).expect("decode");
+        assert_eq!(t, back);
+        assert_eq!(json, encode(&back), "canonical encoding is stable");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "[]",
+            "{\"format\":\"nope\"}",
+            "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"??\"]]]}",
+            "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[]} trailing",
+        ] {
+            assert!(decode(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-section contention and hold-time profiles derived from a trace.
+//!
+//! For every outermost section execution the profiler splits the
+//! virtual-clock interval at the *acquisition point* — the clock of the
+//! last lock grant recorded before the body runs (for STM sections,
+//! the section entry itself):
+//!
+//! * **wait** = acquisition point − section entry (time spent blocked
+//!   on the lock plan — the contention cost the paper's Fig. 8/9
+//!   experiments measure);
+//! * **hold** = section exit − acquisition point (time the locks were
+//!   held, bounding what other threads conflict against).
+//!
+//! Both are accumulated into log₂-bucketed [`Histogram`]s per static
+//! section id.
+
+use crate::event::EventKind;
+use crate::Trace;
+use std::collections::{BTreeMap, HashMap};
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples `v` with `⌊log₂(v+1)⌋ == i` (so
+    /// bucket 0 is exactly the zero samples).
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Adds one sample.
+    pub fn add(&mut self, v: u64) {
+        let idx = (64 - (v + 1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// One-line rendering: `n=… mean=… max=… [2^i:count …]`.
+    pub fn render(&self) -> String {
+        let mut s = format!("n={} mean={:.1} max={}", self.count, self.mean(), self.max);
+        if self.count > 0 {
+            s.push_str(" [");
+            let mut first = true;
+            for (i, &c) in self.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push(' ');
+                }
+                first = false;
+                s.push_str(&format!("2^{i}:{c}"));
+            }
+            s.push(']');
+        }
+        s
+    }
+}
+
+/// Aggregated statistics for one static section id.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SectionProfile {
+    pub section: u32,
+    /// Outermost executions completed.
+    pub entries: u64,
+    /// STM attempts aborted inside this section.
+    pub aborts: u64,
+    /// Virtual ticks from section entry to the last lock grant.
+    pub wait: Histogram,
+    /// Virtual ticks the locks (or transaction) were held.
+    pub hold: Histogram,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    depth: u32,
+    section: u32,
+    enter_clock: u64,
+    acq_clock: Option<u64>,
+}
+
+/// Derives per-section profiles from a merged trace, sorted by section
+/// id.
+pub fn profile(trace: &Trace) -> Vec<SectionProfile> {
+    let mut sections: BTreeMap<u32, SectionProfile> = BTreeMap::new();
+    let mut threads: HashMap<u32, ThreadState> = HashMap::new();
+    for e in &trace.events {
+        let st = threads.entry(e.tid).or_default();
+        match e.kind {
+            EventKind::SectionEnter { section } => {
+                st.depth += 1;
+                if st.depth == 1 {
+                    st.section = section;
+                    st.enter_clock = e.clock;
+                    st.acq_clock = None;
+                }
+            }
+            EventKind::LockAcquire { .. } if st.depth > 0 => {
+                st.acq_clock = Some(e.clock);
+            }
+            EventKind::SectionExit { .. } => {
+                if st.depth == 1 {
+                    let p = sections
+                        .entry(st.section)
+                        .or_insert_with(|| SectionProfile {
+                            section: st.section,
+                            ..SectionProfile::default()
+                        });
+                    p.entries += 1;
+                    let acq = st.acq_clock.unwrap_or(st.enter_clock);
+                    p.wait.add(acq.saturating_sub(st.enter_clock));
+                    p.hold.add(e.clock.saturating_sub(acq));
+                }
+                st.depth = st.depth.saturating_sub(1);
+            }
+            EventKind::StmAbort => {
+                if st.depth > 0 {
+                    sections
+                        .entry(st.section)
+                        .or_insert_with(|| SectionProfile {
+                            section: st.section,
+                            ..SectionProfile::default()
+                        })
+                        .aborts += 1;
+                }
+                st.depth = 0;
+            }
+            _ => {}
+        }
+    }
+    sections.into_values().collect()
+}
+
+/// Renders profiles as an aligned text report (the `trace-dump`
+/// `--profile` output).
+pub fn render(profiles: &[SectionProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        out.push_str(&format!(
+            "section {:>3}  entries={:<6} aborts={:<6}\n  wait: {}\n  hold: {}\n",
+            p.section,
+            p.entries,
+            p.aborts,
+            p.wait.render(),
+            p.hold.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use mglock::{Mode, NodeKey};
+
+    fn ev(epoch: u64, tid: u32, clock: u64, kind: EventKind) -> Event {
+        Event {
+            epoch,
+            tid,
+            clock,
+            kind,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 7, 8, 100] {
+            h.add(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 1); // v = 0
+        assert_eq!(h.buckets[1], 2); // v ∈ {1, 2}
+        assert_eq!(h.buckets[2], 1); // v = 3
+        assert_eq!(h.buckets[3], 2); // v ∈ {7, 8}
+        let r = h.render();
+        assert!(r.starts_with("n=7"), "{r}");
+    }
+
+    #[test]
+    fn wait_and_hold_split_at_last_acquire() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 100, EventKind::SectionEnter { section: 3 }),
+                ev(
+                    1,
+                    0,
+                    104,
+                    EventKind::LockAcquire {
+                        node: NodeKey::Root,
+                        mode: Mode::Ix,
+                    },
+                ),
+                ev(
+                    2,
+                    0,
+                    110,
+                    EventKind::LockAcquire {
+                        node: NodeKey::Pts(1),
+                        mode: Mode::X,
+                    },
+                ),
+                ev(3, 0, 130, EventKind::SectionExit { section: 3 }),
+            ],
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].section, 3);
+        assert_eq!(ps[0].entries, 1);
+        assert_eq!(ps[0].wait.sum, 10);
+        assert_eq!(ps[0].hold.sum, 20);
+    }
+
+    #[test]
+    fn stm_aborts_are_attributed_to_the_open_section() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 10, EventKind::SectionEnter { section: 1 }),
+                ev(1, 0, 15, EventKind::StmAbort),
+                ev(2, 0, 16, EventKind::SectionEnter { section: 1 }),
+                ev(
+                    3,
+                    0,
+                    20,
+                    EventKind::StmCommit {
+                        reads: 1,
+                        writes: 1,
+                    },
+                ),
+                ev(4, 0, 20, EventKind::SectionExit { section: 1 }),
+            ],
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps[0].aborts, 1);
+        assert_eq!(ps[0].entries, 1);
+        // STM sections have no lock grants: wait 0, hold = exit − enter.
+        assert_eq!(ps[0].wait.sum, 0);
+        assert_eq!(ps[0].hold.sum, 4);
+    }
+
+    #[test]
+    fn nested_sections_profile_only_the_outermost() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 0, EventKind::SectionEnter { section: 1 }),
+                ev(1, 0, 2, EventKind::SectionEnter { section: 2 }),
+                ev(2, 0, 4, EventKind::SectionExit { section: 2 }),
+                ev(3, 0, 6, EventKind::SectionExit { section: 1 }),
+            ],
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].section, 1);
+        assert_eq!(ps[0].entries, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Low-overhead event recording: one ring buffer per thread, a shared
+//! epoch counter for the merge order, and observer adapters for the
+//! `mglock` and `tl2` runtimes.
+//!
+//! Each worker registers a [`ThreadRecorder`] and appends to it without
+//! touching any other thread's buffer; the only shared write per event
+//! is one `fetch_add` on the epoch counter. [`Recorder::take`] merges
+//! the per-thread buffers into a single epoch-ordered [`Trace`].
+
+use crate::event::{Event, EventKind};
+use crate::{AllocRecord, Trace};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Recorder construction options (kept `Copy` so it can ride inside
+/// `interp::Options`).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Maximum events buffered per thread. Events past the cap are
+    /// counted in [`Trace::dropped`] and discarded; the lockset
+    /// validator refuses truncated traces rather than report false
+    /// violations from missing lock events.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 1 << 20 }
+    }
+}
+
+/// One thread's event sink. Appends are uncontended (the buffer mutex
+/// is only ever taken by the owning thread and the final merge).
+pub struct ThreadRecorder {
+    tid: u32,
+    capacity: usize,
+    epoch: Arc<AtomicU64>,
+    /// The owning worker's virtual clock, published before each batch
+    /// of events so observer callbacks (which fire inside the lock and
+    /// STM runtimes, without access to the worker) stamp correctly.
+    clock: AtomicU64,
+    buf: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+}
+
+impl ThreadRecorder {
+    /// Publishes the thread's current virtual clock for subsequent
+    /// events.
+    pub fn set_clock(&self, clock: u64) {
+        self.clock.store(clock, Ordering::Relaxed);
+    }
+
+    /// Appends an event stamped with the next global epoch and the
+    /// last published clock.
+    pub fn record(&self, kind: EventKind) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock();
+        if buf.len() < self.capacity {
+            buf.push(Event {
+                epoch,
+                tid: self.tid,
+                clock: self.clock.load(Ordering::Relaxed),
+                kind,
+            });
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Lock-runtime adapter: grants and releases observed by a session are
+/// recorded to its thread's buffer with the node and Fig. 6 mode.
+impl mglock::LockObserver for ThreadRecorder {
+    fn lock_acquired(&self, node: mglock::NodeKey, mode: mglock::Mode) {
+        self.record(EventKind::LockAcquire { node, mode });
+    }
+
+    fn lock_released(&self, node: mglock::NodeKey, mode: mglock::Mode) {
+        self.record(EventKind::LockRelease { node, mode });
+    }
+}
+
+/// The machine-wide recorder: owns every thread buffer and the epoch
+/// counter.
+pub struct Recorder {
+    epoch: Arc<AtomicU64>,
+    capacity: usize,
+    threads: Mutex<RecThreads>,
+}
+
+#[derive(Default)]
+struct RecThreads {
+    /// Every recorder ever registered, in registration order (a tid
+    /// re-registering — e.g. the init, worker, and check phases all
+    /// running as thread 0 — keeps its earlier buffers here).
+    all: Vec<Arc<ThreadRecorder>>,
+    /// The live recorder per tid, for routing runtime-side events
+    /// (`tl2` observer callbacks carry only a thread token).
+    current: HashMap<u32, Arc<ThreadRecorder>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new(cfg: TraceConfig) -> Recorder {
+        Recorder {
+            epoch: Arc::new(AtomicU64::new(0)),
+            capacity: cfg.capacity,
+            threads: Mutex::new(RecThreads::default()),
+        }
+    }
+
+    /// Registers (or re-registers) thread `tid`, returning its sink.
+    pub fn register(&self, tid: u32) -> Arc<ThreadRecorder> {
+        let t = Arc::new(ThreadRecorder {
+            tid,
+            capacity: self.capacity,
+            epoch: Arc::clone(&self.epoch),
+            clock: AtomicU64::new(0),
+            buf: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        });
+        let mut g = self.threads.lock();
+        g.all.push(Arc::clone(&t));
+        g.current.insert(tid, Arc::clone(&t));
+        t
+    }
+
+    /// Drains every thread buffer into one epoch-ordered [`Trace`].
+    /// Subsequent events land in fresh (empty) buffers.
+    pub fn take(&self, meta: Vec<(String, String)>, allocs: Vec<AllocRecord>) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let g = self.threads.lock();
+        for t in &g.all {
+            events.append(&mut t.buf.lock());
+            dropped += t.dropped.swap(0, Ordering::Relaxed);
+        }
+        drop(g);
+        events.sort_by_key(|e| e.epoch);
+        Trace {
+            meta,
+            allocs,
+            events,
+            dropped,
+        }
+    }
+}
+
+/// STM adapter: `tl2` reports transaction lifecycle transitions with a
+/// thread token, routed to that thread's buffer (stamped with its last
+/// published clock).
+impl tl2::StmObserver for Recorder {
+    fn txn_commit(&self, token: u64, reads: u64, writes: u64) {
+        self.to_thread(token, EventKind::StmCommit { reads, writes });
+    }
+
+    fn txn_abort(&self, token: u64) {
+        self.to_thread(token, EventKind::StmAbort);
+    }
+
+    fn txn_fallback(&self, token: u64) {
+        self.to_thread(token, EventKind::StmFallback);
+    }
+}
+
+impl Recorder {
+    fn to_thread(&self, token: u64, kind: EventKind) {
+        let t = self.threads.lock().current.get(&(token as u32)).cloned();
+        if let Some(t) = t {
+            t.record(kind);
+        }
+    }
+}

@@ -1,7 +1,15 @@
 #!/bin/bash
-cd /root/repo
-./target/release/table2   > results_table2.txt   2>/dev/null
-./target/release/figure7  > results_figure7.txt  2>/dev/null
-./target/release/ablation > results_ablation.txt 2>/dev/null
-./target/release/figure8  > results_figure8.txt  2>/dev/null
+# Regenerates every results_*.txt artifact from the release binaries.
+# Errors are fatal and land on the terminal — a silently truncated
+# table is worse than no table.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -q
+
+./target/release/table1   > results_table1.txt
+./target/release/table2   > results_table2.txt
+./target/release/figure7  > results_figure7.txt
+./target/release/ablation > results_ablation.txt
+./target/release/figure8  > results_figure8.txt
 echo DONE

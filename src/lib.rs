@@ -16,7 +16,11 @@
 //! | [`mglock`] | multi-granularity lock runtime (IS/IX/S/SIX/X) |
 //! | [`tl2`] | TL2-style STM (the optimistic baseline) |
 //! | [`interp`] | concurrent interpreter: Global/MultiGrain/Stm/Validate + virtual time |
+//! | [`trace`] | event tracing, Eraser-style lockset validation, profiles |
 //! | [`workloads`] | the evaluation programs (micro, STAMP-like, SPEC-like) |
+//!
+//! plus [`replay`], this crate's own deterministic record/replay layer
+//! over traced executions.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,8 @@
 //! `bench` crate for the harness regenerating the paper's tables and
 //! figures.
 
+pub mod replay;
+
 pub use interp;
 pub use lir;
 pub use lockinfer;
@@ -46,4 +52,5 @@ pub use lockscheme;
 pub use mglock;
 pub use pointsto;
 pub use tl2;
+pub use trace;
 pub use workloads;

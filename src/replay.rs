@@ -1,0 +1,395 @@
+//! Deterministic record/replay of atomic-section executions.
+//!
+//! A recorded run is **self-describing**: [`record`] stamps the full
+//! [`RunConfig`] — source text, inference depth `k`, execution mode,
+//! seed, thread count, fault plan, entry points — into the trace's
+//! metadata alongside the events, so a trace file alone is enough to
+//! re-execute the run. Because the interpreter's virtual-time scheduler
+//! is deterministic (see `interp::sim`), [`replay`] reproduces the
+//! original execution *exactly*: same interleaving, same events, same
+//! canonical JSON bytes, same digest. That makes the digest a complete
+//! fingerprint of a concurrent execution — the property the
+//! `trace-dump` binary and the chaos tests check.
+//!
+//! ```
+//! use atomic_lock_inference as ali;
+//!
+//! let spec = ali::workloads::micro::list(ali::workloads::Contention::Low, 40, 1);
+//! let cfg = ali::replay::RunConfig::from_spec(&spec, 3, ali::interp::ExecMode::MultiGrain, 4);
+//! let rec = ali::replay::record(&cfg)?;
+//! let again = ali::replay::replay(&rec.trace)?;
+//! assert_eq!(rec.trace.digest(), again.trace.digest());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! Replay re-runs with the *default* cost model; runs recorded under a
+//! custom [`interp::CostModel`] replay with different clock values.
+
+use interp::{ExecMode, FaultPlan, Options};
+use trace::Trace;
+
+/// Everything needed to reproduce one traced execution.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunConfig {
+    /// Display name (workload name, free-form for ad-hoc runs).
+    pub name: String,
+    /// Mini-language source text.
+    pub source: String,
+    /// Lock-inference depth bound `k`.
+    pub k: usize,
+    /// Execution discipline.
+    pub mode: ExecMode,
+    /// Virtual threads running the worker entry.
+    pub threads: usize,
+    /// Heap capacity in cells.
+    pub heap_cells: usize,
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Virtual-time scheduling quantum.
+    pub quantum: u64,
+    /// STM degradation budget (aborts before irrevocable fallback).
+    pub stm_abort_budget: u64,
+    /// Fault-injection plan, if any.
+    pub faults: Option<FaultPlan>,
+    /// Per-thread event ring capacity.
+    pub trace_capacity: usize,
+    /// Single-threaded setup entry `(function, args)`.
+    pub init: (String, Vec<i64>),
+    /// Per-thread timed entry `(function, args)`.
+    pub worker: (String, Vec<i64>),
+    /// Post-run invariant checker, if any.
+    pub check: Option<String>,
+}
+
+impl RunConfig {
+    /// A config for a benchmark workload with library-default machine
+    /// options.
+    pub fn from_spec(
+        spec: &workloads::RunSpec,
+        k: usize,
+        mode: ExecMode,
+        threads: usize,
+    ) -> RunConfig {
+        let opts = Options::default();
+        RunConfig {
+            name: spec.name.clone(),
+            source: spec.source.clone(),
+            k,
+            mode,
+            threads,
+            heap_cells: spec.heap_cells,
+            seed: opts.seed,
+            quantum: opts.quantum,
+            stm_abort_budget: opts.stm_abort_budget,
+            faults: None,
+            trace_capacity: trace::TraceConfig::default().capacity,
+            init: (spec.init.0.to_owned(), spec.init.1.clone()),
+            worker: (spec.worker.0.to_owned(), spec.worker.1.clone()),
+            check: spec.check.map(str::to_owned),
+        }
+    }
+
+    /// Reconstructs the config a trace was recorded under.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a required `run.*` metadata key is
+    /// missing or malformed — e.g. a trace that was not produced by
+    /// [`record`].
+    pub fn from_trace(t: &Trace) -> Result<RunConfig, String> {
+        let get = |k: &str| {
+            t.meta_get(k)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("replay: trace metadata missing `{k}`"))
+        };
+        let int = |k: &str| {
+            get(k)?
+                .parse::<u64>()
+                .map_err(|e| format!("replay: bad `{k}`: {e}"))
+        };
+        let faults = match t.meta_get("run.fault_seed") {
+            None => None,
+            Some(_) => Some(FaultPlan {
+                seed: int("run.fault_seed")?,
+                panic_per_mille: int("run.fault_panic_pm")? as u16,
+                max_panics: int("run.fault_max_panics")? as u32,
+                stm_abort_per_mille: int("run.fault_abort_pm")? as u16,
+                wakeup_delay_per_mille: int("run.fault_wakeup_pm")? as u16,
+                wakeup_delay_ticks: int("run.fault_wakeup_ticks")?,
+                stall_per_mille: int("run.fault_stall_pm")? as u16,
+                stall_ticks: int("run.fault_stall_ticks")?,
+            }),
+        };
+        Ok(RunConfig {
+            name: get("run.name")?,
+            source: get("run.source")?,
+            k: int("run.k")? as usize,
+            mode: parse_mode(&get("run.mode")?)?,
+            threads: int("run.threads")? as usize,
+            heap_cells: int("run.heap_cells")? as usize,
+            seed: int("run.seed")?,
+            quantum: int("run.quantum")?,
+            stm_abort_budget: int("run.stm_abort_budget")?,
+            faults,
+            trace_capacity: int("run.capacity")? as usize,
+            init: (get("run.init")?, parse_args(&get("run.init_args")?)?),
+            worker: (get("run.worker")?, parse_args(&get("run.worker_args")?)?),
+            check: t.meta_get("run.check").map(str::to_owned),
+        })
+    }
+
+    /// Stamps this config into a trace's metadata (the inverse of
+    /// [`RunConfig::from_trace`]).
+    fn stamp(&self, t: &mut Trace) {
+        t.meta_set("run.name", self.name.clone());
+        t.meta_set("run.source", self.source.clone());
+        t.meta_set("run.k", self.k.to_string());
+        t.meta_set("run.mode", format!("{:?}", self.mode));
+        t.meta_set("run.threads", self.threads.to_string());
+        t.meta_set("run.heap_cells", self.heap_cells.to_string());
+        t.meta_set("run.seed", self.seed.to_string());
+        t.meta_set("run.quantum", self.quantum.to_string());
+        t.meta_set("run.stm_abort_budget", self.stm_abort_budget.to_string());
+        t.meta_set("run.capacity", self.trace_capacity.to_string());
+        t.meta_set("run.init", self.init.0.clone());
+        t.meta_set("run.init_args", render_args(&self.init.1));
+        t.meta_set("run.worker", self.worker.0.clone());
+        t.meta_set("run.worker_args", render_args(&self.worker.1));
+        if let Some(chk) = &self.check {
+            t.meta_set("run.check", chk.clone());
+        }
+        if let Some(f) = self.faults {
+            t.meta_set("run.fault_seed", f.seed.to_string());
+            t.meta_set("run.fault_panic_pm", f.panic_per_mille.to_string());
+            t.meta_set("run.fault_max_panics", f.max_panics.to_string());
+            t.meta_set("run.fault_abort_pm", f.stm_abort_per_mille.to_string());
+            t.meta_set("run.fault_wakeup_pm", f.wakeup_delay_per_mille.to_string());
+            t.meta_set("run.fault_wakeup_ticks", f.wakeup_delay_ticks.to_string());
+            t.meta_set("run.fault_stall_pm", f.stall_per_mille.to_string());
+            t.meta_set("run.fault_stall_ticks", f.stall_ticks.to_string());
+        }
+    }
+}
+
+fn parse_mode(s: &str) -> Result<ExecMode, String> {
+    Ok(match s {
+        "Global" => ExecMode::Global,
+        "MultiGrain" => ExecMode::MultiGrain,
+        "Stm" => ExecMode::Stm,
+        "Validate" => ExecMode::Validate,
+        other => return Err(format!("replay: unknown mode `{other}`")),
+    })
+}
+
+fn render_args(args: &[i64]) -> String {
+    args.iter()
+        .map(i64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_args(s: &str) -> Result<Vec<i64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| p.parse().map_err(|e| format!("replay: bad args: {e}")))
+        .collect()
+}
+
+/// What one recorded/replayed run produced, rendered deterministically
+/// under the virtual scheduler.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunOutcome {
+    /// Per-thread worker return values (empty when the run errored
+    /// before the workers finished).
+    pub results: Vec<i64>,
+    /// Virtual makespan of the worker phase, in ticks.
+    pub makespan: u64,
+    /// The checker's return value, when the config names one.
+    pub check: Option<i64>,
+    /// The first runtime error, rendered — chaos runs record and
+    /// replay *through* failures rather than aborting.
+    pub error: Option<String>,
+}
+
+/// The result of [`record`] or [`replay`]: the outcome plus the merged
+/// event trace with the config stamped into its metadata.
+#[derive(Clone, Debug)]
+pub struct Recording {
+    pub outcome: RunOutcome,
+    pub trace: Trace,
+}
+
+/// Compiles, transforms, and executes `cfg` with tracing on, returning
+/// the outcome and the self-describing trace.
+///
+/// Runtime errors (including injected chaos faults) do **not** fail the
+/// recording — they land in [`RunOutcome::error`] and the events up to
+/// the failure are kept, so a crashing run can be replayed and
+/// inspected.
+///
+/// # Errors
+///
+/// Returns a message on compile failure or when the trace was dropped
+/// (per-thread ring overflow — raise [`RunConfig::trace_capacity`]).
+pub fn record(cfg: &RunConfig) -> Result<Recording, String> {
+    let opts = Options {
+        heap_cells: cfg.heap_cells,
+        seed: cfg.seed,
+        quantum: cfg.quantum,
+        faults: cfg.faults,
+        stm_abort_budget: cfg.stm_abort_budget,
+        trace: Some(trace::TraceConfig {
+            capacity: cfg.trace_capacity,
+        }),
+        ..Options::default()
+    };
+    let m = interp::machine_for(&cfg.source, cfg.k, cfg.mode, opts)?;
+    let mut outcome = RunOutcome::default();
+    if let Err(e) = m.run_named(&cfg.init.0, &cfg.init.1) {
+        outcome.error = Some(format!("init: {e}"));
+    }
+    if outcome.error.is_none() {
+        match m.run_threads_virtual(&cfg.worker.0, cfg.threads, |_| cfg.worker.1.clone()) {
+            Ok((results, makespan)) => {
+                outcome.results = results;
+                outcome.makespan = makespan;
+            }
+            Err(e) => outcome.error = Some(format!("worker: {e}")),
+        }
+    }
+    if outcome.error.is_none() {
+        if let Some(chk) = &cfg.check {
+            match m.run_named(chk, &[]) {
+                Ok(v) => outcome.check = Some(v),
+                Err(e) => outcome.error = Some(format!("check: {e}")),
+            }
+        }
+    }
+    let mut trace = m
+        .take_trace()
+        .expect("machine built with tracing enabled has a trace");
+    cfg.stamp(&mut trace);
+    stamp_outcome(&outcome, &mut trace);
+    Ok(Recording { outcome, trace })
+}
+
+/// Re-executes the run a trace was recorded from and returns the fresh
+/// recording. Under the deterministic scheduler the new trace's
+/// canonical JSON (and therefore [`Trace::digest`]) matches the
+/// original byte for byte.
+///
+/// # Errors
+///
+/// Returns a message when the trace lacks `run.*` metadata or the
+/// embedded source no longer compiles.
+pub fn replay(t: &Trace) -> Result<Recording, String> {
+    record(&RunConfig::from_trace(t)?)
+}
+
+/// The outcome is stamped into the metadata too, so digest equality
+/// certifies not just the same events but the same results, makespan,
+/// and error disposition.
+fn stamp_outcome(o: &RunOutcome, t: &mut Trace) {
+    t.meta_set("out.results", render_args(&o.results));
+    t.meta_set("out.makespan", o.makespan.to_string());
+    if let Some(v) = o.check {
+        t.meta_set("out.check", v.to_string());
+    }
+    if let Some(e) = &o.error {
+        t.meta_set("out.error", e.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        global c;
+        fn setup(n) { c = n; }
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { c = c + 1; nops(20); }
+                i = i + 1;
+            }
+            return 0;
+        }
+        fn total() { return c; }
+    "#;
+
+    fn cfg(mode: ExecMode) -> RunConfig {
+        RunConfig {
+            name: "counter".into(),
+            source: SRC.into(),
+            k: 3,
+            mode,
+            threads: 4,
+            heap_cells: 1 << 16,
+            seed: 7,
+            quantum: 64,
+            stm_abort_budget: 16,
+            faults: None,
+            trace_capacity: 1 << 16,
+            init: ("setup".into(), vec![10]),
+            worker: ("work".into(), vec![25]),
+            check: Some("total".into()),
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_trace_meta() {
+        let mut t = Trace::default();
+        let mut c = cfg(ExecMode::Stm);
+        c.faults = Some(FaultPlan::new(9).with_stm_aborts(40));
+        c.stamp(&mut t);
+        assert_eq!(RunConfig::from_trace(&t).unwrap(), c);
+        // And through the JSON encoding as well.
+        let t2 = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(RunConfig::from_trace(&t2).unwrap(), c);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_digest() {
+        for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm] {
+            let rec = record(&cfg(mode)).unwrap();
+            assert_eq!(rec.outcome.check, Some(10 + 4 * 25), "{mode:?}");
+            assert!(rec.outcome.error.is_none());
+            assert!(!rec.trace.events.is_empty());
+            let rep = replay(&rec.trace).unwrap();
+            assert_eq!(rec.outcome, rep.outcome, "{mode:?}");
+            assert_eq!(rec.trace.digest(), rep.trace.digest(), "{mode:?}");
+            assert_eq!(rec.trace.to_json(), rep.trace.to_json(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_failure_replays_to_the_same_digest() {
+        let mut c = cfg(ExecMode::MultiGrain);
+        c.faults = Some(FaultPlan::new(0xBAD).with_panics(200, 1));
+        let rec = record(&c).unwrap();
+        let err = rec.outcome.error.as_deref().expect("panic plan fires");
+        assert!(err.contains("panic"), "{err}");
+        let rep = replay(&rec.trace).unwrap();
+        assert_eq!(rec.outcome, rep.outcome);
+        assert_eq!(rec.trace.digest(), rep.trace.digest());
+    }
+
+    #[test]
+    fn recorded_lock_traces_validate_clean() {
+        for mode in [ExecMode::Global, ExecMode::MultiGrain] {
+            let rec = record(&cfg(mode)).unwrap();
+            let v = trace::validate(&rec.trace).unwrap();
+            assert!(v.passed(), "{mode:?}: {:?}", v.violations);
+            assert!(v.checked > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn foreign_trace_is_rejected() {
+        let t = Trace::default();
+        assert!(replay(&t).unwrap_err().contains("run.name"));
+    }
+}

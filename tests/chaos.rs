@@ -11,7 +11,10 @@
 //! * surviving multi-grain runs pass the Theorem-1 coverage check when
 //!   re-executed under Validate mode with the same plan;
 //! * an abort storm drives TL2 into its irrevocable fallback within the
-//!   configured abort budget.
+//!   configured abort budget;
+//! * every run records an event trace whose digest reproduces exactly,
+//!   and the Eraser-style lockset validator finds **zero uncovered
+//!   accesses** in it — chaos included, crashed threads included.
 
 use atomic_lock_inference as ali;
 
@@ -75,11 +78,14 @@ struct Digest {
     quiescent: bool,
     report: DegradationReport,
     check: Option<Result<i64, InterpError>>,
+    /// FNV digest of the recorded event trace: equality means the two
+    /// runs produced byte-identical canonical trace JSON.
+    trace_digest: String,
 }
 
-/// Runs `spec` once under `mode` with `plan` injected, inside a
-/// watchdog: exceeding [`WATCHDOG`] is reported as a hang.
-fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> Digest {
+/// Runs `spec` once under `mode` with `plan` injected and tracing on,
+/// inside a watchdog: exceeding [`WATCHDOG`] is reported as a hang.
+fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> (Digest, ali::trace::Trace) {
     let label = format!("{} [{mode:?}] plan {:#x}", spec.name, plan.seed);
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -87,6 +93,7 @@ fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> Digest {
             heap_cells: spec.heap_cells,
             faults: Some(plan),
             stm_abort_budget: 64,
+            trace: Some(ali::trace::TraceConfig::default()),
             ..Options::default()
         };
         let m = build(&spec, mode, opts);
@@ -103,14 +110,17 @@ fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> Digest {
             (Some(Ok(_)), Some(check_fn)) => Some(m.run_named(check_fn, &[])),
             _ => None,
         };
-        let _ = tx.send(Digest {
+        let trace = m.take_trace().expect("chaos machines trace");
+        let digest = Digest {
             init,
             outcome,
             output: m.output(),
             quiescent: m.locks_quiescent(),
             report: m.degradation_report(),
             check,
-        });
+            trace_digest: trace.digest(),
+        };
+        let _ = tx.send((digest, trace));
     });
     match rx.recv_timeout(WATCHDOG) {
         Ok(digest) => {
@@ -142,14 +152,27 @@ fn assert_typed(label: &str, e: &InterpError) {
     );
 }
 
+/// Every chaos trace must satisfy the lockset discipline: zero
+/// uncovered in-section accesses, even in runs where threads died
+/// mid-section (their accesses happened while the grants were held).
+fn assert_lockset_clean(label: &str, trace: &ali::trace::Trace) {
+    let v = ali::trace::validate(trace).expect("chaos traces are complete");
+    assert!(
+        v.violations.is_empty(),
+        "{label}: uncovered accesses in the chaos trace: {:?}",
+        v.violations
+    );
+    assert!(v.checked > 0, "{label}: the trace recorded no accesses");
+}
+
 #[test]
 fn chaos_matrix_terminates_deterministically() {
     for mode in [ExecMode::Global, ExecMode::MultiGrain, ExecMode::Stm] {
         for plan in plans() {
             for spec in specs() {
                 let label = format!("{} [{mode:?}] plan {:#x}", spec.name, plan.seed);
-                let first = chaos_run(spec.clone(), mode, plan);
-                let second = chaos_run(spec, mode, plan);
+                let (first, trace) = chaos_run(spec.clone(), mode, plan);
+                let (second, _) = chaos_run(spec, mode, plan);
                 assert_eq!(first, second, "{label}: chaos must reproduce exactly");
                 if let Err(e) = &first.init {
                     assert_typed(&label, e);
@@ -160,6 +183,18 @@ fn chaos_matrix_terminates_deterministically() {
                 assert!(first.quiescent, "{label}: locks leaked");
                 if let Some(check) = &first.check {
                     assert!(check.is_ok(), "{label}: survivor broke its invariant");
+                }
+                assert_lockset_clean(&label, &trace);
+                // A worker that died to an injected panic shows up as a
+                // crashed thread in the validator's report.
+                if matches!(first.outcome, Some(Err(InterpError::InjectedPanic { .. })))
+                    && mode != ExecMode::Stm
+                {
+                    let v = ali::trace::validate(&trace).unwrap();
+                    assert!(
+                        !v.crashed.is_empty(),
+                        "{label}: a panicked worker must be reported as crashed"
+                    );
                 }
             }
         }
@@ -174,7 +209,7 @@ fn chaos_survivors_pass_theorem_1_coverage() {
     for plan in plans() {
         for spec in specs() {
             let label = format!("{} [Validate] plan {:#x}", spec.name, plan.seed);
-            let digest = chaos_run(spec, ExecMode::Validate, plan);
+            let (digest, trace) = chaos_run(spec, ExecMode::Validate, plan);
             if let Err(e) = &digest.init {
                 assert_typed(&label, e);
             }
@@ -182,6 +217,7 @@ fn chaos_survivors_pass_theorem_1_coverage() {
                 assert_typed(&label, e);
             }
             assert!(digest.quiescent, "{label}: locks leaked");
+            assert_lockset_clean(&label, &trace);
         }
     }
 }
