@@ -1,0 +1,138 @@
+//! Growable dense bitsets over the interned lock universe.
+//!
+//! Dataflow state lives at `(context, program point)` granularity; each
+//! point holds an antichain of lock ids. Lock ids are dense (minted by
+//! the global interner in discovery order), so a flat `Vec<u64>` gives
+//! O(1) membership, insertion, and removal with no hashing — the
+//! operations the engine performs per propagated fact. Sets grow lazily
+//! to the highest id actually stored at that point, not to the whole
+//! universe, so per-point memory tracks the (width-bounded) antichain.
+
+/// A growable bitset keyed by `u32` ids, with a cached population
+/// count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Number of ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no id is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        w < self.words.len() && self.words[w] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Inserts `id`; returns `true` when it was newly set.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (id % 64);
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += newly as u32;
+        newly
+    }
+
+    /// Removes `id`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (id % 64);
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= was as u32;
+        was
+    }
+
+    /// Iterates set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(w as u32 * 64 + b)
+            })
+        })
+    }
+
+    /// Moves all ids out, leaving the set empty but with its capacity
+    /// retained (the drain order is ascending id).
+    pub fn drain_into(&mut self, out: &mut Vec<u32>) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                out.push(w as u32 * 64 + b);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty() && !s.contains(0) && !s.contains(1000));
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "double insert reports not-new");
+        assert!(s.insert(64));
+        assert!(s.insert(1000));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5) && s.contains(64) && s.contains(1000));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.remove(7), "absent id, beyond and within capacity");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 1000]);
+    }
+
+    #[test]
+    fn drain_empties_and_preserves_order() {
+        let mut s = BitSet::new();
+        for id in [130, 2, 67, 3] {
+            s.insert(id);
+        }
+        let mut out = Vec::new();
+        s.drain_into(&mut out);
+        assert_eq!(out, vec![2, 3, 67, 130]);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        s.insert(9);
+        assert_eq!(s.len(), 1, "reusable after drain");
+    }
+}

@@ -21,6 +21,42 @@
 //! in-scope call site, so a section protects everything its callees
 //! touch.
 //!
+//! ## The scalable data plane
+//!
+//! The engine is built for SPECint-sized inputs:
+//!
+//! * **Hash-consed locks.** Every `AbsLock` is interned once in the
+//!   process-wide table of [`lockscheme::intern`]; the lattice order
+//!   `≤` becomes a handful of integer compares on [`LockRec`]s. Each
+//!   engine additionally keeps a *local* dense id space (first-seen
+//!   order) so that all of its ordering decisions are independent of
+//!   the global id assignment — which may race across threads.
+//! * **Bitset state.** Per `(context, point)` the lock set and its
+//!   pending (not yet propagated) subset are dense
+//!   [`BitSet`](crate::bits::BitSet)s over local ids; the worklist
+//!   holds each *point* at most once (a `queued` flag dedups), and a
+//!   pop drains every pending lock of that point. No `Vec` clones, no
+//!   linear membership scans. A lock removed by subsumption keeps its
+//!   pending bit: like the triple worklist it replaces, a subsumed
+//!   fact that was already scheduled still propagates.
+//! * **Shared summaries (Phase A / Phase B).** Function summaries are
+//!   computed *once per program*, not once per section: a sequential
+//!   pre-pass (Phase A) solves the `Gen` context of every function any
+//!   section can reach, plus all summary queries that flow demands,
+//!   and freezes them — structurally sorted — into a read-only
+//!   [`SummaryCache`]. Per-section engines (Phase B) only solve their
+//!   own root region, injecting cached summaries at call sites;
+//!   queries the pre-pass never saw are solved locally with the same
+//!   machinery.
+//! * **Parallel sections.** Because a Phase B engine is a pure,
+//!   deterministic function of the program and the frozen cache,
+//!   independent sections are solved on a [`std::thread::scope`] pool
+//!   and merged by section id — the output is byte-identical to the
+//!   sequential order for every thread count.
+//!
+//! The pre-rewrite engine is retained verbatim in [`crate::reference`]
+//! as the differential-testing oracle and benchmark baseline.
+//!
 //! ## Performance notes (§4.3's observations, made concrete)
 //!
 //! * Coarse locks and bare variable locks are *flow-insensitive*: they
@@ -30,23 +66,24 @@
 //!   nothing the callee may overwrite bypasses the summary machinery.
 //! * Summary queries are canonicalized to the `rw` effect (transfer
 //!   functions never change an effect), halving the query space.
-//! * Locks and contexts are interned; the hot state is `u32` triples.
 //! * Per program point, expression-lock variants are *widened*: past a
 //!   width bound the lock falls back to its coarse points-to lock (the
 //!   paper's §3.3 notes widening as the alternative to a bounded `L`).
 
+use crate::bits::BitSet;
 use crate::library::LibrarySpec;
 use crate::transfer::{TransferCtx, Transferred};
 use lir::cfg::{atomic_regions, predecessors, AtomicRegion};
 use lir::{Eff, FnId, Instr, Program, Rvalue, SectionId, VarId, VarKind};
 use lockscheme::abslock::prune_redundant;
-use lockscheme::{AbsLock, SchemeConfig};
+use lockscheme::{intern, AbsLock, LockId, LockRec, SchemeConfig};
 use pointsto::{PointsTo, PtsClass};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Locks inferred for one atomic section.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SectionResult {
     pub id: SectionId,
     pub func: FnId,
@@ -58,11 +95,52 @@ pub struct SectionResult {
     pub locks: Vec<AbsLock>,
 }
 
+/// Counters describing how much work the analysis did. Deterministic
+/// for a fixed input and thread count, except the `interner_*` fields,
+/// which report the process-wide table (shared across analyses).
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisStats {
+    /// Facts taken off worklists (summary pre-pass + all sections).
+    pub worklist_pops: u64,
+    /// Facts newly inserted into some point's lock set.
+    pub facts_inserted: u64,
+    /// Largest lock set held at any single `(context, point)`.
+    pub peak_point_locks: usize,
+    /// Facts that hit the width bound and widened to a coarse lock.
+    pub widenings: u64,
+    /// Call-site lookups answered by the frozen summary cache.
+    pub summary_cache_hits: u64,
+    /// Summary queries the pre-pass had not solved (solved locally).
+    pub summary_cache_misses: u64,
+    /// Functions with a precomputed `Gen` summary.
+    pub summary_functions: usize,
+    /// Summary queries solved by the pre-pass.
+    pub summary_queries: usize,
+    /// Distinct locks in the global interner after the analysis.
+    pub interner_locks: usize,
+    /// Distinct lock paths in the global interner after the analysis.
+    pub interner_paths: usize,
+    /// Worker threads used for the per-section phase.
+    pub threads: usize,
+}
+
+impl AnalysisStats {
+    fn absorb(&mut self, es: &EngineStats) {
+        self.worklist_pops += es.pops;
+        self.facts_inserted += es.facts;
+        self.peak_point_locks = self.peak_point_locks.max(es.peak);
+        self.widenings += es.widenings;
+        self.summary_cache_hits += es.cache_hits;
+        self.summary_cache_misses += es.cache_misses;
+    }
+}
+
 /// Whole-program analysis result.
 #[derive(Clone, Debug)]
 pub struct ProgramAnalysis {
     pub sections: Vec<SectionResult>,
     pub config: SchemeConfig,
+    pub stats: AnalysisStats,
 }
 
 /// Runs the lock inference for every atomic section of `program`.
@@ -90,35 +168,167 @@ pub fn analyze_program_with_library(
     config: SchemeConfig,
     lib: &LibrarySpec,
 ) -> ProgramAnalysis {
+    analyze_program_with_opts(program, pt, config, lib, 0)
+}
+
+/// Full-control entry point: `threads` is the worker count for the
+/// per-section phase (`0` = one per available core). The result is
+/// identical for every thread count — sections are pure functions of
+/// the program and the frozen summary cache, and the merge is ordered
+/// by section id.
+pub fn analyze_program_with_opts(
+    program: &Program,
+    pt: &PointsTo,
+    config: SchemeConfig,
+    lib: &LibrarySpec,
+    threads: usize,
+) -> ProgramAnalysis {
     let modsets = compute_modsets(program, pt, lib);
-    let mut sections = Vec::new();
+    let preds: Vec<Vec<Vec<u32>>> = program
+        .functions
+        .iter()
+        .map(|f| predecessors(&f.body))
+        .collect();
+    let mut secs: Vec<(FnId, AtomicRegion)> = Vec::new();
     for func in &program.functions {
         for region in atomic_regions(&func.body) {
-            let locks =
-                SectionEngine::new(program, pt, config, func.id, region, lib, &modsets).run();
-            sections.push(SectionResult {
-                id: region.id,
-                func: func.id,
-                enter: region.enter,
-                exit: region.exit,
-                locks,
-            });
+            secs.push((func.id, region));
         }
     }
+    let mut stats = AnalysisStats::default();
+    let env = EngineEnv {
+        program,
+        pt,
+        config,
+        lib,
+        modsets: &modsets,
+        preds: &preds,
+    };
+    if secs.is_empty() {
+        stats.threads = 1;
+        stats.interner_locks = intern::global().len();
+        stats.interner_paths = intern::global().n_paths();
+        return ProgramAnalysis {
+            sections: Vec::new(),
+            config,
+            stats,
+        };
+    }
+
+    // Phase A: one sequential pass over the union of all sections'
+    // callee scopes computes every Gen summary and every query the gen
+    // flow demands, then freezes them.
+    let mut gen_fns: Vec<FnId> = Vec::new();
+    let mut seen: HashSet<FnId> = HashSet::new();
+    for (f, region) in &secs {
+        for g in section_scope(program, lib, *f, region).into_iter().skip(1) {
+            if seen.insert(g) {
+                gen_fns.push(g);
+            }
+        }
+    }
+    let mut pre = Engine::new(env, None, None);
+    pre.solve_summaries(&gen_fns);
+    let (cache, pre_stats) = pre.freeze(&gen_fns);
+    stats.absorb(&pre_stats);
+    stats.summary_functions = cache.gen.len();
+    stats.summary_queries = cache.query.len();
+
+    // Phase B: solve each section's root region against the frozen
+    // cache, in parallel, and merge deterministically.
+    let n_threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .clamp(1, secs.len());
+    let mut slots: Vec<Option<SectionResult>> = (0..secs.len()).map(|_| None).collect();
+    if n_threads <= 1 {
+        for (i, &(f, region)) in secs.iter().enumerate() {
+            let (sr, es) = solve_one_section(env, &cache, f, region);
+            stats.absorb(&es);
+            slots[i] = Some(sr);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let secs_ref = &secs;
+        let cache_ref = &cache;
+        let parts: Vec<Vec<(usize, SectionResult, EngineStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= secs_ref.len() {
+                                break;
+                            }
+                            let (f, region) = secs_ref[i];
+                            let (sr, es) = solve_one_section(env, cache_ref, f, region);
+                            out.push((i, sr, es));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("section solver panicked"))
+                .collect()
+        });
+        for part in parts {
+            for (i, sr, es) in part {
+                stats.absorb(&es);
+                slots[i] = Some(sr);
+            }
+        }
+    }
+    let mut sections: Vec<SectionResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every section solved"))
+        .collect();
     sections.sort_by_key(|s| s.id);
-    ProgramAnalysis { sections, config }
+    stats.threads = n_threads;
+    stats.interner_locks = intern::global().len();
+    stats.interner_paths = intern::global().n_paths();
+    ProgramAnalysis {
+        sections,
+        config,
+        stats,
+    }
+}
+
+fn solve_one_section(
+    env: EngineEnv<'_>,
+    cache: &SummaryCache,
+    func: FnId,
+    region: AtomicRegion,
+) -> (SectionResult, EngineStats) {
+    let (locks, es) = Engine::new(env, Some((func, region)), Some(cache)).solve_section();
+    (
+        SectionResult {
+            id: region.id,
+            func,
+            enter: region.enter,
+            exit: region.exit,
+            locks,
+        },
+        es,
+    )
 }
 
 /// Transitive side-effect summary of a function: the points-to classes
 /// of cells it (or anything it calls) may overwrite.
 #[derive(Clone, Debug, Default)]
-struct ModSet {
+pub(crate) struct ModSet {
     classes: HashSet<PtsClass>,
     /// Conservative escape hatch.
     top: bool,
 }
 
-fn compute_modsets(program: &Program, pt: &PointsTo, lib: &LibrarySpec) -> Vec<ModSet> {
+pub(crate) fn compute_modsets(program: &Program, pt: &PointsTo, lib: &LibrarySpec) -> Vec<ModSet> {
     let n = program.functions.len();
     let mut sets: Vec<ModSet> = vec![ModSet::default(); n];
     let mut calls: Vec<Vec<FnId>> = vec![Vec::new(); n];
@@ -151,36 +361,218 @@ fn compute_modsets(program: &Program, pt: &PointsTo, lib: &LibrarySpec) -> Vec<M
             }
         }
     }
-    // Propagate over the call graph to a fixpoint.
+    // Propagate over the call graph to a fixpoint. Self-calls are
+    // skipped — a self-union never adds anything.
     let mut changed = true;
     while changed {
         changed = false;
         for i in 0..n {
-            for g in calls[i].clone() {
-                let callee = std::mem::take(&mut sets[g.0 as usize]);
-                let before = sets[i].classes.len();
-                let top = sets[i].top | callee.top;
-                sets[i].classes.extend(callee.classes.iter().copied());
-                if sets[i].classes.len() != before || top != sets[i].top {
-                    sets[i].top = top;
+            for g in &calls[i] {
+                let g = g.0 as usize;
+                if g == i {
+                    continue;
+                }
+                let (callee, cur) = if g < i {
+                    let (lo, hi) = sets.split_at_mut(i);
+                    (&lo[g], &mut hi[0])
+                } else {
+                    let (lo, hi) = sets.split_at_mut(g);
+                    (&hi[0], &mut lo[i])
+                };
+                let before = cur.classes.len();
+                let top = cur.top | callee.top;
+                cur.classes.extend(callee.classes.iter().copied());
+                if cur.classes.len() != before || top != cur.top {
+                    cur.top = top;
                     changed = true;
                 }
-                sets[g.0 as usize] = callee;
             }
         }
     }
     sets
 }
 
-/// Interned lock index.
-type LockId = u32;
-/// Interned context index.
-type CtxId = u32;
-/// A call site awaiting summary results.
-type Site = (CtxId, u32);
+/// Whether a lock expression must be pushed through the callee's
+/// summary: yes when it is rooted at (or indexed by) a callee
+/// variable, or when a dereference step reads a cell the callee may
+/// transitively overwrite (mod-ref filtering).
+pub(crate) fn must_route(
+    program: &Program,
+    pt: &PointsTo,
+    modsets: &[ModSet],
+    callee: FnId,
+    path: &lir::PathExpr,
+) -> bool {
+    let owned = |v: VarId| {
+        let info = program.var(v);
+        info.owner == Some(callee) && info.kind != VarKind::Global
+    };
+    if owned(path.base) {
+        return true;
+    }
+    let ms = &modsets[callee.0 as usize];
+    if ms.top {
+        return true;
+    }
+    // Walk the class of each prefix; a Deref reads the cell of the
+    // class accumulated so far.
+    let mut class = Some(pt.class_of_var(path.base));
+    for op in &path.ops {
+        match op {
+            lir::PathOp::Deref => {
+                let Some(c) = class else { return false };
+                if ms.classes.contains(&c) {
+                    return true;
+                }
+                class = pt.deref(c);
+            }
+            lir::PathOp::Field(_) => {}
+            lir::PathOp::Index(z) => {
+                if owned(*z) {
+                    return true;
+                }
+                // A global/heapified index variable is read through
+                // its cell, which the callee may overwrite.
+                let info = program.var(*z);
+                if !info.is_thread_local() && ms.classes.contains(&pt.class_of_var(*z)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Functions whose bodies take part in a section's analysis: everything
+/// transitively callable from the region, stopping at opaque library
+/// functions. `out[0]` is the section's own function.
+fn section_scope(
+    program: &Program,
+    lib: &LibrarySpec,
+    root_fn: FnId,
+    region: &AtomicRegion,
+) -> Vec<FnId> {
+    let mut seen = vec![false; program.functions.len()];
+    let mut stack = Vec::new();
+    let root_body = &program.func(root_fn).body;
+    let visit = |f: FnId, seen: &mut Vec<bool>, stack: &mut Vec<FnId>| {
+        if !seen[f.0 as usize] && !lib.is_external(f) {
+            seen[f.0 as usize] = true;
+            stack.push(f);
+        }
+    };
+    for ins in &root_body[region.enter as usize..=region.exit as usize] {
+        if let Instr::Assign(_, Rvalue::Call(f, _)) = ins {
+            visit(*f, &mut seen, &mut stack);
+        }
+    }
+    let mut out = vec![root_fn];
+    while let Some(f) = stack.pop() {
+        out.push(f);
+        for ins in &program.func(f).body {
+            if let Instr::Assign(_, Rvalue::Call(g, _)) = ins {
+                visit(*g, &mut seen, &mut stack);
+            }
+        }
+    }
+    out
+}
+
+/// Maximum number of expression-lock variants tracked per program point
+/// before widening to the coarse points-to lock.
+pub(crate) const WIDTH_LIMIT: usize = 24;
+
+/// The frozen output of the Phase A summary pre-pass. Entry vectors are
+/// structurally sorted so that injection order — and hence widening
+/// behavior downstream — does not depend on interner id assignment.
+#[derive(Debug, Default)]
+struct SummaryCache {
+    /// Own-access (`Gen`) entry locks per function; present (possibly
+    /// empty) for every function in any section's callee scope.
+    gen: HashMap<FnId, Vec<LockId>>,
+    /// Entry locks per solved summary query, keyed by the rw-canonical
+    /// exit lock; present (possibly empty) for every query Phase A
+    /// started.
+    query: HashMap<(FnId, LockId), Vec<LockId>>,
+}
+
+/// Read-only inputs shared by every engine of one analysis.
+#[derive(Clone, Copy)]
+struct EngineEnv<'a> {
+    program: &'a Program,
+    pt: &'a PointsTo,
+    config: SchemeConfig,
+    lib: &'a LibrarySpec,
+    modsets: &'a [ModSet],
+    /// Predecessor tables, indexed by function id then program point.
+    preds: &'a [Vec<Vec<u32>>],
+}
+
+/// Per-engine work counters; merged into [`AnalysisStats`].
+#[derive(Clone, Copy, Debug, Default)]
+struct EngineStats {
+    pops: u64,
+    facts: u64,
+    peak: usize,
+    widenings: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Engine-local mirror of the global interner.
+///
+/// Local ids are dense and minted in first-seen order, so every
+/// ordering decision the (sequential) engine makes is reproducible
+/// regardless of how global ids were numbered by concurrent engines.
+/// `recs`/`arcs` give O(1) record and term access with no locking.
+#[derive(Default)]
+struct LockCache {
+    by_term: HashMap<AbsLock, u32>,
+    by_global: HashMap<u32, u32>,
+    global: Vec<LockId>,
+    recs: Vec<LockRec>,
+    arcs: Vec<Arc<AbsLock>>,
+}
+
+impl LockCache {
+    fn intern(&mut self, lock: &AbsLock) -> u32 {
+        if let Some(&i) = self.by_term.get(lock) {
+            return i;
+        }
+        let (gid, rec) = intern::global().intern(lock);
+        let arc = intern::global().resolve(gid);
+        self.add(gid, rec, arc)
+    }
+
+    /// Local id for a lock already interned globally (a cache entry).
+    fn import(&mut self, gid: LockId) -> u32 {
+        if let Some(&i) = self.by_global.get(&gid.0) {
+            return i;
+        }
+        let rec = intern::global().rec(gid);
+        let arc = intern::global().resolve(gid);
+        self.add(gid, rec, arc)
+    }
+
+    fn add(&mut self, gid: LockId, rec: LockRec, arc: Arc<AbsLock>) -> u32 {
+        let i = self.global.len() as u32;
+        self.by_term.insert((*arc).clone(), i);
+        self.by_global.insert(gid.0, i);
+        self.global.push(gid);
+        self.recs.push(rec);
+        self.arcs.push(arc);
+        i
+    }
+
+    #[inline]
+    fn rec(&self, i: u32) -> LockRec {
+        self.recs[i as usize]
+    }
+}
 
 /// Analysis context: which instance of the dataflow a fact belongs to.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Lock ids in `Query` are engine-local.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum Ctx {
     /// The atomic region itself, in the section's function.
     Root,
@@ -189,143 +581,165 @@ enum Ctx {
     Gen(FnId),
     /// A summary computation: push this exit lock (always `rw`-
     /// canonical) through the callee.
-    Query(FnId, LockId),
+    Query(FnId, u32),
 }
 
-/// Maximum number of expression-lock variants tracked per program point
-/// before widening to the coarse points-to lock.
-const WIDTH_LIMIT: usize = 24;
+/// A call site awaiting summary results.
+type Site = (u32, u32);
 
-struct SectionEngine<'a> {
+/// Dataflow state of one `(context, point)`: the current lock antichain
+/// and the subset not yet propagated. `queued` dedups worklist entries.
+#[derive(Default)]
+struct PointState {
+    set: BitSet,
+    pending: BitSet,
+    queued: bool,
+}
+
+/// One worklist solver. With `root == None` it is the Phase A summary
+/// pre-pass (Gen + Query contexts only); with a root region and a
+/// frozen cache it solves a single section (Phase B).
+struct Engine<'a> {
     program: &'a Program,
     pt: &'a PointsTo,
     config: SchemeConfig,
     tctx: TransferCtx<'a>,
     lib: &'a LibrarySpec,
-    root_fn: FnId,
-    region: AtomicRegion,
     modsets: &'a [ModSet],
-    bodies: HashMap<FnId, Rc<Vec<Instr>>>,
-    preds: HashMap<FnId, Rc<Vec<Vec<u32>>>>,
-    // Interners.
-    lockdb: Vec<AbsLock>,
-    lock_ids: HashMap<AbsLock, LockId>,
+    preds: &'a [Vec<Vec<u32>>],
+    cache: Option<&'a SummaryCache>,
+    root: Option<(FnId, AtomicRegion)>,
+    locks: LockCache,
     ctxdb: Vec<Ctx>,
-    ctx_ids: HashMap<Ctx, CtxId>,
-    // Dataflow state.
-    state: HashMap<(CtxId, u32), Vec<LockId>>,
-    worklist: Vec<(CtxId, u32, LockId)>,
-    gen_entry: HashMap<FnId, Vec<LockId>>,
-    query_entry: HashMap<(FnId, LockId), Vec<LockId>>,
+    ctx_ids: HashMap<Ctx, u32>,
+    state: HashMap<(u32, u32), PointState>,
+    queue: Vec<(u32, u32)>,
+    scratch: Vec<u32>,
+    gen_entry: HashMap<FnId, Vec<u32>>,
+    query_entry: HashMap<(FnId, u32), Vec<u32>>,
     gen_dependents: HashMap<FnId, Vec<Site>>,
-    query_dependents: HashMap<(FnId, LockId), Vec<(Site, Eff)>>,
-    started_queries: HashSet<(FnId, LockId)>,
-    result: Vec<AbsLock>,
+    query_dependents: HashMap<(FnId, u32), Vec<(Site, Eff)>>,
+    started_queries: HashSet<(FnId, u32)>,
+    result: Vec<u32>,
+    stats: EngineStats,
 }
 
-impl<'a> SectionEngine<'a> {
+impl<'a> Engine<'a> {
     fn new(
-        program: &'a Program,
-        pt: &'a PointsTo,
-        config: SchemeConfig,
-        root_fn: FnId,
-        region: AtomicRegion,
-        lib: &'a LibrarySpec,
-        modsets: &'a [ModSet],
+        env: EngineEnv<'a>,
+        root: Option<(FnId, AtomicRegion)>,
+        cache: Option<&'a SummaryCache>,
     ) -> Self {
         let tctx = TransferCtx {
-            program,
-            pt,
-            elem: config.elem_field,
+            program: env.program,
+            pt: env.pt,
+            elem: env.config.elem_field,
         };
-        SectionEngine {
-            program,
-            pt,
-            config,
+        Engine {
+            program: env.program,
+            pt: env.pt,
+            config: env.config,
             tctx,
-            lib,
-            root_fn,
-            region,
-            modsets,
-            bodies: HashMap::new(),
-            preds: HashMap::new(),
-            lockdb: Vec::new(),
-            lock_ids: HashMap::new(),
+            lib: env.lib,
+            modsets: env.modsets,
+            preds: env.preds,
+            cache,
+            root,
+            locks: LockCache::default(),
             ctxdb: Vec::new(),
             ctx_ids: HashMap::new(),
             state: HashMap::new(),
-            worklist: Vec::new(),
+            queue: Vec::new(),
+            scratch: Vec::new(),
             gen_entry: HashMap::new(),
             query_entry: HashMap::new(),
             gen_dependents: HashMap::new(),
             query_dependents: HashMap::new(),
             started_queries: HashSet::new(),
             result: Vec::new(),
+            stats: EngineStats::default(),
         }
     }
 
-    fn run(mut self) -> Vec<AbsLock> {
-        self.seed();
-        while let Some((ctx, idx, lock)) = self.worklist.pop() {
-            self.process(ctx, idx, lock);
+    /// Phase A: solve the `Gen` context of every listed function (and
+    /// every query their flow demands) to a fixpoint.
+    fn solve_summaries(&mut self, gen_fns: &[FnId]) {
+        let program = self.program;
+        for &f in gen_fns {
+            let ctx = self.intern_ctx(Ctx::Gen(f));
+            let body = &program.func(f).body;
+            for (idx, ins) in body.iter().enumerate() {
+                self.seed_instr(ctx, idx as u32, ins);
+            }
         }
-        let mut result = std::mem::take(&mut self.result);
+        self.drain();
+    }
+
+    /// Publishes Phase A's fixpoint as a frozen cache. Every gen-seeded
+    /// function and every *started* query gets an entry, so Phase B can
+    /// distinguish "solved, empty" from "never solved".
+    fn freeze(self, gen_fns: &[FnId]) -> (SummaryCache, EngineStats) {
+        let mut cache = SummaryCache::default();
+        for &f in gen_fns {
+            let ids = self.gen_entry.get(&f).cloned().unwrap_or_default();
+            cache.gen.insert(f, self.sorted_globals(ids));
+        }
+        for &(f, q) in &self.started_queries {
+            let ids = self.query_entry.get(&(f, q)).cloned().unwrap_or_default();
+            cache
+                .query
+                .insert((f, self.locks.global[q as usize]), self.sorted_globals(ids));
+        }
+        (cache, self.stats)
+    }
+
+    /// Orders local lock ids structurally and maps them to global ids —
+    /// the canonical, id-assignment-independent form of a summary.
+    fn sorted_globals(&self, mut ids: Vec<u32>) -> Vec<LockId> {
+        let arcs = &self.locks.arcs;
+        ids.sort_by(|&a, &b| arcs[a as usize].cmp(&arcs[b as usize]));
+        ids.into_iter()
+            .map(|l| self.locks.global[l as usize])
+            .collect()
+    }
+
+    /// Phase B: seed the root region, run to fixpoint, prune.
+    fn solve_section(mut self) -> (Vec<AbsLock>, EngineStats) {
+        let (root_fn, region) = self.root.expect("solve_section requires a root region");
+        let root_ctx = self.intern_ctx(Ctx::Root);
+        let program = self.program;
+        let body = &program.func(root_fn).body;
+        for idx in (region.enter + 1)..region.exit {
+            self.seed_instr(root_ctx, idx, &body[idx as usize]);
+        }
+        self.drain();
+        let mut result: Vec<AbsLock> = self
+            .result
+            .iter()
+            .map(|&l| (*self.locks.arcs[l as usize]).clone())
+            .collect();
         prune_redundant(&mut result);
-        result
+        (result, self.stats)
     }
 
-    fn intern_lock(&mut self, lock: AbsLock) -> LockId {
-        if let Some(&id) = self.lock_ids.get(&lock) {
-            return id;
-        }
-        let id = self.lockdb.len() as LockId;
-        self.lockdb.push(lock.clone());
-        self.lock_ids.insert(lock, id);
-        id
-    }
-
-    fn intern_ctx(&mut self, ctx: Ctx) -> CtxId {
+    fn intern_ctx(&mut self, ctx: Ctx) -> u32 {
         if let Some(&id) = self.ctx_ids.get(&ctx) {
             return id;
         }
-        let id = self.ctxdb.len() as CtxId;
-        self.ctxdb.push(ctx.clone());
+        let id = self.ctxdb.len() as u32;
+        self.ctxdb.push(ctx);
         self.ctx_ids.insert(ctx, id);
         id
     }
 
-    fn ctx_fn(&self, ctx: CtxId) -> FnId {
-        match &self.ctxdb[ctx as usize] {
-            Ctx::Root => self.root_fn,
-            Ctx::Gen(f) | Ctx::Query(f, _) => *f,
+    fn ctx_fn(&self, ctx: u32) -> FnId {
+        match self.ctxdb[ctx as usize] {
+            Ctx::Root => self.root.expect("Root ctx implies section mode").0,
+            Ctx::Gen(f) | Ctx::Query(f, _) => f,
         }
     }
 
-    /// Seeds `G`-set facts for the root region and every reachable
-    /// callee, registers gen-dependence of call sites, and precomputes
-    /// predecessor tables.
-    fn seed(&mut self) {
-        let scope = self.scope();
-        for f in &scope {
-            let body = &self.program.func(*f).body;
-            self.preds.insert(*f, Rc::new(predecessors(body)));
-            self.bodies.insert(*f, Rc::new(body.clone()));
-        }
-        let root_ctx = self.intern_ctx(Ctx::Root);
-        let root_body = Rc::clone(&self.bodies[&self.root_fn]);
-        for idx in (self.region.enter + 1)..self.region.exit {
-            self.seed_instr(root_ctx, idx, &root_body[idx as usize]);
-        }
-        for f in scope.iter().skip(1) {
-            let gen_ctx = self.intern_ctx(Ctx::Gen(*f));
-            let body = Rc::clone(&self.bodies[f]);
-            for (idx, ins) in body.iter().enumerate() {
-                self.seed_instr(gen_ctx, idx as u32, ins);
-            }
-        }
-    }
-
-    fn seed_instr(&mut self, ctx: CtxId, idx: u32, ins: &Instr) {
+    fn seed_instr(&mut self, ctx: u32, idx: u32, ins: &Instr) {
         for (path, eff) in self.tctx.gen_locks(ins) {
             let lock = AbsLock {
                 path: Some(path),
@@ -336,11 +750,24 @@ impl<'a> SectionEngine<'a> {
             self.add_fact(ctx, idx, lock);
         }
         if let Instr::Assign(_, Rvalue::Call(callee, _)) = ins {
-            if let Some(summary) = self.lib.get(*callee) {
+            let lib = self.lib;
+            let cache = self.cache;
+            if let Some(summary) = lib.get(*callee) {
                 // Opaque callee: its specification's coarse locks stand
                 // in for its accesses.
-                for l in summary.locks.clone() {
-                    self.add_fact(ctx, idx, l);
+                for l in &summary.locks {
+                    self.add_fact(ctx, idx, l.clone());
+                }
+            } else if let Some(c) = cache {
+                // Phase B: the pre-pass covered every in-scope callee.
+                let entries = c
+                    .gen
+                    .get(callee)
+                    .expect("summary pre-pass covers every in-scope callee");
+                self.stats.cache_hits += 1;
+                for &gid in entries {
+                    let le = self.locks.import(gid);
+                    self.inject_unmapped((ctx, idx), *callee, le, None);
                 }
             } else {
                 self.register_gen_dep(*callee, (ctx, idx));
@@ -348,37 +775,26 @@ impl<'a> SectionEngine<'a> {
         }
     }
 
-    /// Functions whose bodies take part in this section's analysis:
-    /// everything transitively callable from the region, stopping at
-    /// opaque library functions.
-    fn scope(&self) -> Vec<FnId> {
-        let mut seen = vec![false; self.program.functions.len()];
-        let mut stack = Vec::new();
-        let root_body = &self.program.func(self.root_fn).body;
-        let visit = |f: FnId, seen: &mut Vec<bool>, stack: &mut Vec<FnId>| {
-            if !seen[f.0 as usize] && !self.lib.is_external(f) {
-                seen[f.0 as usize] = true;
-                stack.push(f);
-            }
-        };
-        for ins in &root_body[self.region.enter as usize..=self.region.exit as usize] {
-            if let Instr::Assign(_, Rvalue::Call(f, _)) = ins {
-                visit(*f, &mut seen, &mut stack);
-            }
-        }
-        let mut out = vec![self.root_fn];
-        while let Some(f) = stack.pop() {
-            out.push(f);
-            for ins in &self.program.func(f).body {
-                if let Instr::Assign(_, Rvalue::Call(g, _)) = ins {
-                    visit(*g, &mut seen, &mut stack);
-                }
+    /// Pops points LIFO; each pop drains and propagates every pending
+    /// lock of that point.
+    fn drain(&mut self) {
+        let mut ids: Vec<u32> = Vec::new();
+        while let Some((ctx, idx)) = self.queue.pop() {
+            let st = self
+                .state
+                .get_mut(&(ctx, idx))
+                .expect("queued point has state");
+            st.queued = false;
+            ids.clear();
+            st.pending.drain_into(&mut ids);
+            for &lid in &ids {
+                self.stats.pops += 1;
+                self.process(ctx, idx, lid);
             }
         }
-        out
     }
 
-    fn add_fact(&mut self, ctx: CtxId, idx: u32, lock: AbsLock) {
+    fn add_fact(&mut self, ctx: u32, idx: u32, lock: AbsLock) {
         let Some(lock) = self.config.normalize(lock, self.pt) else {
             return;
         };
@@ -389,74 +805,95 @@ impl<'a> SectionEngine<'a> {
             None => true,
             Some(p) => p.ops.is_empty(),
         };
+        let id = self.locks.intern(&lock);
         if flow_insensitive {
-            self.record_terminal(ctx, lock);
+            self.record_terminal(ctx, id);
             return;
         }
-        let id = self.intern_lock(lock);
         self.add_fact_id(ctx, idx, id);
     }
 
-    fn add_fact_id(&mut self, ctx: CtxId, idx: u32, id: LockId) {
-        let lockdb = &self.lockdb;
-        let lock = &lockdb[id as usize];
-        let set = self.state.entry((ctx, idx)).or_default();
-        if set
-            .iter()
-            .any(|&l| l == id || lock.leq(&lockdb[l as usize]))
-        {
+    fn add_fact_id(&mut self, ctx: u32, idx: u32, id: u32) {
+        let rec = self.locks.rec(id);
+        let st = self.state.entry((ctx, idx)).or_default();
+        if st.set.contains(id) {
+            return;
+        }
+        let recs = &self.locks.recs;
+        if st.set.iter().any(|l| rec.leq(recs[l as usize])) {
             return;
         }
         // Widening: past the width bound, fall back to the coarse
         // points-to lock (sent straight to the terminal).
-        if set.len() >= WIDTH_LIMIT {
-            if let Some(pts) = lock.pts {
-                let eff = lock.eff;
+        if st.set.len() >= WIDTH_LIMIT {
+            self.stats.widenings += 1;
+            if rec.pts != intern::NONE {
                 let coarse = AbsLock {
                     path: None,
-                    pts: Some(pts),
-                    eff,
+                    pts: Some(PtsClass(rec.pts)),
+                    eff: rec.eff,
                 };
-                self.record_terminal(ctx, coarse);
+                let cid = self.locks.intern(&coarse);
+                self.record_terminal(ctx, cid);
             }
             return;
         }
-        set.retain(|&l| !lockdb[l as usize].leq(lock));
-        set.push(id);
-        self.worklist.push((ctx, idx, id));
+        // Subsumed locks leave the set but keep any pending bit: if
+        // they were scheduled, they still propagate (the triple
+        // worklist of the reference engine behaves the same way).
+        let dead = &mut self.scratch;
+        dead.clear();
+        for l in st.set.iter() {
+            if recs[l as usize].leq(rec) {
+                dead.push(l);
+            }
+        }
+        for &l in dead.iter() {
+            st.set.remove(l);
+        }
+        st.set.insert(id);
+        st.pending.insert(id);
+        if !st.queued {
+            st.queued = true;
+            self.queue.push((ctx, idx));
+        }
+        self.stats.facts += 1;
+        if st.set.len() > self.stats.peak {
+            self.stats.peak = st.set.len();
+        }
     }
 
-    fn process(&mut self, ctx: CtxId, idx: u32, lock_id: LockId) {
-        let func = self.ctx_fn(ctx);
+    fn process(&mut self, ctx: u32, idx: u32, lid: u32) {
         if idx == 0 {
-            let lock = self.lockdb[lock_id as usize].clone();
-            self.record_terminal(ctx, lock);
+            self.record_terminal(ctx, lid);
             return;
         }
-        let preds = Rc::clone(&self.preds[&func]);
-        let body = Rc::clone(&self.bodies[&func]);
+        let program = self.program;
+        let func = self.ctx_fn(ctx);
+        let preds = self.preds;
+        let fpreds = &preds[func.0 as usize];
+        let body = &program.func(func).body;
         let is_root = matches!(self.ctxdb[ctx as usize], Ctx::Root);
-        for &q in &preds[idx as usize] {
+        let region = self.root.map(|(_, r)| r);
+        let lock = Arc::clone(&self.locks.arcs[lid as usize]);
+        for &q in &fpreds[idx as usize] {
             let ins = &body[q as usize];
             // Stop at (and record) the section's own entry.
-            if is_root && q == self.region.enter {
-                debug_assert!(matches!(ins, Instr::EnterAtomic(s) if *s == self.region.id));
-                let lock = self.lockdb[lock_id as usize].clone();
-                self.record_result(lock);
-                continue;
+            if is_root {
+                let region = region.expect("Root ctx implies section mode");
+                if q == region.enter {
+                    debug_assert!(matches!(ins, Instr::EnterAtomic(s) if *s == region.id));
+                    self.record_result(lid);
+                    continue;
+                }
             }
-            let lock = self.lockdb[lock_id as usize].clone();
             match self.tctx.transfer_lock(ins, &lock) {
                 Transferred::Through(locks) => {
                     for l in locks {
                         self.add_fact(ctx, q, l);
                     }
                 }
-                Transferred::Call {
-                    callee,
-                    dest,
-                    args: _,
-                } => {
+                Transferred::Call { callee, dest } => {
                     if self.lib.is_external(callee) {
                         self.external_call(ctx, q, callee, dest, &lock);
                     } else {
@@ -471,12 +908,13 @@ impl<'a> SectionEngine<'a> {
     /// Root (either by propagation or via the flow-insensitive
     /// shortcut), the function entry for summaries: update the summary
     /// and replay it at every dependent call site.
-    fn record_terminal(&mut self, ctx: CtxId, lock: AbsLock) {
-        match self.ctxdb[ctx as usize].clone() {
-            Ctx::Root => self.record_result(lock),
+    fn record_terminal(&mut self, ctx: u32, id: u32) {
+        match self.ctxdb[ctx as usize] {
+            Ctx::Root => self.record_result(id),
             Ctx::Gen(f) => {
-                let id = self.intern_lock(lock);
-                if add_summary_lock(&self.lockdb, self.gen_entry.entry(f).or_default(), id) {
+                let fresh =
+                    add_summary_lock(&self.locks.recs, self.gen_entry.entry(f).or_default(), id);
+                if fresh {
                     let deps = self.gen_dependents.get(&f).cloned().unwrap_or_default();
                     for site in deps {
                         self.inject_unmapped(site, f, id, None);
@@ -484,9 +922,13 @@ impl<'a> SectionEngine<'a> {
                 }
             }
             Ctx::Query(f, q) => {
-                let id = self.intern_lock(lock);
                 let key = (f, q);
-                if add_summary_lock(&self.lockdb, self.query_entry.entry(key).or_default(), id) {
+                let fresh = add_summary_lock(
+                    &self.locks.recs,
+                    self.query_entry.entry(key).or_default(),
+                    id,
+                );
+                if fresh {
                     let deps = self.query_dependents.get(&key).cloned().unwrap_or_default();
                     for (site, eff) in deps {
                         self.inject_unmapped(site, f, id, Some(eff));
@@ -497,17 +939,19 @@ impl<'a> SectionEngine<'a> {
     }
 
     /// Handles a fine lock flowing backward over `dest = callee(args)`:
-    /// map it into the callee, start/reuse the (rw-canonical) summary
-    /// query, register the dependency.
+    /// map it into the callee, then answer from the frozen cache or
+    /// start/reuse a local (rw-canonical) summary query.
     fn route_through_call(
         &mut self,
-        ctx: CtxId,
+        ctx: u32,
         call_idx: u32,
         callee: FnId,
         dest: VarId,
         lock: &AbsLock,
     ) {
-        let ret = self.program.func(callee).ret;
+        let program = self.program;
+        let cache = self.cache;
+        let ret = program.func(callee).ret;
         // Map: analyze `dest = ret_f` backward (a Copy transfer).
         let mapped = match self
             .tctx
@@ -525,7 +969,7 @@ impl<'a> SectionEngine<'a> {
             let needs_summary = match &m.path {
                 None => false,
                 Some(p) if p.ops.is_empty() => false,
-                Some(p) => self.must_route(callee, p),
+                Some(p) => must_route(program, self.pt, self.modsets, callee, p),
             };
             if !needs_summary {
                 self.add_fact(ctx, call_idx, m);
@@ -536,9 +980,21 @@ impl<'a> SectionEngine<'a> {
             // entries modulo the effect tag.
             let want_eff = m.eff;
             let canonical = AbsLock { eff: Eff::Rw, ..m };
-            let mid = self.intern_lock(canonical.clone());
-            let key = (callee, mid);
+            let mid = self.locks.intern(&canonical);
             let site = (ctx, call_idx);
+            if let Some(c) = cache {
+                let gid = self.locks.global[mid as usize];
+                if let Some(entries) = c.query.get(&(callee, gid)) {
+                    self.stats.cache_hits += 1;
+                    for &egid in entries {
+                        let le = self.locks.import(egid);
+                        self.inject_unmapped(site, callee, le, Some(want_eff));
+                    }
+                    continue;
+                }
+                self.stats.cache_misses += 1;
+            }
+            let key = (callee, mid);
             let deps = self.query_dependents.entry(key).or_default();
             if !deps.contains(&(site, want_eff)) {
                 deps.push((site, want_eff));
@@ -549,7 +1005,7 @@ impl<'a> SectionEngine<'a> {
                 }
             }
             if self.started_queries.insert(key) {
-                let exit = self.program.func(callee).body.len() as u32;
+                let exit = program.func(callee).body.len() as u32;
                 let qctx = self.intern_ctx(Ctx::Query(callee, mid));
                 self.add_fact(qctx, exit, canonical);
             }
@@ -563,7 +1019,7 @@ impl<'a> SectionEngine<'a> {
     /// specification says it may modify a cell their expression reads.
     fn external_call(
         &mut self,
-        ctx: CtxId,
+        ctx: u32,
         call_idx: u32,
         callee: FnId,
         dest: VarId,
@@ -591,53 +1047,9 @@ impl<'a> SectionEngine<'a> {
         self.add_fact(ctx, call_idx, l);
     }
 
-    /// Whether a lock expression must be pushed through the callee's
-    /// summary: yes when it is rooted at (or indexed by) a callee
-    /// variable, or when a dereference step reads a cell the callee may
-    /// transitively overwrite (mod-ref filtering).
-    fn must_route(&self, callee: FnId, path: &lir::PathExpr) -> bool {
-        let owned = |v: VarId| {
-            let info = self.program.var(v);
-            info.owner == Some(callee) && info.kind != VarKind::Global
-        };
-        if owned(path.base) {
-            return true;
-        }
-        let ms = &self.modsets[callee.0 as usize];
-        if ms.top {
-            return true;
-        }
-        // Walk the class of each prefix; a Deref reads the cell of the
-        // class accumulated so far.
-        let mut class = Some(self.pt.class_of_var(path.base));
-        for op in &path.ops {
-            match op {
-                lir::PathOp::Deref => {
-                    let Some(c) = class else { return false };
-                    if ms.classes.contains(&c) {
-                        return true;
-                    }
-                    class = self.pt.deref(c);
-                }
-                lir::PathOp::Field(_) => {}
-                lir::PathOp::Index(z) => {
-                    if owned(*z) {
-                        return true;
-                    }
-                    // A global/heapified index variable is read through
-                    // its cell, which the callee may overwrite.
-                    let info = self.program.var(*z);
-                    if !info.is_thread_local() && ms.classes.contains(&self.pt.class_of_var(*z)) {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
     /// Registers a call site as a receiver of the callee's own-access
-    /// (Gen) locks, replaying any already known.
+    /// (Gen) locks, replaying any already known. Phase A only — Phase B
+    /// injects the frozen gen summaries at seed time instead.
     fn register_gen_dep(&mut self, callee: FnId, site: Site) {
         let deps = self.gen_dependents.entry(callee).or_default();
         if deps.contains(&site) {
@@ -662,18 +1074,19 @@ impl<'a> SectionEngine<'a> {
         &mut self,
         site: Site,
         callee: FnId,
-        entry_lock: LockId,
+        entry_lock: u32,
         eff_override: Option<Eff>,
     ) {
         let (ctx, call_idx) = site;
+        let program = self.program;
         let func = self.ctx_fn(ctx);
-        let body = Rc::clone(&self.bodies[&func]);
+        let body = &program.func(func).body;
         let Instr::Assign(_, Rvalue::Call(f, args)) = &body[call_idx as usize] else {
             unreachable!("dependent site is a call instruction");
         };
         debug_assert_eq!(*f, callee);
-        let params = self.program.func(callee).params.clone();
-        let mut entry = self.lockdb[entry_lock as usize].clone();
+        let params = &program.func(callee).params;
+        let mut entry = (*self.locks.arcs[entry_lock as usize]).clone();
         if let Some(eff) = eff_override {
             entry.eff = eff;
         }
@@ -694,7 +1107,7 @@ impl<'a> SectionEngine<'a> {
             if let Some(p) = &mut l.path {
                 for op in &mut p.ops {
                     if let lir::PathOp::Index(z) = op {
-                        let info = self.program.var(*z);
+                        let info = program.var(*z);
                         if info.owner == Some(callee)
                             && callee != site_fn
                             && info.kind != VarKind::Global
@@ -710,7 +1123,7 @@ impl<'a> SectionEngine<'a> {
             }
             let owned_by_callee = match &l.path {
                 Some(p) => {
-                    let info = self.program.var(p.base);
+                    let info = program.var(p.base);
                     // At a recursive call site caller and callee frames
                     // share variable ids; keep the lock then.
                     info.owner == Some(callee) && callee != site_fn && info.kind != VarKind::Global
@@ -723,24 +1136,21 @@ impl<'a> SectionEngine<'a> {
         }
     }
 
-    fn record_result(&mut self, lock: AbsLock) {
-        if !self.result.contains(&lock) {
-            self.result.push(lock);
+    fn record_result(&mut self, id: u32) {
+        if !self.result.contains(&id) {
+            self.result.push(id);
         }
     }
 }
 
 /// Subsumption insert for summary-entry sets; returns whether the lock
 /// was new (not already covered).
-fn add_summary_lock(lockdb: &[AbsLock], set: &mut Vec<LockId>, id: LockId) -> bool {
-    let lock = &lockdb[id as usize];
-    if set
-        .iter()
-        .any(|&l| l == id || lock.leq(&lockdb[l as usize]))
-    {
+fn add_summary_lock(recs: &[LockRec], set: &mut Vec<u32>, id: u32) -> bool {
+    let rec = recs[id as usize];
+    if set.iter().any(|&l| l == id || rec.leq(recs[l as usize])) {
         return false;
     }
-    set.retain(|&l| !lockdb[l as usize].leq(lock));
+    set.retain(|&l| !recs[l as usize].leq(rec));
     set.push(id);
     true
 }

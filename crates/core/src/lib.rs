@@ -32,13 +32,18 @@
 //! # Ok::<(), lir::lower::FrontendError>(())
 //! ```
 
+pub mod bits;
 pub mod dataflow;
 pub mod library;
+pub mod reference;
 pub mod report;
 pub mod transfer;
 pub mod transform;
 
-pub use dataflow::{analyze_program, ProgramAnalysis, SectionResult};
+pub use dataflow::{
+    analyze_program, analyze_program_with_opts, AnalysisStats, ProgramAnalysis, SectionResult,
+};
+pub use reference::analyze_program_reference;
 pub use report::{DegradationReport, LockCounts};
 pub use transform::transform;
 

@@ -41,11 +41,7 @@ pub struct TransferCtx<'a> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Transferred {
     Through(Vec<AbsLock>),
-    Call {
-        callee: lir::FnId,
-        dest: VarId,
-        args: Vec<VarId>,
-    },
+    Call { callee: lir::FnId, dest: VarId },
 }
 
 impl TransferCtx<'_> {
@@ -57,7 +53,7 @@ impl TransferCtx<'_> {
     /// Coarse locks (`path == None`) are flow-insensitive and pass
     /// through every statement unchanged (§4.3).
     pub fn transfer_lock(&self, instr: &Instr, lock: &AbsLock) -> Transferred {
-        if let Instr::Assign(dest, Rvalue::Call(f, args)) = instr {
+        if let Instr::Assign(dest, Rvalue::Call(f, _)) = instr {
             let needs_summary = match &lock.path {
                 None => false,
                 Some(p) => !p.ops.is_empty(),
@@ -66,7 +62,6 @@ impl TransferCtx<'_> {
                 return Transferred::Call {
                     callee: *f,
                     dest: *dest,
-                    args: args.clone(),
                 };
             }
             // `x̄` locks and coarse locks are unaffected by the callee's

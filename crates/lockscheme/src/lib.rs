@@ -14,11 +14,16 @@
 //!   representation the paper describes: a root `(⊤, ⊤)`, coarse
 //!   points-to locks `(⊤, P)` below it, and fine expression locks
 //!   `(e, P)` as leaves.
+//! * [`intern`] — process-wide hash-consing of [`AbsLock`] terms: lock
+//!   identity as a `u32`, `O(1)` lattice order on interned records, and
+//!   memoized joins. The scalability substrate of the dataflow engine.
 
 pub mod abslock;
 pub mod concrete;
+pub mod intern;
 pub mod scheme;
 
 pub use abslock::{AbsLock, SchemeConfig};
 pub use concrete::{ConcreteLock, LocationModel};
+pub use intern::{LockId, LockInterner, LockRec};
 pub use scheme::{EffScheme, FieldScheme, KExprScheme, Product, PtsScheme, Scheme};

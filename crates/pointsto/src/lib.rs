@@ -276,12 +276,14 @@ impl PointsTo {
         self.n_classes
     }
 
+    #[inline]
     fn class_of_raw(&self, cell: u32) -> PtsClass {
         PtsClass(self.class_of_cell[self.canon[cell as usize] as usize])
     }
 
     /// The class containing the *cell of variable* `v` — i.e. the
     /// points-to set of `&v` (the `x̄` operator of the `Σ≡` scheme).
+    #[inline]
     pub fn class_of_var(&self, v: VarId) -> PtsClass {
         self.class_of_raw(v.0)
     }
@@ -295,6 +297,7 @@ impl PointsTo {
 
     /// The points-to successor `s → s'`, if any pointer was ever stored
     /// in cells of `s`.
+    #[inline]
     pub fn deref(&self, s: PtsClass) -> Option<PtsClass> {
         // Find a representative cell of the class.
         let rep = self.members[s.0 as usize][0];

@@ -11,6 +11,9 @@
 //!   shape (see DESIGN.md for the substitution argument);
 //! * [`spec_like`] — a synthetic generator producing SPECint-sized
 //!   programs for the analysis-scalability half of Table 1;
+//! * [`scale`] — layered call-graph programs scaling depth, width, and
+//!   section count independently, for the `analysis-bench` throughput
+//!   benchmark;
 //! * [`fuzz`] — runnable random programs for the differential and
 //!   Theorem-1 soundness property tests.
 //!
@@ -20,6 +23,7 @@
 
 pub mod fuzz;
 pub mod micro;
+pub mod scale;
 pub mod spec_like;
 pub mod stamp;
 
@@ -202,5 +206,30 @@ mod tests {
         assert_eq!(a, b);
         let c = spec_like::generate("x", 3.0, 8).source;
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_programs_compile_analyze_and_are_deterministic() {
+        let (name, p) = &scale::tiers()[0];
+        let spec = scale::generate(name, *p);
+        assert_eq!(spec.source, scale::generate(name, *p).source);
+        let program = lir::compile(&spec.source).unwrap();
+        assert_eq!(
+            program.n_sections as usize, p.sections,
+            "one atomic section per driver"
+        );
+        let pt = pointsto::PointsTo::analyze(&program);
+        let cfg = SchemeConfig::full(3, program.elem_field_opt());
+        let analysis = lockinfer::analyze_program(&program, &pt, cfg);
+        assert_eq!(analysis.sections.len(), p.sections);
+        assert!(
+            analysis.sections.iter().all(|s| !s.locks.is_empty()),
+            "every scale section gets locks"
+        );
+        assert!(
+            analysis.stats.summary_functions > 0,
+            "shared callees produce cached summaries: {:?}",
+            analysis.stats
+        );
     }
 }

@@ -12,4 +12,9 @@ cargo build --release -q
 ./target/release/figure7  > results_figure7.txt
 ./target/release/ablation > results_ablation.txt
 ./target/release/figure8  > results_figure8.txt
+
+# Analysis-engine throughput: prints the naive-vs-optimized table and
+# refreshes the committed baseline the CI smoke job checks against.
+./target/release/analysis-bench --out BENCH_analysis.json \
+    | tee results_analysis_bench.txt
 echo DONE
