@@ -7,6 +7,8 @@
 //! trace-dump validate <trace.json>
 //! trace-dump profile  <trace.json>
 //! trace-dump replay   <trace.json>
+//! trace-dump adapt   <workload> [--mode M] [--k N] [--threads N] [--ops N]
+//!                               [--contention low|high] [--json FILE]
 //! ```
 //!
 //! * `record` runs a named workload (`list`, `hashtable`, `hashtable2`,
@@ -20,12 +22,19 @@
 //! * `profile` prints per-section contention/hold-time histograms.
 //! * `replay` re-executes the run embedded in a trace file and
 //!   verifies the fresh digest matches, byte for byte.
+//! * `adapt` runs the profile-guided adaptation loop (DESIGN.md §5.4):
+//!   record a baseline, derive per-section configuration candidates
+//!   from the corrected wait/hold profiles, replay each candidate on
+//!   the same deterministic schedule, and report whether any override
+//!   reduces total virtual-time wait. Exits nonzero if the selected
+//!   candidate fails the `adapted wait <= baseline wait` invariant.
 //!
 //! Exit status is nonzero on a validation failure or digest mismatch,
-//! so all four subcommands double as CI checks.
+//! so all subcommands double as CI checks.
 
-use atomic_lock_inference::replay::{self, RunConfig};
+use atomic_lock_inference::{adapt, replay, replay::RunConfig};
 use interp::{ExecMode, FaultPlan};
+use lockinfer::adapt::AdaptPolicy;
 use std::process::ExitCode;
 use workloads::{micro, stamp, Contention, RunSpec};
 
@@ -36,13 +45,14 @@ fn usage() -> ExitCode {
          \x20      trace-dump validate <trace.json>\n\
          \x20      trace-dump profile  <trace.json>\n\
          \x20      trace-dump replay   <trace.json>\n\
+         \x20      trace-dump adapt    <workload> [--mode M] [--k N] [--threads N] \
+         [--ops N] [--contention low|high] [--json FILE]\n\
          workloads: list hashtable hashtable2 rbtree th genome vacation kmeans"
     );
     ExitCode::from(2)
 }
 
-fn workload(name: &str, ops: i64) -> Option<RunSpec> {
-    let c = Contention::Low;
+fn workload(name: &str, ops: i64, c: Contention) -> Option<RunSpec> {
     Some(match name {
         "list" => micro::list(c, ops, 1),
         "hashtable" => micro::hashtable(c, ops, 1),
@@ -150,7 +160,8 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("record: unknown flag `{other}`")),
         }
     }
-    let spec = workload(name, ops).ok_or_else(|| format!("record: unknown workload `{name}`"))?;
+    let spec = workload(name, ops, Contention::Low)
+        .ok_or_else(|| format!("record: unknown workload `{name}`"))?;
     let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
     cfg.faults = faults;
     let rec = replay::record(&cfg)?;
@@ -167,6 +178,102 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, rec.trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("adapt: missing workload name")?;
+    let mut mode = ExecMode::MultiGrain;
+    let mut k = 9usize;
+    let mut threads = 8usize;
+    let mut ops = 200i64;
+    let mut contention = Contention::High;
+    let mut json = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("adapt: {flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                let v = val("a mode")?;
+                mode = parse_exec_mode(&v).ok_or_else(|| format!("adapt: bad mode `{v}`"))?;
+            }
+            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--threads" => {
+                threads = val("a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--contention" => {
+                contention = match val("low|high")?.as_str() {
+                    "low" => Contention::Low,
+                    "high" => Contention::High,
+                    other => return Err(format!("adapt: bad contention `{other}`")),
+                };
+            }
+            "--json" => json = Some(val("a path")?),
+            other => return Err(format!("adapt: unknown flag `{other}`")),
+        }
+    }
+    let spec = workload(name, ops, contention)
+        .ok_or_else(|| format!("adapt: unknown workload `{name}`"))?;
+    let cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    let run = adapt::adapt(&cfg, &AdaptPolicy::default(), 0)?;
+    let b = run.report.baseline;
+    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "baseline:    wait={} hold={} reval={} makespan={}",
+        b.total_wait, b.total_hold, b.total_revalidations, b.makespan
+    );
+    for (i, d) in run.report.candidates.iter().enumerate() {
+        let c = d.cost;
+        println!(
+            "candidate {i}: section={} {} ({}) wait={} hold={} reval={} makespan={}",
+            d.candidate.section,
+            d.candidate.adjustment.tag(),
+            d.candidate.trigger.tag(),
+            c.total_wait,
+            c.total_hold,
+            c.total_revalidations,
+            c.makespan
+        );
+    }
+    let adapted_wait = match run.report.winner() {
+        Some(w) => {
+            let saved = b.total_wait - w.cost.total_wait;
+            println!(
+                "selected: section {} {} — wait {} vs baseline {} (-{:.1}%)",
+                w.candidate.section,
+                w.candidate.adjustment.tag(),
+                w.cost.total_wait,
+                b.total_wait,
+                100.0 * saved as f64 / (b.total_wait as f64).max(1.0)
+            );
+            w.cost.total_wait
+        }
+        None => {
+            println!("selected: none (uniform configuration stands)");
+            b.total_wait
+        }
+    };
+    if let Some(path) = json {
+        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let ok = adapted_wait <= b.total_wait;
+    println!(
+        "adapt check: adapted wait {adapted_wait} <= baseline wait {}: {}",
+        b.total_wait,
+        if ok { "OK" } else { "FAIL" }
+    );
     Ok(if ok {
         ExitCode::SUCCESS
     } else {
@@ -206,6 +313,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }),
             ("replay", [path]) => cmd_replay(path),
+            ("adapt", rest) => cmd_adapt(rest),
             _ => return usage(),
         },
         None => return usage(),

@@ -76,7 +76,7 @@ use crate::transfer::{TransferCtx, Transferred};
 use lir::cfg::{atomic_regions, predecessors, AtomicRegion};
 use lir::{Eff, FnId, Instr, Program, Rvalue, SectionId, VarId, VarKind};
 use lockscheme::abslock::prune_redundant;
-use lockscheme::{intern, AbsLock, LockId, LockRec, SchemeConfig};
+use lockscheme::{intern, AbsLock, ConfigMap, LockId, LockRec, SchemeConfig};
 use pointsto::{PointsTo, PtsClass};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -139,7 +139,9 @@ impl AnalysisStats {
 #[derive(Clone, Debug)]
 pub struct ProgramAnalysis {
     pub sections: Vec<SectionResult>,
-    pub config: SchemeConfig,
+    /// The per-section configuration the analysis ran under (a uniform
+    /// map when invoked through the single-config entry points).
+    pub config: ConfigMap,
     pub stats: AnalysisStats,
 }
 
@@ -171,17 +173,72 @@ pub fn analyze_program_with_library(
     analyze_program_with_opts(program, pt, config, lib, 0)
 }
 
-/// Full-control entry point: `threads` is the worker count for the
-/// per-section phase (`0` = one per available core). The result is
-/// identical for every thread count — sections are pure functions of
-/// the program and the frozen summary cache, and the merge is ordered
-/// by section id.
+/// Full-control single-config entry point: `threads` is the worker
+/// count for the per-section phase (`0` = one per available core). The
+/// result is identical for every thread count — sections are pure
+/// functions of the program and the frozen summary cache, and the
+/// merge is ordered by section id.
 pub fn analyze_program_with_opts(
     program: &Program,
     pt: &PointsTo,
     config: SchemeConfig,
     lib: &LibrarySpec,
     threads: usize,
+) -> ProgramAnalysis {
+    analyze_program_with_configs(program, pt, &ConfigMap::uniform(config), lib, threads, None)
+}
+
+/// Memoizes frozen Phase A summary caches by scheme configuration, so
+/// a candidate loop re-inferring the *same program* under many
+/// [`ConfigMap`]s pays for each distinct configuration once. Summaries
+/// depend only on `(program, pt, lib, config)` — a store must never be
+/// reused across different programs.
+#[derive(Default)]
+pub struct SummaryStore {
+    entries: Vec<(SchemeConfig, Arc<SummaryCache>)>,
+}
+
+impl SummaryStore {
+    /// An empty store.
+    pub fn new() -> SummaryStore {
+        SummaryStore::default()
+    }
+
+    /// Distinct configurations whose summaries have been computed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no summary pass has run yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lookup(&self, cfg: SchemeConfig) -> Option<Arc<SummaryCache>> {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == cfg)
+            .map(|(_, c)| Arc::clone(c))
+    }
+
+    fn insert(&mut self, cfg: SchemeConfig, cache: Arc<SummaryCache>) {
+        self.entries.push((cfg, cache));
+    }
+}
+
+/// Per-section-config entry point. Every section is solved under
+/// `configs.for_section(id)`; Phase A runs once per *distinct*
+/// configuration in use (over the union of all sections' callee
+/// scopes, so the frozen cache is valid for any section) and is shared
+/// by every section — and, through `store`, every later candidate map
+/// — with that configuration.
+pub fn analyze_program_with_configs(
+    program: &Program,
+    pt: &PointsTo,
+    configs: &ConfigMap,
+    lib: &LibrarySpec,
+    threads: usize,
+    mut store: Option<&mut SummaryStore>,
 ) -> ProgramAnalysis {
     let modsets = compute_modsets(program, pt, lib);
     let preds: Vec<Vec<Vec<u32>>> = program
@@ -196,10 +253,10 @@ pub fn analyze_program_with_opts(
         }
     }
     let mut stats = AnalysisStats::default();
-    let env = EngineEnv {
+    let base_env = EngineEnv {
         program,
         pt,
-        config,
+        config: configs.default,
         lib,
         modsets: &modsets,
         preds: &preds,
@@ -210,14 +267,14 @@ pub fn analyze_program_with_opts(
         stats.interner_paths = intern::global().n_paths();
         return ProgramAnalysis {
             sections: Vec::new(),
-            config,
+            config: configs.clone(),
             stats,
         };
     }
 
-    // Phase A: one sequential pass over the union of all sections'
-    // callee scopes computes every Gen summary and every query the gen
-    // flow demands, then freezes them.
+    // Phase A: one sequential pass per distinct section configuration
+    // over the union of all sections' callee scopes computes every Gen
+    // summary and every query the gen flow demands, then freezes them.
     let mut gen_fns: Vec<FnId> = Vec::new();
     let mut seen: HashSet<FnId> = HashSet::new();
     for (f, region) in &secs {
@@ -227,15 +284,54 @@ pub fn analyze_program_with_opts(
             }
         }
     }
-    let mut pre = Engine::new(env, None, None);
-    pre.solve_summaries(&gen_fns);
-    let (cache, pre_stats) = pre.freeze(&gen_fns);
-    stats.absorb(&pre_stats);
-    stats.summary_functions = cache.gen.len();
-    stats.summary_queries = cache.query.len();
+    let sec_cfgs: Vec<SchemeConfig> = secs
+        .iter()
+        .map(|&(_, region)| configs.for_section(region.id.0))
+        .collect();
+    let mut distinct: Vec<SchemeConfig> = Vec::new();
+    let cfg_idx: Vec<usize> = sec_cfgs
+        .iter()
+        .map(|c| match distinct.iter().position(|d| d == c) {
+            Some(i) => i,
+            None => {
+                distinct.push(*c);
+                distinct.len() - 1
+            }
+        })
+        .collect();
+    let caches: Vec<Arc<SummaryCache>> = distinct
+        .iter()
+        .map(|&cfg| {
+            if let Some(st) = store.as_deref_mut() {
+                if let Some(cache) = st.lookup(cfg) {
+                    stats.summary_functions += cache.gen.len();
+                    stats.summary_queries += cache.query.len();
+                    return cache;
+                }
+            }
+            let mut pre = Engine::new(
+                EngineEnv {
+                    config: cfg,
+                    ..base_env
+                },
+                None,
+                None,
+            );
+            pre.solve_summaries(&gen_fns);
+            let (cache, pre_stats) = pre.freeze(&gen_fns);
+            stats.absorb(&pre_stats);
+            stats.summary_functions += cache.gen.len();
+            stats.summary_queries += cache.query.len();
+            let cache = Arc::new(cache);
+            if let Some(st) = store.as_deref_mut() {
+                st.insert(cfg, Arc::clone(&cache));
+            }
+            cache
+        })
+        .collect();
 
-    // Phase B: solve each section's root region against the frozen
-    // cache, in parallel, and merge deterministically.
+    // Phase B: solve each section's root region against its config's
+    // frozen cache, in parallel, and merge deterministically.
     let n_threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -247,14 +343,20 @@ pub fn analyze_program_with_opts(
     let mut slots: Vec<Option<SectionResult>> = (0..secs.len()).map(|_| None).collect();
     if n_threads <= 1 {
         for (i, &(f, region)) in secs.iter().enumerate() {
-            let (sr, es) = solve_one_section(env, &cache, f, region);
+            let env = EngineEnv {
+                config: sec_cfgs[i],
+                ..base_env
+            };
+            let (sr, es) = solve_one_section(env, &caches[cfg_idx[i]], f, region);
             stats.absorb(&es);
             slots[i] = Some(sr);
         }
     } else {
         let next = AtomicUsize::new(0);
         let secs_ref = &secs;
-        let cache_ref = &cache;
+        let caches_ref = &caches;
+        let sec_cfgs_ref = &sec_cfgs;
+        let cfg_idx_ref = &cfg_idx;
         let parts: Vec<Vec<(usize, SectionResult, EngineStats)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n_threads)
                 .map(|_| {
@@ -266,7 +368,12 @@ pub fn analyze_program_with_opts(
                                 break;
                             }
                             let (f, region) = secs_ref[i];
-                            let (sr, es) = solve_one_section(env, cache_ref, f, region);
+                            let env = EngineEnv {
+                                config: sec_cfgs_ref[i],
+                                ..base_env
+                            };
+                            let (sr, es) =
+                                solve_one_section(env, &caches_ref[cfg_idx_ref[i]], f, region);
                             out.push((i, sr, es));
                         }
                         out
@@ -295,7 +402,7 @@ pub fn analyze_program_with_opts(
     stats.interner_paths = intern::global().n_paths();
     ProgramAnalysis {
         sections,
-        config,
+        config: configs.clone(),
         stats,
     }
 }

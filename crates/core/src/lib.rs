@@ -32,6 +32,7 @@
 //! # Ok::<(), lir::lower::FrontendError>(())
 //! ```
 
+pub mod adapt;
 pub mod bits;
 pub mod dataflow;
 pub mod library;
@@ -40,10 +41,12 @@ pub mod report;
 pub mod transfer;
 pub mod transform;
 
+pub use adapt::{candidates, select, AdaptPolicy, Candidate, Decision, DecisionReport, PlanCost};
 pub use dataflow::{
-    analyze_program, analyze_program_with_opts, AnalysisStats, ProgramAnalysis, SectionResult,
+    analyze_program, analyze_program_with_configs, analyze_program_with_opts, AnalysisStats,
+    ProgramAnalysis, SectionResult, SummaryStore,
 };
-pub use reference::analyze_program_reference;
+pub use reference::{analyze_program_reference, analyze_program_reference_with_configs};
 pub use report::{DegradationReport, LockCounts};
 pub use transform::transform;
 

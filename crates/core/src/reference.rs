@@ -26,7 +26,7 @@ use crate::transfer::{TransferCtx, Transferred};
 use lir::cfg::{atomic_regions, predecessors, AtomicRegion};
 use lir::{Eff, FnId, Instr, Program, Rvalue, VarId, VarKind};
 use lockscheme::abslock::prune_redundant;
-use lockscheme::{AbsLock, SchemeConfig};
+use lockscheme::{AbsLock, ConfigMap, SchemeConfig};
 use pointsto::PointsTo;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -40,10 +40,25 @@ pub fn analyze_program_reference(
     config: SchemeConfig,
     lib: &LibrarySpec,
 ) -> Vec<SectionResult> {
+    analyze_program_reference_with_configs(program, pt, &ConfigMap::uniform(config), lib)
+}
+
+/// Per-section-config variant of [`analyze_program_reference`]: each
+/// section is solved under `configs.for_section(id)`, mirroring
+/// [`crate::dataflow::analyze_program_with_configs`]. Each `RefEngine`
+/// already carries its own config, so the oracle stays the naive,
+/// obviously-correct baseline the differential tests compare against.
+pub fn analyze_program_reference_with_configs(
+    program: &Program,
+    pt: &PointsTo,
+    configs: &ConfigMap,
+    lib: &LibrarySpec,
+) -> Vec<SectionResult> {
     let modsets = compute_modsets(program, pt, lib);
     let mut sections = Vec::new();
     for func in &program.functions {
         for region in atomic_regions(&func.body) {
+            let config = configs.for_section(region.id.0);
             let locks = RefEngine::new(program, pt, config, func.id, region, lib, &modsets).run();
             sections.push(SectionResult {
                 id: region.id,

@@ -687,10 +687,14 @@ impl<'m> Worker<'m> {
         }
         match m.mode {
             ExecMode::Global => {
+                let outermost = self.session.nesting_level() == 0;
                 self.session.to_acquire(Descriptor::Global {
                     access: Access::Write,
                 });
                 self.acquire_session(1)?;
+                if outermost {
+                    self.trace_event(trace::EventKind::PlanComplete);
+                }
                 Ok(false)
             }
             ExecMode::MultiGrain | ExecMode::Validate => {
@@ -720,6 +724,13 @@ impl<'m> Worker<'m> {
                         }
                     }
                     self.acquire_session(planned.len() as u64)?;
+                    // The plan is fully granted at this clock. The
+                    // first marker after the section entry is its
+                    // acquisition point (wait ends, hold begins);
+                    // markers from later loop iterations mark
+                    // revalidation retries — `trace::profile` counts
+                    // them apart instead of moving the split point.
+                    self.trace_event(trace::EventKind::PlanComplete);
                     // Fine descriptors were evaluated *before* blocking.
                     // If the guarded structure moved while this thread
                     // waited (e.g. a concurrent section resized the

@@ -213,6 +213,87 @@ impl SchemeConfig {
     }
 }
 
+/// Per-section scheme configuration: one global default plus overrides
+/// for individual static sections.
+///
+/// The paper picks a single `Σ_k × Σ≡ × Σ_ε` point for the whole
+/// program; §6 shows no single point wins everywhere. The adaptive
+/// loop (`lockinfer::adapt`) instead assigns each section the
+/// configuration its measured contention profile asks for, and the
+/// engine runs one shared Phase A summary pass per *distinct* config
+/// so candidate maps stay affordable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigMap {
+    /// The configuration of every section without an override.
+    pub default: SchemeConfig,
+    /// Per-section overrides, sorted by section id.
+    overrides: Vec<(u32, SchemeConfig)>,
+}
+
+impl ConfigMap {
+    /// A map assigning `default` to every section (the paper's global
+    /// single-config setting).
+    pub fn uniform(default: SchemeConfig) -> ConfigMap {
+        ConfigMap {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Sets (or replaces) the configuration of one section. An
+    /// override equal to the default is dropped, keeping the map
+    /// canonical: two maps with the same effective assignment compare
+    /// equal.
+    pub fn set_override(&mut self, section: u32, cfg: SchemeConfig) {
+        match self.overrides.binary_search_by_key(&section, |&(s, _)| s) {
+            Ok(i) => {
+                if cfg == self.default {
+                    self.overrides.remove(i);
+                } else {
+                    self.overrides[i].1 = cfg;
+                }
+            }
+            Err(i) => {
+                if cfg != self.default {
+                    self.overrides.insert(i, (section, cfg));
+                }
+            }
+        }
+    }
+
+    /// The effective configuration of `section`.
+    pub fn for_section(&self, section: u32) -> SchemeConfig {
+        match self.overrides.binary_search_by_key(&section, |&(s, _)| s) {
+            Ok(i) => self.overrides[i].1,
+            Err(_) => self.default,
+        }
+    }
+
+    /// The overrides, sorted by section id.
+    pub fn overrides(&self) -> &[(u32, SchemeConfig)] {
+        &self.overrides
+    }
+
+    /// Every distinct configuration the map can assign, default first,
+    /// in deterministic (first-use) order — one Phase A summary pass
+    /// runs per entry.
+    pub fn distinct_configs(&self) -> Vec<SchemeConfig> {
+        let mut out = vec![self.default];
+        for &(_, cfg) in &self.overrides {
+            if !out.contains(&cfg) {
+                out.push(cfg);
+            }
+        }
+        out
+    }
+}
+
+impl From<SchemeConfig> for ConfigMap {
+    fn from(default: SchemeConfig) -> ConfigMap {
+        ConfigMap::uniform(default)
+    }
+}
+
 impl fmt::Display for AbsLock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (&self.path, &self.pts) {

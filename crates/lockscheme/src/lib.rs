@@ -23,7 +23,7 @@ pub mod concrete;
 pub mod intern;
 pub mod scheme;
 
-pub use abslock::{AbsLock, SchemeConfig};
+pub use abslock::{AbsLock, ConfigMap, SchemeConfig};
 pub use concrete::{ConcreteLock, LocationModel};
 pub use intern::{LockId, LockInterner, LockRec};
 pub use scheme::{EffScheme, FieldScheme, KExprScheme, Product, PtsScheme, Scheme};

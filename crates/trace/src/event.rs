@@ -57,6 +57,13 @@ pub enum EventKind {
     /// A lock-tree node grant was released (including unwind releases
     /// from a panicking worker's session drop).
     LockRelease { node: NodeKey, mode: Mode },
+    /// The thread's lock plan for the current outermost section is
+    /// fully granted. The *first* marker after a `SectionEnter` is the
+    /// section's acquisition point (wait ends, hold begins); later
+    /// markers before the exit are acquire-time revalidation retries —
+    /// the descriptors drifted while the session waited and the plan
+    /// was released and re-acquired (DESIGN.md §5.2).
+    PlanComplete,
     /// An in-section shared read of heap cell `addr`.
     Read { addr: u64 },
     /// An in-section shared write of heap cell `addr`.

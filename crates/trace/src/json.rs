@@ -19,6 +19,7 @@
 //!  "events":[[epoch,tid,clock,KIND],...]}
 //! KIND := ["enter",s] | ["exit",s]
 //!       | ["acq",NODE,MODE] | ["rel",NODE,MODE]
+//!       | ["pc"]
 //!       | ["rd",addr] | ["wr",addr] | ["al",base,len]
 //!       | ["cmt",reads,writes] | ["ab"] | ["fb"] | ["flt",CLASS]
 //! NODE := ["root"] | ["pts",p] | ["cell",p,addr] | ["range",p,base]
@@ -111,6 +112,7 @@ fn push_kind(out: &mut String, k: EventKind) {
             push_escaped(out, mode_tag(mode));
             out.push(']');
         }
+        EventKind::PlanComplete => out.push_str("[\"pc\"]"),
         EventKind::Read { addr } => {
             let _ = write!(out, "[\"rd\",{addr}]");
         }
@@ -402,6 +404,7 @@ fn kind_from(v: &Value) -> PResult<EventKind> {
                 EventKind::LockRelease { node, mode }
             }
         }
+        ("pc", 1) => EventKind::PlanComplete,
         ("rd", 2) => EventKind::Read { addr: num(1)? },
         ("wr", 2) => EventKind::Write { addr: num(1)? },
         ("al", 3) => EventKind::Alloc {
@@ -512,6 +515,7 @@ mod tests {
                 node: NodeKey::Fine(1, FineAddr::Range(64)),
                 mode: Mode::S,
             },
+            EventKind::PlanComplete,
             EventKind::Read { addr: 12 },
             EventKind::Write { addr: 13 },
             EventKind::Alloc { base: 100, len: 8 },

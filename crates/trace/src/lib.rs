@@ -132,6 +132,7 @@ impl Trace {
                 EventKind::SectionExit { .. } => "section_exit",
                 EventKind::LockAcquire { .. } => "lock_acquire",
                 EventKind::LockRelease { .. } => "lock_release",
+                EventKind::PlanComplete => "plan_complete",
                 EventKind::Read { .. } => "read",
                 EventKind::Write { .. } => "write",
                 EventKind::Alloc { .. } => "alloc",

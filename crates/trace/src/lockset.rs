@@ -204,7 +204,10 @@ pub fn validate(trace: &Trace) -> Result<Validation, ValidationError> {
                 st.depth = 0;
                 st.allocs.clear();
             }
-            EventKind::StmCommit { .. } | EventKind::StmFallback | EventKind::Fault { .. } => {}
+            EventKind::PlanComplete
+            | EventKind::StmCommit { .. }
+            | EventKind::StmFallback
+            | EventKind::Fault { .. } => {}
         }
     }
     let mut crashed: Vec<u32> = threads

@@ -2,17 +2,32 @@
 //!
 //! For every outermost section execution the profiler splits the
 //! virtual-clock interval at the *acquisition point* — the clock of the
-//! last lock grant recorded before the body runs (for STM sections,
-//! the section entry itself):
+//! **first** [`EventKind::PlanComplete`] marker recorded after the
+//! section entry (for STM sections, the section entry itself):
 //!
 //! * **wait** = acquisition point − section entry (time spent blocked
 //!   on the lock plan — the contention cost the paper's Fig. 8/9
 //!   experiments measure);
 //! * **hold** = section exit − acquisition point (time the locks were
-//!   held, bounding what other threads conflict against).
+//!   held, bounding what other threads conflict against);
+//! * **revalidations** = plan completions after the first one, i.e.
+//!   acquire-time revalidation retries: the fine descriptors drifted
+//!   while the session waited, the plan was released and re-acquired
+//!   (DESIGN.md §5.2), and the worker re-ran the protocol *while
+//!   already inside its hold interval*.
 //!
-//! Both are accumulated into log₂-bucketed [`Histogram`]s per static
-//! section id.
+//! The first-completion rule matters: a revalidation retry emits fresh
+//! `LockAcquire` grants mid-section, so taking the *last* grant as the
+//! acquisition point (as this module originally did) silently
+//! reclassifies hold time as wait time on drift-heavy workloads — and
+//! an adaptive policy fed those numbers would coarsen exactly the
+//! sections that were already making progress. Traces recorded before
+//! `PlanComplete` markers existed carry none; for those the profiler
+//! falls back to the last grant, the best split the legacy vocabulary
+//! can express.
+//!
+//! All three intervals are accumulated into log₂-bucketed
+//! [`Histogram`]s per static section id.
 
 use crate::event::EventKind;
 use crate::Trace;
@@ -30,15 +45,16 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Adds one sample.
+    /// Adds one sample. Saturates rather than overflows: `u64::MAX`
+    /// lands in the top bucket and `sum` clamps at `u64::MAX`.
     pub fn add(&mut self, v: u64) {
-        let idx = (64 - (v + 1).leading_zeros() - 1) as usize;
+        let idx = (63 - v.saturating_add(1).leading_zeros().min(63)) as usize;
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
         }
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -81,18 +97,43 @@ pub struct SectionProfile {
     pub entries: u64,
     /// STM attempts aborted inside this section.
     pub aborts: u64,
-    /// Virtual ticks from section entry to the last lock grant.
+    /// Virtual ticks from section entry to the first plan completion.
     pub wait: Histogram,
     /// Virtual ticks the locks (or transaction) were held.
     pub hold: Histogram,
+    /// Acquire-time revalidation retries per outermost execution
+    /// (plan completions beyond the first).
+    pub revalidations: Histogram,
+}
+
+/// The profiler's view of one open outermost section execution.
+struct OpenSection {
+    section: u32,
+    enter_clock: u64,
+    /// Clock of the first plan completion — the acquisition point.
+    acq_clock: Option<u64>,
+    /// Clock of the last lock grant: the legacy acquisition point for
+    /// traces recorded before `PlanComplete` markers existed.
+    last_grant: Option<u64>,
+    /// Plan completions beyond the first.
+    revalidations: u64,
 }
 
 #[derive(Default)]
 struct ThreadState {
     depth: u32,
-    section: u32,
-    enter_clock: u64,
-    acq_clock: Option<u64>,
+    /// Baseline for the open outermost execution. `None` while the
+    /// thread is (or appears to be) outside any section, and after a
+    /// desync is detected in a truncated trace — then the depth
+    /// bookkeeping keeps running but no sample is recorded for the
+    /// suspect execution.
+    open: Option<OpenSection>,
+    /// After an `StmAbort`: the outermost section the retry must
+    /// re-enter. A *different* section id on the next outermost enter
+    /// means the re-enter event was lost (truncated crash trace) and
+    /// what we are seeing is a nested enter — profiling it from this
+    /// state would fabricate a sample, so the baseline is skipped.
+    retry_section: Option<u32>,
 }
 
 /// Derives per-section profiles from a merged trace, sorted by section
@@ -106,40 +147,61 @@ pub fn profile(trace: &Trace) -> Vec<SectionProfile> {
             EventKind::SectionEnter { section } => {
                 st.depth += 1;
                 if st.depth == 1 {
-                    st.section = section;
-                    st.enter_clock = e.clock;
-                    st.acq_clock = None;
+                    let trusted = st.retry_section.is_none_or(|s| s == section);
+                    st.open = trusted.then_some(OpenSection {
+                        section,
+                        enter_clock: e.clock,
+                        acq_clock: None,
+                        last_grant: None,
+                        revalidations: 0,
+                    });
+                    st.retry_section = None;
                 }
             }
-            EventKind::LockAcquire { .. } if st.depth > 0 => {
-                st.acq_clock = Some(e.clock);
+            EventKind::PlanComplete => {
+                if let Some(o) = st.open.as_mut() {
+                    match o.acq_clock {
+                        None => o.acq_clock = Some(e.clock),
+                        Some(_) => o.revalidations += 1,
+                    }
+                }
             }
-            EventKind::SectionExit { .. } => {
+            EventKind::LockAcquire { .. } => {
+                if let Some(o) = st.open.as_mut() {
+                    o.last_grant = Some(e.clock);
+                }
+            }
+            EventKind::SectionExit { section } => {
                 if st.depth == 1 {
-                    let p = sections
-                        .entry(st.section)
-                        .or_insert_with(|| SectionProfile {
-                            section: st.section,
-                            ..SectionProfile::default()
-                        });
-                    p.entries += 1;
-                    let acq = st.acq_clock.unwrap_or(st.enter_clock);
-                    p.wait.add(acq.saturating_sub(st.enter_clock));
-                    p.hold.add(e.clock.saturating_sub(acq));
+                    if let Some(o) = st.open.take() {
+                        if o.section == section {
+                            let p = sections.entry(o.section).or_insert_with(|| SectionProfile {
+                                section: o.section,
+                                ..SectionProfile::default()
+                            });
+                            p.entries += 1;
+                            let acq = o.acq_clock.or(o.last_grant).unwrap_or(o.enter_clock);
+                            p.wait.add(acq.saturating_sub(o.enter_clock));
+                            p.hold.add(e.clock.saturating_sub(acq));
+                            p.revalidations.add(o.revalidations);
+                        }
+                    }
                 }
                 st.depth = st.depth.saturating_sub(1);
             }
             EventKind::StmAbort => {
-                if st.depth > 0 {
+                if let Some(o) = &st.open {
                     sections
-                        .entry(st.section)
+                        .entry(o.section)
                         .or_insert_with(|| SectionProfile {
-                            section: st.section,
+                            section: o.section,
                             ..SectionProfile::default()
                         })
                         .aborts += 1;
+                    st.retry_section = Some(o.section);
                 }
                 st.depth = 0;
+                st.open = None;
             }
             _ => {}
         }
@@ -153,12 +215,13 @@ pub fn render(profiles: &[SectionProfile]) -> String {
     let mut out = String::new();
     for p in profiles {
         out.push_str(&format!(
-            "section {:>3}  entries={:<6} aborts={:<6}\n  wait: {}\n  hold: {}\n",
+            "section {:>3}  entries={:<6} aborts={:<6}\n  wait:  {}\n  hold:  {}\n  reval: {}\n",
             p.section,
             p.entries,
             p.aborts,
             p.wait.render(),
-            p.hold.render()
+            p.hold.render(),
+            p.revalidations.render()
         ));
     }
     out
@@ -179,6 +242,14 @@ mod tests {
         }
     }
 
+    fn acq(node: NodeKey, mode: Mode) -> EventKind {
+        EventKind::LockAcquire { node, mode }
+    }
+
+    fn rel(node: NodeKey, mode: Mode) -> EventKind {
+        EventKind::LockRelease { node, mode }
+    }
+
     #[test]
     fn histogram_buckets_by_log2() {
         let mut h = Histogram::default();
@@ -196,29 +267,26 @@ mod tests {
     }
 
     #[test]
-    fn wait_and_hold_split_at_last_acquire() {
+    fn histogram_saturates_at_the_boundary() {
+        let mut h = Histogram::default();
+        h.add(u64::MAX); // v + 1 would overflow; must not panic
+        h.add(u64::MAX - 1);
+        h.add(u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.sum, u64::MAX, "sum clamps instead of wrapping");
+        assert_eq!(h.buckets[63], 3, "both land in the top bucket");
+    }
+
+    #[test]
+    fn wait_and_hold_split_at_first_plan_completion() {
         let t = Trace {
             events: vec![
                 ev(0, 0, 100, EventKind::SectionEnter { section: 3 }),
-                ev(
-                    1,
-                    0,
-                    104,
-                    EventKind::LockAcquire {
-                        node: NodeKey::Root,
-                        mode: Mode::Ix,
-                    },
-                ),
-                ev(
-                    2,
-                    0,
-                    110,
-                    EventKind::LockAcquire {
-                        node: NodeKey::Pts(1),
-                        mode: Mode::X,
-                    },
-                ),
-                ev(3, 0, 130, EventKind::SectionExit { section: 3 }),
+                ev(1, 0, 104, acq(NodeKey::Root, Mode::Ix)),
+                ev(2, 0, 110, acq(NodeKey::Pts(1), Mode::X)),
+                ev(3, 0, 110, EventKind::PlanComplete),
+                ev(4, 0, 130, EventKind::SectionExit { section: 3 }),
             ],
             ..Trace::default()
         };
@@ -228,6 +296,55 @@ mod tests {
         assert_eq!(ps[0].entries, 1);
         assert_eq!(ps[0].wait.sum, 10);
         assert_eq!(ps[0].hold.sum, 20);
+        assert_eq!(ps[0].revalidations.sum, 0);
+    }
+
+    #[test]
+    fn legacy_traces_without_markers_fall_back_to_the_last_grant() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 100, EventKind::SectionEnter { section: 3 }),
+                ev(1, 0, 104, acq(NodeKey::Root, Mode::Ix)),
+                ev(2, 0, 110, acq(NodeKey::Pts(1), Mode::X)),
+                ev(3, 0, 130, EventKind::SectionExit { section: 3 }),
+            ],
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps[0].wait.sum, 10);
+        assert_eq!(ps[0].hold.sum, 20);
+    }
+
+    #[test]
+    fn revalidation_retries_land_in_hold_not_wait() {
+        // The chaos-suite TH resize schedule in miniature: the plan
+        // completes at clock 110, the hash-table descriptor drifts
+        // (resize), the session releases and re-acquires, completing
+        // again at 140. The last-grant rule would report wait = 35 and
+        // hold = 60, reclassifying 30 held ticks as contention.
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 100, EventKind::SectionEnter { section: 5 }),
+                ev(1, 0, 104, acq(NodeKey::Root, Mode::Ix)),
+                ev(2, 0, 110, acq(NodeKey::Pts(2), Mode::X)),
+                ev(3, 0, 110, EventKind::PlanComplete),
+                // Drift detected: release, re-evaluate, re-acquire.
+                ev(4, 0, 120, rel(NodeKey::Pts(2), Mode::X)),
+                ev(5, 0, 120, rel(NodeKey::Root, Mode::Ix)),
+                ev(6, 0, 128, acq(NodeKey::Root, Mode::Ix)),
+                ev(7, 0, 135, acq(NodeKey::Pts(3), Mode::X)),
+                ev(8, 0, 140, EventKind::PlanComplete),
+                ev(9, 0, 200, EventKind::SectionExit { section: 5 }),
+            ],
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].entries, 1);
+        assert_eq!(ps[0].wait.sum, 10, "wait ends at the FIRST completion");
+        assert_eq!(ps[0].hold.sum, 90, "retry time stays in hold");
+        assert_eq!(ps[0].revalidations.count, 1);
+        assert_eq!(ps[0].revalidations.sum, 1, "one retry, counted apart");
     }
 
     #[test]
@@ -273,5 +390,38 @@ mod tests {
         assert_eq!(ps.len(), 1);
         assert_eq!(ps[0].section, 1);
         assert_eq!(ps[0].entries, 1);
+    }
+
+    #[test]
+    fn truncated_crash_trace_does_not_profile_from_stale_state() {
+        // A nested STM attempt aborts; the retry's outer re-enter was
+        // lost to buffer truncation, so the next event is the *nested*
+        // re-enter. Profiling it as an outermost execution would
+        // fabricate a sample for section 2 from stale depth
+        // bookkeeping; the abort guard skips it, and the next complete
+        // execution profiles normally.
+        let t = Trace {
+            events: vec![
+                ev(0, 0, 10, EventKind::SectionEnter { section: 1 }),
+                ev(1, 0, 12, EventKind::SectionEnter { section: 2 }),
+                ev(2, 0, 15, EventKind::StmAbort),
+                // enter(1) @16 dropped — the trace is truncated.
+                ev(3, 0, 17, EventKind::SectionEnter { section: 2 }),
+                ev(4, 0, 20, EventKind::SectionExit { section: 2 }),
+                ev(5, 0, 25, EventKind::SectionExit { section: 1 }),
+                ev(6, 0, 30, EventKind::SectionEnter { section: 1 }),
+                ev(7, 0, 33, EventKind::PlanComplete),
+                ev(8, 0, 40, EventKind::SectionExit { section: 1 }),
+            ],
+            dropped: 1,
+            ..Trace::default()
+        };
+        let ps = profile(&t);
+        assert_eq!(ps.len(), 1, "no fabricated profile for section 2: {ps:?}");
+        assert_eq!(ps[0].section, 1);
+        assert_eq!(ps[0].aborts, 1);
+        assert_eq!(ps[0].entries, 1, "only the complete execution counts");
+        assert_eq!(ps[0].wait.sum, 3);
+        assert_eq!(ps[0].hold.sum, 7);
     }
 }

@@ -1,0 +1,40 @@
+//! Regenerates the recorded traces under `tests/corpus/` from their own
+//! embedded run configurations.
+//!
+//! Each corpus file is self-describing (`run.*` metadata), so this tool
+//! re-records every run with the current toolchain and rewrites the
+//! file with the fresh canonical JSON. Run it after an *intentional*
+//! trace-format or event-stream change (a new event kind, a cost-model
+//! change); the `corpus_replay` test will then pin the new bytes.
+//!
+//! ```text
+//! cargo run --release --example regen_corpus
+//! ```
+
+use atomic_lock_inference::replay;
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let old = trace::Trace::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rec = replay::replay(&old).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let json = rec.trace.to_json();
+        let changed = json != text;
+        std::fs::write(&path, &json).unwrap();
+        println!(
+            "{name}: {} events, digest {} ({})",
+            rec.trace.events.len(),
+            rec.trace.digest(),
+            if changed { "UPDATED" } else { "unchanged" }
+        );
+    }
+}

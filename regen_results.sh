@@ -13,6 +13,11 @@ cargo build --release -q
 ./target/release/ablation > results_ablation.txt
 ./target/release/figure8  > results_figure8.txt
 
+# Profile-guided per-section adaptation (DESIGN.md §5.4): baseline vs
+# adapted wait/hold per workload. The binary exits nonzero when no
+# workload improves or an adapted run waits longer than its baseline.
+./target/release/adapt-table > results_adapt.txt
+
 # Analysis-engine throughput: prints the naive-vs-optimized table and
 # refreshes the committed baseline the CI smoke job checks against.
 ./target/release/analysis-bench --out BENCH_analysis.json \

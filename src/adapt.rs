@@ -1,0 +1,271 @@
+//! Profile-guided per-section adaptation — the *measurement* half of
+//! the adaptive loop (DESIGN.md §5.4).
+//!
+//! [`lockinfer::adapt`] is the pure policy: corrected wait/hold
+//! profiles in, candidate per-section [`ConfigMap`] overrides out. This
+//! module closes the loop against the deterministic interpreter:
+//!
+//! 1. **Record** the baseline under the uniform configuration
+//!    ([`crate::replay::record`]) and profile its trace — wait split
+//!    from hold at the first `PlanComplete` marker, revalidation
+//!    retries tallied separately.
+//! 2. **Propose** candidate overrides from those profiles.
+//! 3. **Re-infer** the program once per candidate map. Phase A summary
+//!    caches are memoized in a [`SummaryStore`] keyed by scheme
+//!    configuration, so the candidate loop pays for each distinct
+//!    configuration once.
+//! 4. **Replay** the identical `RunConfig` (same seed, same virtual
+//!    scheduler, same fault plan) under each candidate's locks and
+//!    measure the replayed [`PlanCost`].
+//! 5. **Select** the candidate with the lowest total virtual-time wait,
+//!    strictly below the baseline, and emit a machine-readable
+//!    [`DecisionReport`].
+//!
+//! Everything downstream of the recorded trace is deterministic: the
+//! policy is pure, inference is byte-identical at any analysis thread
+//! count, and the virtual scheduler reproduces executions exactly — so
+//! two `adapt` runs over the same config produce byte-identical
+//! reports and adapted-trace digests.
+//!
+//! An adapted trace is deliberately **not** stamped with `run.*`
+//! replay metadata: `replay()` would re-infer under the uniform
+//! configuration and silently diverge. It carries `adapt.*` keys
+//! describing the applied overrides instead.
+
+use crate::replay::{execute, options_for, record, stamp_outcome, Recording, RunConfig};
+use interp::Machine;
+use lockinfer::adapt::{candidates, select, AdaptPolicy, Decision, DecisionReport, PlanCost};
+use lockinfer::library::LibrarySpec;
+use lockinfer::SummaryStore;
+use lockscheme::{ConfigMap, SchemeConfig};
+use std::sync::Arc;
+use trace::Trace;
+
+/// The full result of one adaptation loop.
+#[derive(Clone, Debug)]
+pub struct AdaptRun {
+    /// Machine-readable decision record (all candidates, all costs).
+    pub report: DecisionReport,
+    /// The baseline recording the profiles came from.
+    pub baseline: Recording,
+    /// The winning candidate's recording, when one beat the baseline.
+    pub adapted: Option<Recording>,
+}
+
+/// Records `cfg`, profiles it, evaluates policy candidates by replay,
+/// and selects the best per-section configuration.
+///
+/// `analysis_threads` is the Phase B worker count for lock inference
+/// (`0` = one per core); the outcome is identical for every value.
+///
+/// # Errors
+///
+/// Returns a message on compile failure or when the recorded trace is
+/// unusable (ring overflow).
+pub fn adapt(
+    cfg: &RunConfig,
+    policy: &AdaptPolicy,
+    analysis_threads: usize,
+) -> Result<AdaptRun, String> {
+    let baseline = record(cfg)?;
+    if baseline.trace.dropped > 0 {
+        return Err(format!(
+            "adapt: baseline trace dropped {} events — raise trace_capacity",
+            baseline.trace.dropped
+        ));
+    }
+    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+    let base_map = ConfigMap::uniform(SchemeConfig::full(cfg.k, program.elem_field_opt()));
+    let profiles = trace::profile(&baseline.trace);
+    let cands = candidates(&profiles, &base_map, policy);
+    let base_cost = PlanCost::from_profiles(&profiles, baseline.outcome.makespan);
+
+    let mut store = SummaryStore::new();
+    let mut decisions = Vec::with_capacity(cands.len());
+    let mut recordings = Vec::with_capacity(cands.len());
+    for cand in &cands {
+        let map = cand.config_map(&base_map);
+        let rec = record_with_map(cfg, &map, analysis_threads, &mut store)?;
+        let prof = trace::profile(&rec.trace);
+        decisions.push(Decision {
+            candidate: *cand,
+            cost: PlanCost::from_profiles(&prof, rec.outcome.makespan),
+        });
+        recordings.push(rec);
+    }
+    let selected = select(
+        base_cost,
+        &decisions.iter().map(|d| d.cost).collect::<Vec<_>>(),
+    );
+    let report = DecisionReport {
+        name: cfg.name.clone(),
+        mode: format!("{:?}", cfg.mode),
+        baseline: base_cost,
+        candidates: decisions,
+        selected,
+    };
+    let adapted = selected.and_then(|i| recordings.into_iter().nth(i));
+    Ok(AdaptRun {
+        report,
+        baseline,
+        adapted,
+    })
+}
+
+/// Like [`adapt`], but starting from an existing self-describing trace
+/// (one produced by [`crate::replay::record`]): the embedded
+/// [`RunConfig`] is re-executed as the baseline.
+///
+/// # Errors
+///
+/// Returns a message when the trace lacks `run.*` metadata or the
+/// embedded source no longer compiles.
+pub fn adapt_trace(
+    t: &Trace,
+    policy: &AdaptPolicy,
+    analysis_threads: usize,
+) -> Result<AdaptRun, String> {
+    adapt(&RunConfig::from_trace(t)?, policy, analysis_threads)
+}
+
+/// Executes `cfg` with locks inferred under a per-section `map` rather
+/// than the uniform configuration — the candidate-evaluation twin of
+/// [`crate::replay::record`]. Phase A summaries are shared through
+/// `store` across every candidate of the same program.
+fn record_with_map(
+    cfg: &RunConfig,
+    map: &ConfigMap,
+    analysis_threads: usize,
+    store: &mut SummaryStore,
+) -> Result<Recording, String> {
+    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+    let pt = pointsto::PointsTo::analyze(&program);
+    let analysis = lockinfer::analyze_program_with_configs(
+        &program,
+        &pt,
+        map,
+        &LibrarySpec::new(),
+        analysis_threads,
+        Some(store),
+    );
+    let transformed = lockinfer::transform(&program, &analysis);
+    let m = Machine::new(
+        Arc::new(transformed),
+        Arc::new(pt),
+        cfg.mode,
+        options_for(cfg),
+    );
+    let (outcome, mut trace) = execute(&m, cfg);
+    trace.meta_set("adapt.name", cfg.name.clone());
+    trace.meta_set("adapt.base_k", cfg.k.to_string());
+    for (section, c) in map.overrides() {
+        trace.meta_set(
+            &format!("adapt.section.{section}"),
+            format!(
+                "k={},expr={},pts={},eff={}",
+                c.k, c.use_expr, c.use_pts, c.use_eff
+            ),
+        );
+    }
+    stamp_outcome(&outcome, &mut trace);
+    Ok(Recording { outcome, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::ExecMode;
+
+    /// Two sections with opposite temperaments: `hot` hammers one
+    /// global under long critical sections (wait ≫ hold per entry once
+    /// several threads queue), `cold` touches a thread-private cell
+    /// (never contended).
+    const SRC: &str = r#"
+        global shared;
+        global cells;
+        fn setup(n) { cells = new(64); shared = 0; }
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { shared = shared + 1; nops(200); }
+                atomic { cells[tid()] = cells[tid()] + 1; }
+                i = i + 1;
+            }
+            return 0;
+        }
+        fn total() { return shared; }
+    "#;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            name: "two-temperaments".into(),
+            source: SRC.into(),
+            k: 3,
+            mode: ExecMode::MultiGrain,
+            threads: 8,
+            heap_cells: 1 << 16,
+            seed: 11,
+            quantum: 64,
+            stm_abort_budget: 16,
+            faults: None,
+            trace_capacity: 1 << 18,
+            init: ("setup".into(), vec![0]),
+            worker: ("work".into(), vec![30]),
+            check: Some("total".into()),
+        }
+    }
+
+    #[test]
+    fn adapt_produces_candidates_and_a_report() {
+        let run = adapt(&cfg(), &AdaptPolicy::default(), 1).unwrap();
+        assert!(
+            !run.report.candidates.is_empty(),
+            "the hot section must trigger at least one proposal"
+        );
+        let json = run.report.to_json();
+        assert!(json.contains("\"baseline\""), "{json}");
+        assert!(run.report.baseline.total_wait > 0);
+        // Candidate runs still compute the right answer.
+        assert_eq!(run.baseline.outcome.check, Some(8 * 30));
+    }
+
+    #[test]
+    fn adapt_is_deterministic_across_analysis_thread_counts() {
+        let runs: Vec<AdaptRun> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| adapt(&cfg(), &AdaptPolicy::default(), t).unwrap())
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.report.to_json(), runs[0].report.to_json());
+            assert_eq!(r.baseline.trace.digest(), runs[0].baseline.trace.digest());
+            match (&r.adapted, &runs[0].adapted) {
+                (Some(a), Some(b)) => assert_eq!(a.trace.digest(), b.trace.digest()),
+                (None, None) => {}
+                other => panic!("selection diverged across thread counts: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adapted_traces_are_not_replayable_but_carry_adapt_meta() {
+        let run = adapt(&cfg(), &AdaptPolicy::default(), 1).unwrap();
+        if let Some(adapted) = &run.adapted {
+            assert!(crate::replay::replay(&adapted.trace).is_err());
+            assert_eq!(
+                adapted.trace.meta_get("adapt.name"),
+                Some("two-temperaments")
+            );
+        }
+        // The baseline stays fully replayable.
+        let again = crate::replay::replay(&run.baseline.trace).unwrap();
+        assert_eq!(again.trace.digest(), run.baseline.trace.digest());
+    }
+
+    #[test]
+    fn adapt_trace_round_trips_through_recorded_metadata() {
+        let rec = record(&cfg()).unwrap();
+        let from_trace = adapt_trace(&rec.trace, &AdaptPolicy::default(), 1).unwrap();
+        let direct = adapt(&cfg(), &AdaptPolicy::default(), 1).unwrap();
+        assert_eq!(from_trace.report.to_json(), direct.report.to_json());
+    }
+}

@@ -43,6 +43,7 @@
 //! `bench` crate for the harness regenerating the paper's tables and
 //! figures.
 
+pub mod adapt;
 pub mod replay;
 
 pub use interp;

@@ -234,7 +234,16 @@ pub struct Recording {
 /// Returns a message on compile failure or when the trace was dropped
 /// (per-thread ring overflow — raise [`RunConfig::trace_capacity`]).
 pub fn record(cfg: &RunConfig) -> Result<Recording, String> {
-    let opts = Options {
+    let m = interp::machine_for(&cfg.source, cfg.k, cfg.mode, options_for(cfg))?;
+    let (outcome, mut trace) = execute(&m, cfg);
+    cfg.stamp(&mut trace);
+    stamp_outcome(&outcome, &mut trace);
+    Ok(Recording { outcome, trace })
+}
+
+/// The machine options a [`RunConfig`] prescribes (tracing always on).
+pub(crate) fn options_for(cfg: &RunConfig) -> Options {
+    Options {
         heap_cells: cfg.heap_cells,
         seed: cfg.seed,
         quantum: cfg.quantum,
@@ -244,8 +253,14 @@ pub fn record(cfg: &RunConfig) -> Result<Recording, String> {
             capacity: cfg.trace_capacity,
         }),
         ..Options::default()
-    };
-    let m = interp::machine_for(&cfg.source, cfg.k, cfg.mode, opts)?;
+    }
+}
+
+/// Runs `cfg`'s init/worker/check phases on an already-built machine
+/// and takes the (unstamped) trace. Shared between [`record`] and the
+/// adaptation loop in `crate::adapt`, which builds its machines from a
+/// per-section [`lockscheme::ConfigMap`] instead of the uniform `k`.
+pub(crate) fn execute(m: &interp::Machine, cfg: &RunConfig) -> (RunOutcome, trace::Trace) {
     let mut outcome = RunOutcome::default();
     if let Err(e) = m.run_named(&cfg.init.0, &cfg.init.1) {
         outcome.error = Some(format!("init: {e}"));
@@ -267,12 +282,10 @@ pub fn record(cfg: &RunConfig) -> Result<Recording, String> {
             }
         }
     }
-    let mut trace = m
+    let trace = m
         .take_trace()
         .expect("machine built with tracing enabled has a trace");
-    cfg.stamp(&mut trace);
-    stamp_outcome(&outcome, &mut trace);
-    Ok(Recording { outcome, trace })
+    (outcome, trace)
 }
 
 /// Re-executes the run a trace was recorded from and returns the fresh
@@ -291,7 +304,7 @@ pub fn replay(t: &Trace) -> Result<Recording, String> {
 /// The outcome is stamped into the metadata too, so digest equality
 /// certifies not just the same events but the same results, makespan,
 /// and error disposition.
-fn stamp_outcome(o: &RunOutcome, t: &mut Trace) {
+pub(crate) fn stamp_outcome(o: &RunOutcome, t: &mut Trace) {
     t.meta_set("out.results", render_args(&o.results));
     t.meta_set("out.makespan", o.makespan.to_string());
     if let Some(v) = o.check {
