@@ -1,0 +1,111 @@
+//! `sentinel-overhead` — CI gate for the online sentinel's cost
+//! (DESIGN.md §5.5).
+//!
+//! ```text
+//! cargo run -p bench --release --bin sentinel-overhead [-- --check]
+//! ```
+//!
+//! Runs the `workloads::scale` smoke program under MultiGrain locks at
+//! k = 9 twice per repetition — sentinel disabled, then armed with
+//! `sample_every = 1` (sampling off: every in-section access checked
+//! inline) — and compares the best wall-clock time of each arm. The
+//! armed runs use sound inferred locks, so the sentinel must stay
+//! silent; the bin fails outright if it reports a violation.
+//!
+//! With `--check`, exits nonzero when the armed/disabled ratio reaches
+//! 2.0, the overhead budget the sentinel promises when fully on.
+
+use interp::{ExecMode, Machine, Options, SentinelConfig};
+use lockscheme::SchemeConfig;
+use pointsto::PointsTo;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::scale::{self, ScaleParams};
+
+const THREADS: usize = 4;
+/// Interleaved repetitions per arm; each arm scores its minimum, which
+/// discards scheduler noise on a loaded CI host.
+const REPS: usize = 5;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("sentinel-overhead: unknown flag `{other}` (only --check)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // The medium analysis-bench tier shape, as the runnable smoke
+    // twin: enough in-section accesses (layered calls under 16
+    // sections) for millisecond-scale runs whose minimum-of-5 is
+    // stable, small enough for a smoke job.
+    let spec = scale::smoke(
+        "sentinel-smoke",
+        ScaleParams {
+            depth: 5,
+            width: 8,
+            sections: 16,
+            stmts_per_fn: 14,
+            seed: 12,
+        },
+        4,
+    );
+    let program = lir::compile(&spec.source).expect("scale smoke compiles");
+    let pt = Arc::new(PointsTo::analyze(&program));
+    let cfg = SchemeConfig::full(9, program.elem_field_opt());
+    let analysis = lockinfer::analyze_program(&program, &pt, cfg);
+    let transformed = Arc::new(lockinfer::transform(&program, &analysis));
+
+    let timed = |sentinel: Option<SentinelConfig>| -> f64 {
+        let m = Machine::new(
+            transformed.clone(),
+            pt.clone(),
+            ExecMode::MultiGrain,
+            Options {
+                heap_cells: spec.heap_cells,
+                seed: 0xB0DE,
+                sentinel,
+                ..Options::default()
+            },
+        );
+        let (worker, args) = &spec.worker;
+        m.run_named(spec.init.0, &spec.init.1).expect("smoke setup");
+        let t0 = Instant::now();
+        m.run_threads_virtual(worker, THREADS, |_| args.clone())
+            .expect("scale smoke completes");
+        let seconds = t0.elapsed().as_secs_f64();
+        let report = m.degradation_report();
+        assert_eq!(
+            report.sentinel_violations, 0,
+            "sound inferred locks must not trip the sentinel: {report}"
+        );
+        seconds
+    };
+
+    let armed_cfg = SentinelConfig {
+        sample_every: 1,
+        ..SentinelConfig::default()
+    };
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        off = off.min(timed(None));
+        on = on.min(timed(Some(armed_cfg)));
+    }
+    let ratio = on / off;
+    println!("sentinel off: {off:.6}s (best of {REPS})");
+    println!("sentinel on (sample_every=1): {on:.6}s (best of {REPS})");
+    println!("overhead ratio: {ratio:.3}x (budget < 2.000x)");
+    if check && ratio >= 2.0 {
+        println!("sentinel-overhead check: FAIL");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("sentinel-overhead check: OK");
+    }
+    ExitCode::SUCCESS
+}

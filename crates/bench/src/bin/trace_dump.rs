@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! trace-dump record <workload> [--mode M] [--k N] [--threads N] [--ops N]
-//!                              [--faults] [--out FILE]
+//!                              [--faults] [--sentinel] [--weaken S:I]
+//!                              [--out FILE]
 //! trace-dump validate <trace.json>
 //! trace-dump profile  <trace.json>
 //! trace-dump replay   <trace.json>
+//! trace-dump quarantine <trace.json>
 //! trace-dump adapt   <workload> [--mode M] [--k N] [--threads N] [--ops N]
 //!                               [--contention low|high] [--json FILE]
 //! ```
@@ -22,6 +24,12 @@
 //! * `profile` prints per-section contention/hold-time histograms.
 //! * `replay` re-executes the run embedded in a trace file and
 //!   verifies the fresh digest matches, byte for byte.
+//! * `quarantine` reconstructs the online sentinel's quarantine ladder
+//!   (DESIGN.md §5.5) from the trace's `qr` events: every demotion and
+//!   heal in epoch order, sections still serving probation at trace
+//!   end, and half-open transitions dropped by the truncation guard.
+//!   `record --sentinel` arms the sentinel for the run; `--weaken S:I`
+//!   drops inferred lock `I` from section `S` to provoke it.
 //! * `adapt` runs the profile-guided adaptation loop (DESIGN.md §5.4):
 //!   record a baseline, derive per-section configuration candidates
 //!   from the corrected wait/hold profiles, replay each candidate on
@@ -33,7 +41,7 @@
 //! so all subcommands double as CI checks.
 
 use atomic_lock_inference::{adapt, replay, replay::RunConfig};
-use interp::{ExecMode, FaultPlan};
+use interp::{ExecMode, FaultPlan, SentinelConfig, WeakenPlan};
 use lockinfer::adapt::AdaptPolicy;
 use std::process::ExitCode;
 use workloads::{micro, stamp, Contention, RunSpec};
@@ -41,10 +49,11 @@ use workloads::{micro, stamp, Contention, RunSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace-dump record <workload> [--mode global|multigrain|stm|validate] \
-         [--k N] [--threads N] [--ops N] [--faults] [--out FILE]\n\
+         [--k N] [--threads N] [--ops N] [--faults] [--sentinel] [--weaken S:I] [--out FILE]\n\
          \x20      trace-dump validate <trace.json>\n\
          \x20      trace-dump profile  <trace.json>\n\
          \x20      trace-dump replay   <trace.json>\n\
+         \x20      trace-dump quarantine <trace.json>\n\
          \x20      trace-dump adapt    <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--json FILE]\n\
          workloads: list hashtable hashtable2 rbtree th genome vacation kmeans"
@@ -96,6 +105,10 @@ fn report(t: &trace::Trace) -> bool {
     );
     println!("digest: {}", t.digest());
     print!("{}", trace::profile::render(&trace::profile::profile(t)));
+    let qh = trace::quarantine_history(t);
+    if !qh.transitions.is_empty() || !qh.open.is_empty() || qh.suppressed > 0 {
+        print!("{}", trace::quarantine::render(&qh));
+    }
     match trace::validate(t) {
         Ok(v) => {
             println!(
@@ -128,6 +141,8 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let mut threads = 4usize;
     let mut ops = 200i64;
     let mut faults = None;
+    let mut sentinel = false;
+    let mut weaken = None;
     let mut out = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -156,6 +171,18 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
                         .with_wakeup_delays(100, 200),
                 );
             }
+            "--sentinel" => sentinel = true,
+            "--weaken" => {
+                let v = val("SECTION:INDEX")?;
+                let (s, i) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--weaken: `{v}` is not SECTION:INDEX"))?;
+                weaken = Some(WeakenPlan {
+                    section: s.parse().map_err(|e| format!("--weaken section: {e}"))?,
+                    drop_index: i.parse().map_err(|e| format!("--weaken index: {e}"))?,
+                });
+                sentinel = true;
+            }
             "--out" => out = Some(val("a path")?),
             other => return Err(format!("record: unknown flag `{other}`")),
         }
@@ -164,6 +191,8 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         .ok_or_else(|| format!("record: unknown workload `{name}`"))?;
     let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
     cfg.faults = faults;
+    cfg.sentinel = sentinel.then(SentinelConfig::default);
+    cfg.weaken = weaken;
     let rec = replay::record(&cfg)?;
     println!(
         "{name} mode={mode:?} k={k} threads={threads} ops={ops}: makespan={} ticks{}",
@@ -313,6 +342,13 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }),
             ("replay", [path]) => cmd_replay(path),
+            ("quarantine", [path]) => load(path).map(|t| {
+                print!(
+                    "{}",
+                    trace::quarantine::render(&trace::quarantine_history(&t))
+                );
+                ExitCode::SUCCESS
+            }),
             ("adapt", rest) => cmd_adapt(rest),
             _ => return usage(),
         },

@@ -179,4 +179,24 @@ mod tests {
             run(&spec, config, 4);
         }
     }
+
+    /// The sentinel-overhead gate depends on the scale smoke twin
+    /// interpreting without faults (the analysis-only generator does
+    /// not); a tiny shape keeps this cheap.
+    #[test]
+    fn scale_smoke_twin_is_interpretable() {
+        let spec = workloads::scale::smoke(
+            "smoke-tiny",
+            workloads::scale::ScaleParams {
+                depth: 2,
+                width: 3,
+                sections: 3,
+                stmts_per_fn: 8,
+                seed: 7,
+            },
+            2,
+        );
+        let out = run(&spec, Config::FineCoarse, 2);
+        assert!(out.degradation.is_clean(), "{}", out.degradation);
+    }
 }

@@ -84,6 +84,19 @@ pub struct DegradationReport {
     pub injected_aborts: u64,
     pub injected_delays: u64,
     pub injected_stalls: u64,
+    /// In-section accesses the online sentinel found unlicensed by the
+    /// live held-mode set (a real protection gap — never clean).
+    pub sentinel_violations: u64,
+    /// Sections the sentinel's quarantine ladder demoted to the
+    /// trivially sound global scheme. Informational, like
+    /// [`DegradationReport::lock_revalidations`]: quarantine is the
+    /// *remedy* working, while the gap itself is already counted in
+    /// [`DegradationReport::sentinel_violations`].
+    pub sections_quarantined: u64,
+    /// Quarantined sections re-admitted to their original
+    /// configuration after serving their probation of consecutive
+    /// clean executions. Informational.
+    pub sections_healed: u64,
 }
 
 impl DegradationReport {
@@ -95,6 +108,8 @@ impl DegradationReport {
             stm_commits: _,
             stm_aborts: _,
             lock_revalidations: _,
+            sections_quarantined: _,
+            sections_healed: _,
             stm_fallbacks,
             poisoned_sessions,
             unwind_releases,
@@ -104,6 +119,7 @@ impl DegradationReport {
             injected_aborts,
             injected_delays,
             injected_stalls,
+            sentinel_violations,
         } = *self;
         stm_fallbacks == 0
             && poisoned_sessions == 0
@@ -114,6 +130,7 @@ impl DegradationReport {
             && injected_aborts == 0
             && injected_delays == 0
             && injected_stalls == 0
+            && sentinel_violations == 0
     }
 }
 
@@ -122,7 +139,7 @@ impl fmt::Display for DegradationReport {
         write!(
             f,
             "stm {}c/{}a/{}f  poisoned {}  unwound {}  deadlocks {}  timeouts {}  \
-             revalidated {}  injected p{}/a{}/d{}/s{}",
+             revalidated {}  injected p{}/a{}/d{}/s{}  sentinel {}v/{}q/{}h",
             self.stm_commits,
             self.stm_aborts,
             self.stm_fallbacks,
@@ -134,7 +151,10 @@ impl fmt::Display for DegradationReport {
             self.injected_panics,
             self.injected_aborts,
             self.injected_delays,
-            self.injected_stalls
+            self.injected_stalls,
+            self.sentinel_violations,
+            self.sections_quarantined,
+            self.sections_healed
         )
     }
 }

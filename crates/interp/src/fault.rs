@@ -96,6 +96,22 @@ impl FaultPlan {
     }
 }
 
+/// Fault-injected *weakened inference*: drops the `drop_index`-th lock
+/// spec from `section`'s `acquireAll` at plan time, simulating a
+/// compiler that under-inferred that section's footprint. Both the
+/// planning pass and the post-acquisition revalidation pass skip the
+/// spec (they must agree, or revalidation would retry forever), so the
+/// weakened plan is stable — and the executed section has a genuine
+/// soundness gap for the online sentinel to catch, without corrupting
+/// the analysis itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeakenPlan {
+    /// The section whose plan is weakened.
+    pub section: u32,
+    /// Index into the section's `acquireAll` spec list to drop.
+    pub drop_index: usize,
+}
+
 /// Machine-wide injection counters (what actually fired, as opposed to
 /// the plan's rates).
 #[derive(Debug, Default)]

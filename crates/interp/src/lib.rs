@@ -32,8 +32,9 @@ pub mod sim;
 mod worker;
 
 pub use error::InterpError;
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultPlan, FaultStats, WeakenPlan};
 pub use machine::{ExecMode, Machine, Options};
+pub use sentinel::SentinelConfig;
 pub use sim::CostModel;
 
 use std::sync::Arc;

@@ -51,6 +51,15 @@ pub struct Options {
     /// When set, every worker registers a per-thread recorder and the
     /// merged trace is available from [`Machine::take_trace`].
     pub trace: Option<trace::TraceConfig>,
+    /// Online lockset sentinel (`None` = off, zero overhead): inline
+    /// Fig. 6 licensing checks on in-section accesses, with a
+    /// per-section quarantine ladder that demotes offending sections
+    /// to the global scheme and re-admits them after probation.
+    pub sentinel: Option<sentinel::SentinelConfig>,
+    /// Fault-injected weakened inference (`None` = sound plans): drops
+    /// one lock spec from one section so the sentinel has a real
+    /// soundness gap to catch. See [`crate::fault::WeakenPlan`].
+    pub weaken: Option<crate::fault::WeakenPlan>,
 }
 
 impl Default for Options {
@@ -64,6 +73,8 @@ impl Default for Options {
             stm_abort_budget: 1024,
             mg_config: mglock::RuntimeConfig::default(),
             trace: None,
+            sentinel: None,
+            weaken: None,
         }
     }
 }
@@ -124,6 +135,8 @@ pub struct Machine {
     pub(crate) stm_abort_budget: u64,
     pub(crate) fault_stats: crate::fault::FaultStats,
     pub(crate) tracer: Option<Arc<trace::Recorder>>,
+    pub(crate) sentinel: Option<Arc<sentinel::Sentinel>>,
+    pub(crate) weaken: Option<crate::fault::WeakenPlan>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -224,6 +237,10 @@ impl Machine {
             stm_abort_budget: opts.stm_abort_budget,
             fault_stats: crate::fault::FaultStats::default(),
             tracer,
+            sentinel: opts
+                .sentinel
+                .map(|cfg| Arc::new(sentinel::Sentinel::new(cfg))),
+            weaken: opts.weaken,
         };
         // Allocate the globals' cells.
         let globals = m.program.globals.clone();
@@ -291,6 +308,14 @@ impl Machine {
         let mg = self.mg.stats();
         let fs = &self.fault_stats;
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let (sentinel_violations, sections_quarantined, sections_healed) = match &self.sentinel {
+            Some(s) => (
+                s.sentinel_violations(),
+                s.sections_quarantined(),
+                s.sections_healed(),
+            ),
+            None => (0, 0, 0),
+        };
         lockinfer::DegradationReport {
             stm_commits: stm.commits,
             stm_aborts: stm.aborts,
@@ -304,7 +329,17 @@ impl Machine {
             injected_delays: ld(&fs.injected_delays),
             injected_stalls: ld(&fs.injected_stalls),
             lock_revalidations: ld(&fs.lock_revalidations),
+            sentinel_violations,
+            sections_quarantined,
+            sections_healed,
         }
+    }
+
+    /// The online lockset sentinel, when the machine was built with
+    /// one (see [`Options::sentinel`]): violations, quarantine state,
+    /// ladder history.
+    pub fn sentinel(&self) -> Option<&sentinel::Sentinel> {
+        self.sentinel.as_deref()
     }
 
     /// Execution mode.
@@ -340,6 +375,13 @@ impl Machine {
             ("seed".to_owned(), self.seed.to_string()),
         ];
         Some(rec.take(meta, allocs))
+    }
+
+    /// `(allocation base, points-to class)` of the cell at `loc` in a
+    /// single allocation-table lookup — the licensing extent the
+    /// sentinel resolves lazily on its hot path.
+    pub(crate) fn extent_class(&self, loc: u64) -> Option<(u64, u32)> {
+        self.alloc_meta_of(loc).map(|m| (m.base, m.class.0))
     }
 
     fn alloc_meta_of(&self, loc: u64) -> Option<AllocMeta> {

@@ -56,6 +56,14 @@ pub(crate) struct Worker<'m> {
     /// the acquisition protocol, not of the section body, so they are
     /// exempt from both Validate-mode coverage checks and the trace.
     revalidating: bool,
+    /// In-section accesses seen so far, driving the sentinel's sampling
+    /// schedule (a per-worker monotone counter, so the schedule is
+    /// deterministic under the virtual-time scheduler).
+    accesses: u64,
+    /// A sentinel violation was recorded during the current outermost
+    /// section execution; consumed at close — dirty executions do not
+    /// count toward a quarantined section's probation.
+    section_violated: bool,
 }
 
 impl<'m> Worker<'m> {
@@ -83,6 +91,8 @@ impl<'m> Worker<'m> {
             escalate: false,
             tracer,
             revalidating: false,
+            accesses: 0,
+            section_violated: false,
         }
     }
 
@@ -157,6 +167,92 @@ impl<'m> Worker<'m> {
             trace::EventKind::Write { addr }
         } else {
             trace::EventKind::Read { addr }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Online lockset sentinel (all no-ops when the machine has none)
+
+    /// Inline Fig. 6 licensing check against the live held-mode set.
+    /// Runs *after* the access completed, so an STM footprint already
+    /// contains the cell it just touched. Exempt, like the post-hoc
+    /// validator: protocol reads (descriptor revalidation), accesses
+    /// outside any section, this thread's section-private allocations
+    /// (Lemma 2) — plus whatever the sampling schedule skips.
+    ///
+    /// A violation is recorded, never fatal: the section completes, and
+    /// a first offense demotes it on the quarantine ladder (traced as a
+    /// `["qr", …]` event so replay sees the transition).
+    fn sentinel_check(&mut self, addr: u64, write: bool) {
+        let Some(sent) = &self.m.sentinel else { return };
+        if self.revalidating || (self.sec_depth == 0 && self.session.nesting_level() == 0) {
+            return;
+        }
+        let n = self.accesses;
+        self.accesses += 1;
+        if !sent.config().should_check(n) {
+            return;
+        }
+        // `my_allocs` bases are monotone (allocation order), so the
+        // Lemma 2 exemption is a binary search — sections that allocate
+        // heavily would otherwise pay a linear scan per access.
+        let i = self.my_allocs.partition_point(|&(b, _)| b <= addr);
+        if i > 0 {
+            let (b, l) = self.my_allocs[i - 1];
+            if addr < b + l {
+                return;
+            }
+        }
+        let licensed = match self.m.mode {
+            // Transactional discipline: the access is sound iff the
+            // transaction tracks the cell (or runs irrevocably under
+            // the commit gate). A miss means the access bypassed the
+            // transaction.
+            ExecMode::Stm => self
+                .txn
+                .as_ref()
+                .is_some_and(|t| t.is_tracked(addr as usize)),
+            _ => sentinel::licensed(self.session.held_modes(), addr, write, || {
+                self.m.extent_class(addr)
+            }),
+        };
+        if licensed {
+            return;
+        }
+        self.section_violated = true;
+        let held = self.session.held_modes().collect();
+        let v = sentinel::Violation::new(self.current_section.0, self.tid, addr, write, held);
+        if let Some(ev) = sent.report_violation(v) {
+            self.trace_quarantine(ev);
+        }
+    }
+
+    /// Is this lock spec dropped by the weakened-inference fault plan?
+    /// Consulted by both the planning pass and the quiet revalidation
+    /// pass: the two must agree, or revalidation would retry forever.
+    fn spec_dropped(&self, section: u32, index: usize) -> bool {
+        self.m
+            .weaken
+            .is_some_and(|w| w.section == section && w.drop_index == index)
+    }
+
+    /// Reports one finished outermost section execution to the
+    /// quarantine ladder; a completed probation re-admits the section,
+    /// traced as a heal `["qr", …]` event.
+    fn note_section_closed(&mut self, section: u32) {
+        let Some(sent) = &self.m.sentinel else { return };
+        let clean = !self.section_violated;
+        self.section_violated = false;
+        if let Some(ev) = sent.section_closed(section, clean) {
+            self.trace_quarantine(ev);
+        }
+    }
+
+    fn trace_quarantine(&self, ev: sentinel::LadderEvent) {
+        self.trace_event(trace::EventKind::Quarantine {
+            section: ev.section,
+            healed: ev.healed,
+            probation: ev.probation,
         });
     }
 
@@ -236,6 +332,10 @@ impl<'m> Worker<'m> {
                     Some((rpc, snapshot)) => {
                         self.txn = None;
                         self.sec_depth = 0;
+                        // The aborted attempt's private allocations are
+                        // unreachable (the allocator never reuses
+                        // addresses); drop their Lemma 2 exemptions.
+                        self.my_allocs.clear();
                         frame.clone_from(snapshot);
                         pc = *rpc;
                         self.sync_trace_clock();
@@ -444,40 +544,32 @@ impl<'m> Worker<'m> {
     // Variables and memory
 
     fn read_var(&mut self, frame: &[i64], v: VarId) -> Result<i64, Exc> {
-        match self.m.storage[v.0 as usize] {
-            Storage::Direct(s) => Ok(frame[s as usize]),
-            Storage::Indirect(s) => {
-                let a = frame[s as usize] as u64;
-                self.check_var_access(a, false)?;
-                self.trace_access(a, false);
-                self.heap_read_raw(a)
-            }
-            Storage::Global(a) => {
-                self.check_var_access(a, false)?;
-                self.trace_access(a, false);
-                self.heap_read_raw(a)
-            }
-        }
+        let a = match self.m.storage[v.0 as usize] {
+            Storage::Direct(s) => return Ok(frame[s as usize]),
+            Storage::Indirect(s) => frame[s as usize] as u64,
+            Storage::Global(a) => a,
+        };
+        self.check_var_access(a, false)?;
+        self.trace_access(a, false);
+        let val = self.heap_read_raw(a)?;
+        self.sentinel_check(a, false);
+        Ok(val)
     }
 
     fn write_var(&mut self, frame: &mut [i64], v: VarId, val: i64) -> Result<(), Exc> {
-        match self.m.storage[v.0 as usize] {
+        let a = match self.m.storage[v.0 as usize] {
             Storage::Direct(s) => {
                 frame[s as usize] = val;
-                Ok(())
+                return Ok(());
             }
-            Storage::Indirect(s) => {
-                let a = frame[s as usize] as u64;
-                self.check_var_access(a, true)?;
-                self.trace_access(a, true);
-                self.heap_write_raw(a, val, true)
-            }
-            Storage::Global(a) => {
-                self.check_var_access(a, true)?;
-                self.trace_access(a, true);
-                self.heap_write_raw(a, val, true)
-            }
-        }
+            Storage::Indirect(s) => frame[s as usize] as u64,
+            Storage::Global(a) => a,
+        };
+        self.check_var_access(a, true)?;
+        self.trace_access(a, true);
+        self.heap_write_raw(a, val, true)?;
+        self.sentinel_check(a, true);
+        Ok(())
     }
 
     /// Validate-mode coverage check for variable cells (globals and
@@ -509,7 +601,9 @@ impl<'m> Worker<'m> {
             self.check_protected(a, false, f, pc)?;
         }
         self.trace_access(a, false);
-        self.heap_read_raw(a)
+        let val = self.heap_read_raw(a)?;
+        self.sentinel_check(a, false);
+        Ok(val)
     }
 
     fn heap_write(&mut self, addr: i64, val: i64, f: FnId, pc: usize) -> Result<(), Exc> {
@@ -518,7 +612,9 @@ impl<'m> Worker<'m> {
             self.check_protected(a, true, f, pc)?;
         }
         self.trace_access(a, true);
-        self.heap_write_raw(a, val, false)
+        self.heap_write_raw(a, val, false)?;
+        self.sentinel_check(a, true);
+        Ok(())
     }
 
     /// Raw cell read: transactional inside an STM section, direct
@@ -615,10 +711,11 @@ impl<'m> Worker<'m> {
                 len: n.max(1) as u64,
             });
         }
-        if self.m.mode == ExecMode::Validate && self.session.nesting_level() > 0 {
+        if in_section && (self.m.mode == ExecMode::Validate || self.m.sentinel.is_some()) {
             // Cells allocated by this thread during the section are
             // private until it publishes them: exempt from coverage
-            // (Lemma 2's reachability proviso).
+            // (Lemma 2's reachability proviso). Both the Validate-mode
+            // checker and the online sentinel consult this list.
             self.my_allocs.push((base, n.max(1) as u64));
         }
         Ok(base)
@@ -676,11 +773,11 @@ impl<'m> Worker<'m> {
     /// STM transaction (and must snapshot for retry).
     fn section_enter(&mut self, ins: &Instr, frame: &mut [i64], f: FnId) -> Result<bool, Exc> {
         let m = self.m;
+        let sid = match ins {
+            Instr::AcquireAll(s, _) | Instr::EnterAtomic(s) => *s,
+            _ => unreachable!("section markers handled by exec"),
+        };
         if self.tracer.is_some() {
-            let sid = match ins {
-                Instr::AcquireAll(s, _) | Instr::EnterAtomic(s) => *s,
-                _ => unreachable!("section markers handled by exec"),
-            };
             // Every nesting level (and every STM retry) records an
             // entry; lock grants follow at the outermost level only.
             self.trace_event(trace::EventKind::SectionEnter { section: sid.0 });
@@ -688,6 +785,10 @@ impl<'m> Worker<'m> {
         match m.mode {
             ExecMode::Global => {
                 let outermost = self.session.nesting_level() == 0;
+                if outermost {
+                    self.current_section = sid;
+                    self.section_violated = false;
+                }
                 self.session.to_acquire(Descriptor::Global {
                     access: Access::Write,
                 });
@@ -698,8 +799,8 @@ impl<'m> Worker<'m> {
                 Ok(false)
             }
             ExecMode::MultiGrain | ExecMode::Validate => {
-                let (sid, specs) = match ins {
-                    Instr::AcquireAll(s, specs) => (*s, specs),
+                let specs = match ins {
+                    Instr::AcquireAll(_, specs) => specs,
                     Instr::EnterAtomic(s) => {
                         return Err(InterpError::NeedsTransformedProgram { section: *s }.into())
                     }
@@ -711,10 +812,30 @@ impl<'m> Worker<'m> {
                     return Ok(false);
                 }
                 self.current_section = sid;
+                self.section_violated = false;
+                if m.sentinel.as_ref().is_some_and(|s| s.is_quarantined(sid.0)) {
+                    // Quarantined: the section serves its probation
+                    // under the trivially sound global scheme — one
+                    // Root/X grant, no fine plan, and (since the grant
+                    // covers every address) no revalidation loop.
+                    self.held_concrete.clear();
+                    if m.mode == ExecMode::Validate {
+                        self.held_concrete.push(ConcreteLock::Global);
+                    }
+                    self.session.to_acquire(Descriptor::Global {
+                        access: Access::Write,
+                    });
+                    self.acquire_session(1)?;
+                    self.trace_event(trace::EventKind::PlanComplete);
+                    return Ok(false);
+                }
                 loop {
                     self.held_concrete.clear();
                     let mut planned = Vec::new();
-                    for spec in specs {
+                    for (i, spec) in specs.iter().enumerate() {
+                        if self.spec_dropped(sid.0, i) {
+                            continue;
+                        }
                         if let Some((d, c)) = self.eval_spec(spec, frame, f)? {
                             self.session.to_acquire(d);
                             planned.push(d);
@@ -758,13 +879,19 @@ impl<'m> Worker<'m> {
             ExecMode::Stm => {
                 self.sec_depth += 1;
                 if self.sec_depth == 1 {
+                    self.current_section = sid;
+                    self.section_violated = false;
                     if self.sim.is_some() {
                         self.tick(m.costs.txn_start);
                         // Make the transaction window visible at exact
                         // virtual time.
                         self.flush_ticks();
                     }
-                    self.txn = Some(if self.escalate {
+                    // A quarantined section runs irrevocably — the
+                    // commit gate serializes it, the STM counterpart of
+                    // the lock modes' global-scheme demotion.
+                    let quarantined = m.sentinel.as_ref().is_some_and(|s| s.is_quarantined(sid.0));
+                    self.txn = Some(if self.escalate || quarantined {
                         self.begin_irrevocable()
                     } else {
                         m.space.begin()
@@ -923,6 +1050,7 @@ impl<'m> Worker<'m> {
                     }
                     self.held_concrete.clear();
                     self.my_allocs.clear();
+                    self.note_section_closed(sid.0);
                 }
                 Ok(closed)
             }
@@ -958,6 +1086,8 @@ impl<'m> Worker<'m> {
                     Ok(()) => {
                         m.space.note_commit_by(self.tid as u64, reads, writes);
                         self.trace_event(trace::EventKind::SectionExit { section: sid.0 });
+                        self.my_allocs.clear();
+                        self.note_section_closed(sid.0);
                         Ok(true)
                     }
                     Err(_) => Err(Exc::Abort),
@@ -1079,7 +1209,11 @@ impl<'m> Worker<'m> {
         self.revalidating = true;
         let mut out = Vec::new();
         let mut err = None;
-        for spec in specs {
+        let section = self.current_section.0;
+        for (i, spec) in specs.iter().enumerate() {
+            if self.spec_dropped(section, i) {
+                continue;
+            }
             match self.eval_spec(spec, frame, f) {
                 Ok(Some((d, _))) => out.push(d),
                 Ok(None) => {}

@@ -150,6 +150,28 @@ impl SchemeConfig {
         }
     }
 
+    /// The trivially sound degraded scheme the sentinel's quarantine
+    /// ladder demotes an offending section to: with the expression and
+    /// points-to components both off, every lock normalizes to the
+    /// global lock at effect `rw`, so any execution of the section is
+    /// licensed by construction while it serves its probation.
+    pub fn trivially_sound(elem_field: Option<lir::FieldId>) -> SchemeConfig {
+        SchemeConfig {
+            k: 0,
+            use_expr: false,
+            use_pts: false,
+            use_eff: false,
+            elem_field,
+        }
+    }
+
+    /// True when this configuration is the [`SchemeConfig::
+    /// trivially_sound`] degraded point (ignoring `elem_field`, which
+    /// is program metadata, not a scheme component).
+    pub fn is_trivially_sound(&self) -> bool {
+        !self.use_expr && !self.use_pts && !self.use_eff
+    }
+
     /// Applies component toggles and representation invariants.
     /// Returns `None` when the lock provably protects no location.
     pub fn normalize(&self, mut lock: AbsLock, pt: &PointsTo) -> Option<AbsLock> {
@@ -272,6 +294,25 @@ impl ConfigMap {
     /// The overrides, sorted by section id.
     pub fn overrides(&self) -> &[(u32, SchemeConfig)] {
         &self.overrides
+    }
+
+    /// Quarantines `section`: overrides its configuration with the
+    /// [`SchemeConfig::trivially_sound`] degraded scheme (preserving
+    /// the default's `elem_field`). The sentinel's offline corrective
+    /// path — re-inferring under the demoted map yields a section whose
+    /// every lock is the global lock.
+    pub fn demote_to_global(&mut self, section: u32) {
+        self.set_override(
+            section,
+            SchemeConfig::trivially_sound(self.default.elem_field),
+        );
+    }
+
+    /// Lifts a [`ConfigMap::demote_to_global`] demotion: the section
+    /// returns to the map's default configuration (the canonical form
+    /// drops the override entirely).
+    pub fn restore(&mut self, section: u32) {
+        self.set_override(section, self.default);
     }
 
     /// Every distinct configuration the map can assign, default first,
@@ -476,6 +517,40 @@ mod tests {
         let n = cfg.normalize(fine, &pt).unwrap();
         assert!(n.is_global() || n.eff == Eff::Ro); // pts gone; path gone
         assert!(n.pts.is_none() && n.path.is_none());
+    }
+
+    #[test]
+    fn trivially_sound_config_normalizes_everything_to_global() {
+        let (p, pt) = pt_for("fn main(a) { let b = *a; }");
+        let a = p.functions[0].params[0];
+        let cfg = SchemeConfig::trivially_sound(None);
+        assert!(cfg.is_trivially_sound());
+        assert!(!SchemeConfig::full(9, None).is_trivially_sound());
+        for eff in [Eff::Ro, Eff::Rw] {
+            let fine = AbsLock::fine(path(a, vec![PathOp::Deref]), eff, &pt).unwrap();
+            let n = cfg.normalize(fine, &pt).unwrap();
+            assert!(n.is_global(), "demoted lock must be the global lock: {n}");
+            assert_eq!(n.eff, Eff::Rw, "the effect component is off");
+        }
+    }
+
+    #[test]
+    fn demote_and_restore_keep_the_map_canonical() {
+        let base = SchemeConfig::full(9, None);
+        let mut map = ConfigMap::uniform(base);
+        map.demote_to_global(4);
+        assert!(map.for_section(4).is_trivially_sound());
+        assert_eq!(map.for_section(3), base, "other sections are untouched");
+        assert_eq!(map.overrides().len(), 1);
+        // Demoting twice is idempotent.
+        map.demote_to_global(4);
+        assert_eq!(map.overrides().len(), 1);
+        // Restoring drops the override entirely (canonical form).
+        map.restore(4);
+        assert_eq!(map, ConfigMap::uniform(base));
+        // Restoring a never-demoted section is a no-op.
+        map.restore(9);
+        assert_eq!(map.overrides().len(), 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub enum MgLockError {
     /// The wait-for graph contains a cycle through this thread — a
     /// locking-protocol violation (the protocol's global order makes
     /// cycles impossible for conforming callers). The cycle lists the
-    /// runtime-assigned thread ids involved, starting with the caller.
+    /// runtime-assigned thread ids involved, in canonical form: rotated
+    /// so the smallest tid comes first, making reports byte-identical
+    /// regardless of which thread on the cycle detected it.
     DeadlockDetected {
         /// Thread ids (see [`crate::Runtime`]'s wait-graph ids) forming
         /// the cycle.

@@ -146,11 +146,22 @@ impl WaitGraph {
     /// Looks for a conflict cycle starting from `tid` requesting
     /// `mode` on `key`. Edges: requester → conflicting holder → the
     /// node that holder's thread is blocked on → … Returns the thread
-    /// ids on the cycle, starting with `tid`.
+    /// ids on the cycle in canonical form: rotated so the smallest tid
+    /// comes first, keeping error reports (and the chaos-suite digests
+    /// built from them) byte-identical no matter which thread on the
+    /// cycle happened to detect it.
     fn find_cycle(&self, tid: u64, key: NodeKey, mode: Mode) -> Option<Vec<u64>> {
         let mut path = vec![tid];
         let mut visited = vec![tid];
-        self.dfs(tid, key, mode, &mut path, &mut visited)
+        let mut cycle = self.dfs(tid, key, mode, &mut path, &mut visited)?;
+        let min = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        cycle.rotate_left(min);
+        Some(cycle)
     }
 
     fn dfs(
@@ -592,6 +603,15 @@ impl Session {
     pub fn held_count(&self) -> usize {
         self.held.len()
     }
+
+    /// The session's live held-mode set: every granted `(node, mode)`
+    /// pair, in acquisition order. This is the introspection hook the
+    /// online sentinel evaluates the Fig. 6 licensing predicate
+    /// against on each in-section access — the same set the trace
+    /// validator reconstructs post hoc from grant/release events.
+    pub fn held_modes(&self) -> impl Iterator<Item = (NodeKey, Mode)> + '_ {
+        self.held.iter().map(|&(key, _, mode)| (key, mode))
+    }
 }
 
 impl Drop for Session {
@@ -634,7 +654,8 @@ mod graph_tests {
         g.holders.insert(k1, vec![(1, Mode::S)]);
         g.holders.insert(k2, vec![(2, Mode::X)]);
         g.waiting.insert(1, (k2, Mode::X));
-        assert_eq!(g.find_cycle(2, k1, Mode::X), Some(vec![2, 1]));
+        // Canonical rotation: the cycle 2 → 1 reports as [1, 2].
+        assert_eq!(g.find_cycle(2, k1, Mode::X), Some(vec![1, 2]));
         // A compatible holder does not form an edge: IS coexists with
         // the S grant, so there is nothing to wait for.
         assert_eq!(g.find_cycle(2, k1, Mode::Is), None);

@@ -1,0 +1,564 @@
+//! # sentinel — the online lockset soundness monitor
+//!
+//! The inference guarantee (Theorem 1) only holds if the locks the
+//! runtime actually takes license every in-section access. The trace
+//! validator (`trace::lockset`) checks that *post hoc*; this crate
+//! evaluates the same Fig. 6 licensing predicate **inline**, against a
+//! worker's live held-mode set (`mglock::Session::held_modes`), on
+//! each in-section access — sampling-capable, so production runs can
+//! trade coverage for overhead.
+//!
+//! A violation does not abort the run. The sentinel records a
+//! structured [`Violation`] (section, access, missing mode, held
+//! set), lets the section complete, and feeds a **per-section
+//! quarantine ladder**:
+//!
+//! * first offense demotes the section to the trivially sound global
+//!   scheme (`lockscheme::SchemeConfig::trivially_sound` — at
+//!   runtime, the worker swaps the section's plan for the global
+//!   lock);
+//! * a probation counter re-admits the original fine-grained
+//!   configuration after N consecutive clean executions;
+//! * a healed section that re-offends gets an exponentially longer
+//!   probation (flap damping), capped.
+//!
+//! Every ladder transition is reported back to the caller so the
+//! worker can emit a `["qr", …]` trace event — replay and the corpus
+//! digests capture quarantine behavior deterministically. Under the
+//! virtual-time scheduler exactly one worker runs at a time, so the
+//! mutex-serialized transitions happen in a deterministic order.
+
+use mglock::{FineAddr, Mode, NodeKey};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning of one [`Sentinel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SentinelConfig {
+    /// Check every `sample_every`-th in-section access per worker
+    /// (1 = check every access, i.e. sampling off; larger values
+    /// sample; 0 disables the access checks entirely while keeping
+    /// the quarantine bookkeeping live).
+    pub sample_every: u32,
+    /// Consecutive clean executions a quarantined section must serve
+    /// before it is re-admitted.
+    pub probation: u32,
+    /// Probation growth factor when a healed section re-offends
+    /// (flap damping).
+    pub flap_multiplier: u32,
+    /// Upper bound the damped probation saturates at.
+    pub max_probation: u32,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> SentinelConfig {
+        SentinelConfig {
+            sample_every: 1,
+            probation: 4,
+            flap_multiplier: 2,
+            max_probation: 64,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// Should the `n`-th in-section access of a worker be checked?
+    /// (`n` is a per-worker monotone counter, so the decision is
+    /// deterministic under the virtual-time scheduler.)
+    pub fn should_check(&self, n: u64) -> bool {
+        self.sample_every != 0 && n.is_multiple_of(u64::from(self.sample_every))
+    }
+}
+
+/// One in-section access the live held-mode set did not license.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The (outermost) section the access executed under.
+    pub section: u32,
+    /// The accessing worker.
+    pub tid: u32,
+    /// The accessed heap cell.
+    pub addr: u64,
+    /// Write or read.
+    pub write: bool,
+    /// The weakest Fig. 6 mode that would have licensed the effect
+    /// (`X` for writes, `S` for reads) — what the inference should
+    /// have planned on some covering node.
+    pub missing: Mode,
+    /// The modes actually held at the access, for diagnosis.
+    pub held: Vec<(NodeKey, Mode)>,
+}
+
+impl Violation {
+    /// Builds a violation record, deriving the missing mode from the
+    /// effect.
+    pub fn new(
+        section: u32,
+        tid: u32,
+        addr: u64,
+        write: bool,
+        held: Vec<(NodeKey, Mode)>,
+    ) -> Violation {
+        Violation {
+            section,
+            tid,
+            addr,
+            write,
+            missing: if write { Mode::X } else { Mode::S },
+            held,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tid {}: unlicensed {} of cell {} in section {} (missing {:?}, held {:?})",
+            self.tid,
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.section,
+            self.missing,
+            self.held
+        )
+    }
+}
+
+/// One quarantine-ladder transition, in the order it happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LadderEvent {
+    /// The section whose effective configuration changed.
+    pub section: u32,
+    /// `false` = demoted to the global scheme, `true` = re-admitted.
+    pub healed: bool,
+    /// The probation term attached: executions to serve (demotion) or
+    /// just served (heal).
+    pub probation: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Health {
+    Healthy,
+    Quarantined {
+        /// Clean executions still to serve.
+        remaining: u32,
+        /// The full term, for the heal event and defensive resets.
+        probation: u32,
+    },
+}
+
+#[derive(Debug)]
+struct SectionState {
+    health: Health,
+    /// The term the *next* demotion will impose. Starts at the
+    /// configured probation and grows by the flap multiplier on every
+    /// demotion, so a section that heals and re-offends serves an
+    /// exponentially longer sentence (saturating at the cap).
+    next_probation: u32,
+}
+
+#[derive(Default)]
+struct State {
+    sections: BTreeMap<u32, SectionState>,
+    log: Vec<Violation>,
+    history: Vec<LadderEvent>,
+}
+
+/// The in-process monitor. One per machine; workers share it.
+pub struct Sentinel {
+    cfg: SentinelConfig,
+    inner: Mutex<State>,
+    violations: AtomicU64,
+    quarantined: AtomicU64,
+    healed: AtomicU64,
+}
+
+impl std::fmt::Debug for Sentinel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sentinel")
+            .field("cfg", &self.cfg)
+            .field("violations", &self.violations.load(Ordering::Relaxed))
+            .field("quarantined", &self.quarantined.load(Ordering::Relaxed))
+            .field("healed", &self.healed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Does any grant in `held` license an access of `addr` with the given
+/// effect? Delegates to the Fig. 6 core shared with the post-hoc trace
+/// validator, so online and offline verdicts can never diverge.
+///
+/// `extent` resolves the accessed cell's allocation `(base, points-to
+/// class)`, when known. It is called lazily — at most once, and only if
+/// a Pts- or Range-granular grant survives the mode filter — because
+/// resolving it costs an allocation-table lookup on the interpreter's
+/// hot path while the common grants (Root, exact cell) decide without
+/// it.
+pub fn licensed(
+    held: impl Iterator<Item = (NodeKey, Mode)>,
+    addr: u64,
+    write: bool,
+    extent: impl FnOnce() -> Option<(u64, u32)>,
+) -> bool {
+    let mut held = held;
+    let mut extent = Some(extent);
+    let mut memo = None;
+    held.any(|(node, mode)| {
+        if !trace::lockset::mode_grants(mode, write) {
+            return false;
+        }
+        let needs_extent = matches!(node, NodeKey::Pts(_) | NodeKey::Fine(_, FineAddr::Range(_)));
+        let ext = if needs_extent {
+            *memo.get_or_insert_with(|| extent.take().and_then(|f| f()))
+        } else {
+            None
+        };
+        trace::lockset::licenses(node, mode, addr, write, ext)
+    })
+}
+
+impl Sentinel {
+    /// Creates a monitor with the given tuning.
+    pub fn new(cfg: SentinelConfig) -> Sentinel {
+        Sentinel {
+            cfg,
+            inner: Mutex::new(State::default()),
+            violations: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> SentinelConfig {
+        self.cfg
+    }
+
+    /// Is `section` currently serving a quarantine (so the worker must
+    /// plan the trivially sound global scheme instead of its inferred
+    /// locks)?
+    pub fn is_quarantined(&self, section: u32) -> bool {
+        matches!(
+            self.inner.lock().sections.get(&section).map(|s| s.health),
+            Some(Health::Quarantined { .. })
+        )
+    }
+
+    /// Records an unlicensed access. Returns the demotion transition
+    /// when this violation quarantines the section (first offense of a
+    /// healthy section); `None` when the section is already serving.
+    pub fn report_violation(&self, v: Violation) -> Option<LadderEvent> {
+        self.violations.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.lock();
+        let section = v.section;
+        st.log.push(v);
+        let cfg = self.cfg;
+        let sec = st.sections.entry(section).or_insert_with(|| SectionState {
+            health: Health::Healthy,
+            next_probation: cfg.probation.max(1),
+        });
+        match sec.health {
+            Health::Quarantined { .. } => None,
+            Health::Healthy => {
+                let probation = sec.next_probation;
+                sec.health = Health::Quarantined {
+                    remaining: probation,
+                    probation,
+                };
+                sec.next_probation = probation
+                    .saturating_mul(cfg.flap_multiplier.max(1))
+                    .min(cfg.max_probation.max(probation));
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let ev = LadderEvent {
+                    section,
+                    healed: false,
+                    probation,
+                };
+                st.history.push(ev);
+                Some(ev)
+            }
+        }
+    }
+
+    /// Notes that one outermost execution of `section` finished,
+    /// `clean` iff the sentinel saw no violation during it. Returns
+    /// the heal transition when this execution completes the
+    /// section's probation.
+    pub fn section_closed(&self, section: u32, clean: bool) -> Option<LadderEvent> {
+        let mut st = self.inner.lock();
+        let sec = st.sections.get_mut(&section)?;
+        let Health::Quarantined {
+            remaining,
+            probation,
+        } = sec.health
+        else {
+            return None;
+        };
+        if !clean {
+            // A violation slipped through while quarantined (e.g. the
+            // demotion landed mid-execution): restart the term rather
+            // than credit a dirty run.
+            sec.health = Health::Quarantined {
+                remaining: probation,
+                probation,
+            };
+            return None;
+        }
+        let remaining = remaining.saturating_sub(1);
+        if remaining > 0 {
+            sec.health = Health::Quarantined {
+                remaining,
+                probation,
+            };
+            return None;
+        }
+        sec.health = Health::Healthy;
+        self.healed.fetch_add(1, Ordering::Relaxed);
+        let ev = LadderEvent {
+            section,
+            healed: true,
+            probation,
+        };
+        st.history.push(ev);
+        Some(ev)
+    }
+
+    /// Every recorded violation, in order.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.lock().log.clone()
+    }
+
+    /// Every ladder transition, in order.
+    pub fn history(&self) -> Vec<LadderEvent> {
+        self.inner.lock().history.clone()
+    }
+
+    /// Sections currently serving a quarantine, ascending.
+    pub fn quarantined_sections(&self) -> Vec<u32> {
+        self.inner
+            .lock()
+            .sections
+            .iter()
+            .filter(|(_, s)| matches!(s.health, Health::Quarantined { .. }))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Total unlicensed accesses recorded.
+    pub fn sentinel_violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Total demotion transitions.
+    pub fn sections_quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Total heal transitions.
+    pub fn sections_healed(&self) -> u64 {
+        self.healed.load(Ordering::Relaxed)
+    }
+
+    /// Folds the currently quarantined sections into `map` via
+    /// [`lockscheme::ConfigMap::demote_to_global`] — the offline
+    /// corrective path: re-inferring under the demoted map yields a
+    /// program whose offending sections take the global lock, matching
+    /// what the online override already does at plan time.
+    pub fn demote_map(&self, map: &mut lockscheme::ConfigMap) {
+        for section in self.quarantined_sections() {
+            map.demote_to_global(section);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockscheme::{ConfigMap, SchemeConfig};
+
+    fn violation(section: u32) -> Violation {
+        Violation::new(section, 0, 42, true, vec![(NodeKey::Pts(1), Mode::Ix)])
+    }
+
+    #[test]
+    fn licensed_agrees_with_the_validator_core() {
+        let fine = NodeKey::Fine(1, FineAddr::Cell(42));
+        // X licenses the write…
+        assert!(licensed([(fine, Mode::X)].into_iter(), 42, true, || None));
+        // …S does not, and intention modes license nothing.
+        assert!(!licensed([(fine, Mode::S)].into_iter(), 42, true, || None));
+        assert!(!licensed(
+            [(NodeKey::Pts(1), Mode::Ix)].into_iter(),
+            42,
+            true,
+            || Some((40, 1))
+        ));
+        // Root covers everything; Pts covers by class.
+        assert!(licensed(
+            [(NodeKey::Root, Mode::X)].into_iter(),
+            7,
+            true,
+            || None
+        ));
+        assert!(licensed(
+            [(NodeKey::Pts(3), Mode::S)].into_iter(),
+            7,
+            false,
+            || Some((0, 3))
+        ));
+        assert!(!licensed(
+            [(NodeKey::Pts(3), Mode::S)].into_iter(),
+            7,
+            false,
+            || Some((0, 4))
+        ));
+    }
+
+    #[test]
+    fn extent_is_resolved_lazily_and_at_most_once() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let counting = || {
+            calls.set(calls.get() + 1);
+            Some((40, 1))
+        };
+        // An exact-cell grant decides without the extent.
+        let fine = NodeKey::Fine(1, FineAddr::Cell(42));
+        assert!(licensed([(fine, Mode::X)].into_iter(), 42, true, counting));
+        assert_eq!(calls.get(), 0);
+        // Intention modes are filtered before the extent is touched.
+        assert!(!licensed(
+            [(NodeKey::Pts(1), Mode::Ix)].into_iter(),
+            42,
+            true,
+            counting
+        ));
+        assert_eq!(calls.get(), 0);
+        // Two extent-hungry grants share one resolution.
+        assert!(!licensed(
+            [(NodeKey::Pts(7), Mode::X), (NodeKey::Pts(8), Mode::X)].into_iter(),
+            42,
+            true,
+            counting
+        ));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn first_offense_quarantines_then_probation_heals() {
+        let s = Sentinel::new(SentinelConfig {
+            probation: 3,
+            ..SentinelConfig::default()
+        });
+        assert!(!s.is_quarantined(5));
+        let ev = s.report_violation(violation(5)).expect("demotes");
+        assert_eq!(
+            ev,
+            LadderEvent {
+                section: 5,
+                healed: false,
+                probation: 3
+            }
+        );
+        assert!(s.is_quarantined(5));
+        // Further violations while serving do not re-demote.
+        assert!(s.report_violation(violation(5)).is_none());
+        assert_eq!(s.sentinel_violations(), 2);
+        assert_eq!(s.sections_quarantined(), 1);
+        // Two clean executions: still serving.
+        assert!(s.section_closed(5, true).is_none());
+        assert!(s.section_closed(5, true).is_none());
+        assert!(s.is_quarantined(5));
+        // The third completes the term.
+        let heal = s.section_closed(5, true).expect("heals");
+        assert_eq!(
+            heal,
+            LadderEvent {
+                section: 5,
+                healed: true,
+                probation: 3
+            }
+        );
+        assert!(!s.is_quarantined(5));
+        assert_eq!(s.sections_healed(), 1);
+    }
+
+    #[test]
+    fn flap_damping_grows_the_term_exponentially_and_saturates() {
+        let s = Sentinel::new(SentinelConfig {
+            probation: 4,
+            flap_multiplier: 2,
+            max_probation: 10,
+            ..SentinelConfig::default()
+        });
+        let terms: Vec<u32> = (0..4)
+            .map(|_| {
+                let ev = s.report_violation(violation(1)).expect("demotes");
+                for _ in 0..ev.probation {
+                    s.section_closed(1, true);
+                }
+                assert!(!s.is_quarantined(1));
+                ev.probation
+            })
+            .collect();
+        assert_eq!(terms, vec![4, 8, 10, 10], "doubles, then caps");
+        assert_eq!(s.history().iter().filter(|e| !e.healed).count(), 4);
+        assert_eq!(s.history().iter().filter(|e| e.healed).count(), 4);
+    }
+
+    #[test]
+    fn dirty_executions_restart_the_term() {
+        let s = Sentinel::new(SentinelConfig {
+            probation: 2,
+            ..SentinelConfig::default()
+        });
+        s.report_violation(violation(9)).expect("demotes");
+        assert!(s.section_closed(9, true).is_none());
+        // One execution was dirty: progress resets.
+        assert!(s.section_closed(9, false).is_none());
+        assert!(s.section_closed(9, true).is_none());
+        let heal = s.section_closed(9, true).expect("full term served");
+        assert!(heal.healed);
+    }
+
+    #[test]
+    fn sections_quarantine_independently() {
+        let s = Sentinel::new(SentinelConfig::default());
+        s.report_violation(violation(1));
+        s.report_violation(violation(3));
+        assert_eq!(s.quarantined_sections(), vec![1, 3]);
+        assert!(!s.is_quarantined(2));
+        // Closing a healthy section is a no-op.
+        assert!(s.section_closed(2, true).is_none());
+    }
+
+    #[test]
+    fn demote_map_folds_open_quarantines() {
+        let s = Sentinel::new(SentinelConfig::default());
+        s.report_violation(violation(2));
+        let mut map = ConfigMap::uniform(SchemeConfig::full(9, None));
+        s.demote_map(&mut map);
+        assert!(map.for_section(2).is_trivially_sound());
+        assert!(!map.for_section(0).is_trivially_sound());
+    }
+
+    #[test]
+    fn sampling_schedule_is_deterministic() {
+        let every = SentinelConfig::default();
+        assert!(every.should_check(0) && every.should_check(1));
+        let off = SentinelConfig {
+            sample_every: 0,
+            ..SentinelConfig::default()
+        };
+        assert!(!off.should_check(0));
+        let tenth = SentinelConfig {
+            sample_every: 10,
+            ..SentinelConfig::default()
+        };
+        assert!(tenth.should_check(0));
+        assert!(!tenth.should_check(5));
+        assert!(tenth.should_check(10));
+    }
+}

@@ -83,6 +83,18 @@ pub enum EventKind {
     StmFallback,
     /// A fault-injection point fired.
     Fault { class: FaultClass },
+    /// The sentinel's quarantine ladder transitioned for `section`:
+    /// `healed == false` is a demotion (the section's next executions
+    /// run under the trivially sound global scheme), `healed == true`
+    /// a re-admission after its probation elapsed. `probation` is the
+    /// number of consecutive clean executions required before (for a
+    /// demotion) or served by (for a heal) this transition — it grows
+    /// exponentially when a healed section re-offends (flap damping).
+    Quarantine {
+        section: u32,
+        healed: bool,
+        probation: u32,
+    },
 }
 
 /// One recorded event.

@@ -22,6 +22,7 @@
 //!       | ["pc"]
 //!       | ["rd",addr] | ["wr",addr] | ["al",base,len]
 //!       | ["cmt",reads,writes] | ["ab"] | ["fb"] | ["flt",CLASS]
+//!       | ["qr",section,healed01,probation]
 //! NODE := ["root"] | ["pts",p] | ["cell",p,addr] | ["range",p,base]
 //! MODE := "IS" | "IX" | "S" | "SIX" | "X"
 //! ```
@@ -131,6 +132,15 @@ fn push_kind(out: &mut String, k: EventKind) {
             out.push_str("[\"flt\",");
             push_escaped(out, class.tag());
             out.push(']');
+        }
+        EventKind::Quarantine {
+            section,
+            healed,
+            probation,
+        } => {
+            // The parser's number grammar has no booleans; `healed`
+            // encodes as 0/1.
+            let _ = write!(out, "[\"qr\",{section},{},{probation}]", u64::from(healed));
         }
     }
 }
@@ -421,6 +431,15 @@ fn kind_from(v: &Value) -> PResult<EventKind> {
             class: FaultClass::from_tag(as_str(&items[1], "fault class")?)
                 .ok_or_else(|| "trace json: unknown fault class".to_owned())?,
         },
+        ("qr", 4) => EventKind::Quarantine {
+            section: num(1)? as u32,
+            healed: match num(2)? {
+                0 => false,
+                1 => true,
+                _ => return Err("trace json: qr healed flag must be 0 or 1".into()),
+            },
+            probation: num(3)? as u32,
+        },
         _ => return Err(format!("trace json: unknown event kind `{tag}`")),
     })
 }
@@ -528,6 +547,16 @@ mod tests {
             EventKind::Fault {
                 class: FaultClass::WakeupDelay,
             },
+            EventKind::Quarantine {
+                section: 5,
+                healed: false,
+                probation: 4,
+            },
+            EventKind::Quarantine {
+                section: 5,
+                healed: true,
+                probation: 8,
+            },
         ];
         let t = Trace {
             meta: vec![
@@ -567,6 +596,7 @@ mod tests {
             "[]",
             "{\"format\":\"nope\"}",
             "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"??\"]]]}",
+            "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"qr\",1,2,4]]]}",
             "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[]} trailing",
         ] {
             assert!(decode(bad).is_err(), "accepted: {bad}");

@@ -21,6 +21,10 @@
 //! * [`lockset`] — the validator;
 //! * [`profile`] — per-section contention/hold-time histograms derived
 //!   from a trace;
+//! * [`quarantine`] — reconstruction of the sentinel's quarantine
+//!   ladder (`["qr", …]` transitions) from a trace, with a truncation
+//!   guard that drops half-open quarantines instead of fabricating
+//!   state;
 //! * [`json`] — a self-contained JSON export/import of traces (the
 //!   build environment has no registry access, so the codec is
 //!   hand-rolled rather than serde-derived — see `shims/README.md`).
@@ -35,11 +39,13 @@ pub mod event;
 pub mod json;
 pub mod lockset;
 pub mod profile;
+pub mod quarantine;
 pub mod recorder;
 
 pub use event::{Event, EventKind, FaultClass};
 pub use lockset::{validate, Validation, ValidationError, Violation};
 pub use profile::{profile, Histogram, SectionProfile};
+pub use quarantine::{quarantine_history, QuarantineHistory, QuarantineTransition};
 pub use recorder::{Recorder, ThreadRecorder, TraceConfig};
 
 /// One allocation extent, snapshotted from the machine's allocation
@@ -140,6 +146,7 @@ impl Trace {
                 EventKind::StmAbort => "stm_abort",
                 EventKind::StmFallback => "stm_fallback",
                 EventKind::Fault { .. } => "fault",
+                EventKind::Quarantine { .. } => "quarantine",
             };
             *m.entry(k).or_insert(0) += 1;
         }

@@ -109,16 +109,21 @@ struct ThreadState {
 }
 
 /// Does a granted `(node, mode)` license an access of `addr` (whose
-/// allocation, if any, is `extent`) with the given effect?
-fn licenses(node: NodeKey, mode: Mode, addr: u64, write: bool, extent: Option<(u64, u32)>) -> bool {
-    // Fig. 6: X is the only mode granting writes; S and SIX grant
-    // reads; the intention modes IS/IX grant no access of their own.
-    let effect_ok = if write {
-        mode == Mode::X
-    } else {
-        matches!(mode, Mode::S | Mode::Six | Mode::X)
-    };
-    if !effect_ok {
+/// allocation, if any, is `extent = (base, points-to class)`) with the
+/// given effect?
+///
+/// This is the Fig. 6 licensing core, shared between the post-hoc
+/// trace validator here and the online sentinel (`crates/sentinel`),
+/// which evaluates the same predicate against a worker's live held-
+/// mode set.
+pub fn licenses(
+    node: NodeKey,
+    mode: Mode,
+    addr: u64,
+    write: bool,
+    extent: Option<(u64, u32)>,
+) -> bool {
+    if !mode_grants(mode, write) {
         return false;
     }
     match node {
@@ -126,6 +131,18 @@ fn licenses(node: NodeKey, mode: Mode, addr: u64, write: bool, extent: Option<(u
         NodeKey::Pts(p) => extent.is_some_and(|(_, class)| class == p),
         NodeKey::Fine(_, FineAddr::Cell(a)) => addr == a,
         NodeKey::Fine(_, FineAddr::Range(b)) => extent.is_some_and(|(base, _)| base == b),
+    }
+}
+
+/// Fig. 6's effect filter alone: X is the only mode granting writes; S
+/// and SIX additionally grant reads; the intention modes IS/IX grant no
+/// access of their own. Exposed so the online sentinel can skip its
+/// lazy extent lookup for grants that cannot license the effect anyway.
+pub fn mode_grants(mode: Mode, write: bool) -> bool {
+    if write {
+        mode == Mode::X
+    } else {
+        matches!(mode, Mode::S | Mode::Six | Mode::X)
     }
 }
 
@@ -207,7 +224,8 @@ pub fn validate(trace: &Trace) -> Result<Validation, ValidationError> {
             EventKind::PlanComplete
             | EventKind::StmCommit { .. }
             | EventKind::StmFallback
-            | EventKind::Fault { .. } => {}
+            | EventKind::Fault { .. }
+            | EventKind::Quarantine { .. } => {}
         }
     }
     let mut crashed: Vec<u32> = threads

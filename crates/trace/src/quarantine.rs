@@ -1,0 +1,254 @@
+//! Reconstruction of the sentinel's quarantine ladder from a trace.
+//!
+//! The online sentinel (`crates/sentinel`) emits a `["qr", section,
+//! healed, probation]` event on every ladder transition: a demotion
+//! (`healed == 0`) when a section's first uncovered access demotes it
+//! to the trivially sound global scheme, and a heal (`healed == 1`)
+//! when its probation of consecutive clean executions elapses and the
+//! original configuration is re-admitted. This module replays those
+//! transitions from a merged trace, producing the per-section history
+//! `trace-dump` prints and the corpus tests digest.
+//!
+//! Crash-truncated traces get the same treatment as the profiler's
+//! stale-open-section guard (DESIGN.md §5.4): a quarantine whose heal
+//! never made it into the buffer is reported in [`QuarantineHistory::
+//! open`] only when the trace is complete; when the recorder dropped
+//! events the half-open entries are *discarded* (counted in
+//! [`QuarantineHistory::suppressed`]) instead of being claimed as
+//! live state the run may never have been in. A heal with no matching
+//! open demotion (possible only on malformed input) is likewise
+//! skipped and counted, never fabricated into a transition pair.
+
+use crate::event::EventKind;
+use crate::Trace;
+
+/// One ladder transition, in trace order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QuarantineTransition {
+    /// Global merge epoch of the transition event.
+    pub epoch: u64,
+    /// Thread whose execution drove the transition.
+    pub tid: u32,
+    /// The section whose configuration changed.
+    pub section: u32,
+    /// `false` = demoted to the global scheme; `true` = re-admitted.
+    pub healed: bool,
+    /// The probation length attached to the transition (executions to
+    /// serve for a demotion, executions served for a heal).
+    pub probation: u32,
+}
+
+impl std::fmt::Display for QuarantineTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} tid {}: section {} {} (probation {})",
+            self.epoch,
+            self.tid,
+            self.section,
+            if self.healed { "healed" } else { "quarantined" },
+            self.probation
+        )
+    }
+}
+
+/// The reconstructed ladder history of one trace.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QuarantineHistory {
+    /// Every transition, in epoch order.
+    pub transitions: Vec<QuarantineTransition>,
+    /// Sections demoted and not healed by the end of a *complete*
+    /// trace (still serving probation). Sorted, deduplicated.
+    pub open: Vec<u32>,
+    /// Half-open quarantines discarded because the trace is truncated
+    /// (`dropped > 0`): the heal may simply be missing from the
+    /// buffer, so the guard refuses to report them as live state.
+    pub suppressed: u64,
+    /// Heals with no matching open demotion — malformed input, never
+    /// produced by the sentinel; skipped rather than paired up.
+    pub orphan_heals: u64,
+}
+
+impl QuarantineHistory {
+    /// Sections that were demoted at least once, sorted, deduplicated.
+    pub fn sections(&self) -> Vec<u32> {
+        let mut s: Vec<u32> = self
+            .transitions
+            .iter()
+            .filter(|t| !t.healed)
+            .map(|t| t.section)
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Demotions recorded.
+    pub fn demotions(&self) -> u64 {
+        self.transitions.iter().filter(|t| !t.healed).count() as u64
+    }
+
+    /// Heals recorded.
+    pub fn heals(&self) -> u64 {
+        self.transitions.iter().filter(|t| t.healed).count() as u64
+    }
+}
+
+/// Replays the `["qr", …]` events of `trace` into a ladder history.
+///
+/// Unlike [`crate::validate`], truncated traces are not refused —
+/// the transitions that made it into the buffer are still exact; only
+/// the *open* set is unknowable, so it is emptied and counted in
+/// [`QuarantineHistory::suppressed`] instead.
+pub fn quarantine_history(trace: &Trace) -> QuarantineHistory {
+    let mut h = QuarantineHistory::default();
+    let mut open: Vec<u32> = Vec::new();
+    for e in &trace.events {
+        if let EventKind::Quarantine {
+            section,
+            healed,
+            probation,
+        } = e.kind
+        {
+            if healed {
+                match open.iter().position(|&s| s == section) {
+                    Some(i) => {
+                        open.remove(i);
+                    }
+                    None => {
+                        h.orphan_heals += 1;
+                        continue;
+                    }
+                }
+            } else {
+                open.push(section);
+            }
+            h.transitions.push(QuarantineTransition {
+                epoch: e.epoch,
+                tid: e.tid,
+                section,
+                healed,
+                probation,
+            });
+        }
+    }
+    open.sort_unstable();
+    open.dedup();
+    if trace.dropped > 0 {
+        h.suppressed = open.len() as u64;
+    } else {
+        h.open = open;
+    }
+    h
+}
+
+/// Renders a history the way `trace-dump` prints it.
+pub fn render(h: &QuarantineHistory) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "quarantine history: {} demotions, {} heals, {} still quarantined{}{}",
+        h.demotions(),
+        h.heals(),
+        h.open.len(),
+        if h.suppressed > 0 {
+            format!(" ({} half-open dropped: truncated trace)", h.suppressed)
+        } else {
+            String::new()
+        },
+        if h.orphan_heals > 0 {
+            format!(" ({} orphan heals skipped)", h.orphan_heals)
+        } else {
+            String::new()
+        }
+    );
+    for t in &h.transitions {
+        let _ = writeln!(out, "  {t}");
+    }
+    for s in &h.open {
+        let _ = writeln!(out, "  section {s}: still serving probation at trace end");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn qr(epoch: u64, section: u32, healed: bool, probation: u32) -> Event {
+        Event {
+            epoch,
+            tid: 0,
+            clock: epoch,
+            kind: EventKind::Quarantine {
+                section,
+                healed,
+                probation,
+            },
+        }
+    }
+
+    fn trace_of(events: Vec<Event>, dropped: u64) -> Trace {
+        Trace {
+            meta: vec![("mode".into(), "MultiGrain".into())],
+            allocs: Vec::new(),
+            events,
+            dropped,
+        }
+    }
+
+    #[test]
+    fn demote_heal_pairs_reconstruct() {
+        let t = trace_of(
+            vec![
+                qr(0, 3, false, 4),
+                qr(1, 3, true, 4),
+                qr(2, 3, false, 8),
+                qr(3, 5, false, 4),
+            ],
+            0,
+        );
+        let h = quarantine_history(&t);
+        assert_eq!(h.transitions.len(), 4);
+        assert_eq!(h.demotions(), 3);
+        assert_eq!(h.heals(), 1);
+        assert_eq!(h.sections(), vec![3, 5]);
+        assert_eq!(h.open, vec![3, 5]);
+        assert_eq!(h.suppressed, 0);
+        assert_eq!(h.orphan_heals, 0);
+        // Flap damping is visible in the record: the re-offense
+        // carries the grown probation.
+        assert_eq!(h.transitions[2].probation, 8);
+    }
+
+    #[test]
+    fn truncated_traces_drop_half_open_quarantines() {
+        let t = trace_of(vec![qr(0, 3, false, 4), qr(1, 7, false, 4)], 12);
+        let h = quarantine_history(&t);
+        // The transitions that made it into the buffer are exact…
+        assert_eq!(h.demotions(), 2);
+        // …but the half-open entries are suppressed, not claimed.
+        assert!(h.open.is_empty());
+        assert_eq!(h.suppressed, 2);
+    }
+
+    #[test]
+    fn orphan_heals_are_skipped_not_fabricated() {
+        let t = trace_of(vec![qr(0, 9, true, 4), qr(1, 2, false, 4)], 0);
+        let h = quarantine_history(&t);
+        assert_eq!(h.orphan_heals, 1);
+        assert_eq!(h.heals(), 0, "the orphan must not appear as a transition");
+        assert_eq!(h.open, vec![2]);
+    }
+
+    #[test]
+    fn renders_summarize() {
+        let t = trace_of(vec![qr(0, 1, false, 4), qr(1, 1, true, 4)], 0);
+        let r = render(&quarantine_history(&t));
+        assert!(r.contains("1 demotions, 1 heals, 0 still quarantined"));
+        assert!(r.contains("section 1 quarantined"));
+        assert!(r.contains("section 1 healed"));
+    }
+}

@@ -208,6 +208,8 @@ mod tests {
             quantum: 64,
             stm_abort_budget: 16,
             faults: None,
+            sentinel: None,
+            weaken: None,
             trace_capacity: 1 << 18,
             init: ("setup".into(), vec![0]),
             worker: ("work".into(), vec![30]),

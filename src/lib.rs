@@ -17,6 +17,7 @@
 //! | [`tl2`] | TL2-style STM (the optimistic baseline) |
 //! | [`interp`] | concurrent interpreter: Global/MultiGrain/Stm/Validate + virtual time |
 //! | [`trace`] | event tracing, Eraser-style lockset validation, profiles |
+//! | [`sentinel`] | online lockset sentinel: inline licensing checks, per-section quarantine |
 //! | [`workloads`] | the evaluation programs (micro, STAMP-like, SPEC-like) |
 //!
 //! plus [`replay`], this crate's own deterministic record/replay layer
@@ -52,6 +53,7 @@ pub use lockinfer;
 pub use lockscheme;
 pub use mglock;
 pub use pointsto;
+pub use sentinel;
 pub use tl2;
 pub use trace;
 pub use workloads;

@@ -25,7 +25,7 @@
 //! Replay re-runs with the *default* cost model; runs recorded under a
 //! custom [`interp::CostModel`] replay with different clock values.
 
-use interp::{ExecMode, FaultPlan, Options};
+use interp::{ExecMode, FaultPlan, Options, SentinelConfig, WeakenPlan};
 use trace::Trace;
 
 /// Everything needed to reproduce one traced execution.
@@ -51,6 +51,10 @@ pub struct RunConfig {
     pub stm_abort_budget: u64,
     /// Fault-injection plan, if any.
     pub faults: Option<FaultPlan>,
+    /// Online lockset sentinel, if enabled.
+    pub sentinel: Option<SentinelConfig>,
+    /// Weakened-inference injection, if any.
+    pub weaken: Option<WeakenPlan>,
     /// Per-thread event ring capacity.
     pub trace_capacity: usize,
     /// Single-threaded setup entry `(function, args)`.
@@ -82,6 +86,8 @@ impl RunConfig {
             quantum: opts.quantum,
             stm_abort_budget: opts.stm_abort_budget,
             faults: None,
+            sentinel: None,
+            weaken: None,
             trace_capacity: trace::TraceConfig::default().capacity,
             init: (spec.init.0.to_owned(), spec.init.1.clone()),
             worker: (spec.worker.0.to_owned(), spec.worker.1.clone()),
@@ -120,6 +126,22 @@ impl RunConfig {
                 stall_ticks: int("run.fault_stall_ticks")?,
             }),
         };
+        let sentinel = match t.meta_get("run.sentinel_sample") {
+            None => None,
+            Some(_) => Some(SentinelConfig {
+                sample_every: int("run.sentinel_sample")? as u32,
+                probation: int("run.sentinel_probation")? as u32,
+                flap_multiplier: int("run.sentinel_flap")? as u32,
+                max_probation: int("run.sentinel_max")? as u32,
+            }),
+        };
+        let weaken = match t.meta_get("run.weaken_section") {
+            None => None,
+            Some(_) => Some(WeakenPlan {
+                section: int("run.weaken_section")? as u32,
+                drop_index: int("run.weaken_drop")? as usize,
+            }),
+        };
         Ok(RunConfig {
             name: get("run.name")?,
             source: get("run.source")?,
@@ -131,6 +153,8 @@ impl RunConfig {
             quantum: int("run.quantum")?,
             stm_abort_budget: int("run.stm_abort_budget")?,
             faults,
+            sentinel,
+            weaken,
             trace_capacity: int("run.capacity")? as usize,
             init: (get("run.init")?, parse_args(&get("run.init_args")?)?),
             worker: (get("run.worker")?, parse_args(&get("run.worker_args")?)?),
@@ -167,6 +191,16 @@ impl RunConfig {
             t.meta_set("run.fault_wakeup_ticks", f.wakeup_delay_ticks.to_string());
             t.meta_set("run.fault_stall_pm", f.stall_per_mille.to_string());
             t.meta_set("run.fault_stall_ticks", f.stall_ticks.to_string());
+        }
+        if let Some(s) = self.sentinel {
+            t.meta_set("run.sentinel_sample", s.sample_every.to_string());
+            t.meta_set("run.sentinel_probation", s.probation.to_string());
+            t.meta_set("run.sentinel_flap", s.flap_multiplier.to_string());
+            t.meta_set("run.sentinel_max", s.max_probation.to_string());
+        }
+        if let Some(w) = self.weaken {
+            t.meta_set("run.weaken_section", w.section.to_string());
+            t.meta_set("run.weaken_drop", w.drop_index.to_string());
         }
     }
 }
@@ -248,6 +282,8 @@ pub(crate) fn options_for(cfg: &RunConfig) -> Options {
         seed: cfg.seed,
         quantum: cfg.quantum,
         faults: cfg.faults,
+        sentinel: cfg.sentinel,
+        weaken: cfg.weaken,
         stm_abort_budget: cfg.stm_abort_budget,
         trace: Some(trace::TraceConfig {
             capacity: cfg.trace_capacity,
@@ -345,6 +381,8 @@ mod tests {
             quantum: 64,
             stm_abort_budget: 16,
             faults: None,
+            sentinel: None,
+            weaken: None,
             trace_capacity: 1 << 16,
             init: ("setup".into(), vec![10]),
             worker: ("work".into(), vec![25]),
@@ -357,6 +395,16 @@ mod tests {
         let mut t = Trace::default();
         let mut c = cfg(ExecMode::Stm);
         c.faults = Some(FaultPlan::new(9).with_stm_aborts(40));
+        c.sentinel = Some(SentinelConfig {
+            sample_every: 2,
+            probation: 3,
+            flap_multiplier: 4,
+            max_probation: 24,
+        });
+        c.weaken = Some(WeakenPlan {
+            section: 1,
+            drop_index: 0,
+        });
         c.stamp(&mut t);
         assert_eq!(RunConfig::from_trace(&t).unwrap(), c);
         // And through the JSON encoding as well.

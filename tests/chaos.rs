@@ -18,7 +18,7 @@
 
 use atomic_lock_inference as ali;
 
-use ali::interp::{ExecMode, FaultPlan, InterpError, Machine, Options};
+use ali::interp::{ExecMode, FaultPlan, InterpError, Machine, Options, SentinelConfig, WeakenPlan};
 use ali::lir;
 use ali::lockinfer::DegradationReport;
 use ali::lockscheme::SchemeConfig;
@@ -220,6 +220,177 @@ fn chaos_survivors_pass_theorem_1_coverage() {
             assert_lockset_clean(&label, &trace);
         }
     }
+}
+
+/// Two structurally separate sections: section 0 (globals `a`/`b`,
+/// two inferred fine locks) is the target of the seeded weakened
+/// inference; section 1 (global `c`) must never be quarantined.
+const SENTINEL_SRC: &str = r#"
+    global a;
+    global b;
+    global c;
+    fn setup(n) { a = n; b = n; c = n; }
+    fn work(iters) {
+        let i = 0;
+        while (i < iters) {
+            atomic { a = a + 1; b = b + a; nops(10); }
+            atomic { c = c + 1; nops(5); }
+            i = i + 1;
+        }
+        return 0;
+    }
+    fn probe() { return c; }
+"#;
+
+const SENTINEL_ITERS: i64 = 8;
+
+/// Everything observable about one sentinel run; two runs must agree
+/// exactly, weakened or not.
+#[derive(Debug, PartialEq)]
+struct SentinelDigest {
+    outcome: Result<(Vec<i64>, u64), InterpError>,
+    probe: i64,
+    report: DegradationReport,
+    /// The ladder history as `(section, healed, probation)` triples.
+    history: Vec<(u32, bool, u32)>,
+    quiescent: bool,
+    trace_digest: String,
+}
+
+/// Runs [`SENTINEL_SRC`] under MultiGrain with the online sentinel on
+/// (default tuning: probation 4, flap ×2) and an optional weakened-
+/// inference injection, inside the chaos watchdog.
+fn sentinel_run(weaken: Option<WeakenPlan>) -> (SentinelDigest, ali::trace::Trace) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let opts = Options {
+            heap_cells: 1 << 12,
+            sentinel: Some(SentinelConfig::default()),
+            weaken,
+            trace: Some(ali::trace::TraceConfig::default()),
+            ..Options::default()
+        };
+        let m = ali::interp::machine_for(SENTINEL_SRC, K, ExecMode::MultiGrain, opts)
+            .expect("sentinel source compiles");
+        m.run_named("setup", &[0]).expect("sentinel init");
+        let outcome = m.run_threads_virtual("work", THREADS, |_| vec![SENTINEL_ITERS]);
+        let probe = m.run_named("probe", &[]).expect("sentinel probe");
+        let sent = m.sentinel().expect("machine built with a sentinel");
+        let history = sent
+            .history()
+            .iter()
+            .map(|e| (e.section, e.healed, e.probation))
+            .collect();
+        let trace = m.take_trace().expect("sentinel machines trace");
+        let digest = SentinelDigest {
+            outcome,
+            probe,
+            report: m.degradation_report(),
+            history,
+            quiescent: m.locks_quiescent(),
+            trace_digest: trace.digest(),
+        };
+        let _ = tx.send((digest, trace));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => {
+            let _ = handle.join();
+            result
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("sender dropped without panicking"),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("sentinel run exceeded the {WATCHDOG:?} watchdog — a hang")
+        }
+    }
+}
+
+#[test]
+fn weakened_inference_is_caught_quarantined_and_healed() {
+    let weaken = WeakenPlan {
+        section: 0,
+        drop_index: 0,
+    };
+    let (digest, trace) = sentinel_run(Some(weaken));
+    // The run completes: violations are recorded, never fatal.
+    assert!(
+        digest.outcome.is_ok(),
+        "weakened run must complete: {digest:?}"
+    );
+    assert!(digest.quiescent, "weakened run leaked locks");
+    // Section 1 is untouched by the gap, so `c` stays exact.
+    assert_eq!(digest.probe, THREADS as i64 * SENTINEL_ITERS);
+    // The sentinel caught the seeded gap…
+    let r = &digest.report;
+    assert!(r.sentinel_violations >= 1, "no violations caught: {r}");
+    assert!(!r.is_clean(), "a caught violation is a real soundness gap");
+    // …quarantined exactly the offending section…
+    assert!(!digest.history.is_empty());
+    assert!(
+        digest.history.iter().all(|&(s, _, _)| s == weaken.section),
+        "only the weakened section may transition: {:?}",
+        digest.history
+    );
+    // …healed it after the probation ran out, and damped the flap:
+    // the second offense serves an exponentially longer term.
+    let demote_terms: Vec<u32> = digest
+        .history
+        .iter()
+        .filter(|&&(_, healed, _)| !healed)
+        .map(|&(_, _, p)| p)
+        .collect();
+    assert!(
+        demote_terms.len() >= 2,
+        "the healed section must re-offend under the persistent gap: {:?}",
+        digest.history
+    );
+    assert_eq!(
+        &demote_terms[..2],
+        &[4, 8],
+        "flap damping must double the term"
+    );
+    assert!(
+        r.sections_healed >= 1,
+        "the section must be re-admitted after clean executions: {r}"
+    );
+    assert_eq!(r.sections_quarantined, demote_terms.len() as u64);
+    // The `["qr", …]` events in the trace reconstruct the same ladder.
+    let h = ali::trace::quarantine_history(&trace);
+    let replayed: Vec<(u32, bool, u32)> = h
+        .transitions
+        .iter()
+        .map(|t| (t.section, t.healed, t.probation))
+        .collect();
+    assert_eq!(
+        replayed, digest.history,
+        "trace and sentinel ladders diverged"
+    );
+    assert_eq!(h.demotions(), r.sections_quarantined);
+    assert_eq!(h.heals(), r.sections_healed);
+    assert_eq!(h.sections(), vec![weaken.section]);
+    // And the whole thing reproduces exactly.
+    let (second, _) = sentinel_run(Some(weaken));
+    assert_eq!(digest, second, "weakened sentinel runs must reproduce");
+}
+
+#[test]
+fn sentinel_stays_silent_on_sound_plans() {
+    let (digest, trace) = sentinel_run(None);
+    assert!(digest.outcome.is_ok(), "{digest:?}");
+    assert!(digest.quiescent);
+    let r = &digest.report;
+    assert!(r.is_clean(), "sound plans must not trip the sentinel: {r}");
+    assert_eq!(r.sentinel_violations, 0);
+    assert!(digest.history.is_empty(), "{:?}", digest.history);
+    assert!(
+        !trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, ali::trace::EventKind::Quarantine { .. })),
+        "a sound run must record no quarantine events"
+    );
 }
 
 #[test]

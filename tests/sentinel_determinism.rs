@@ -1,0 +1,110 @@
+//! Determinism of the online sentinel's quarantine ledger (DESIGN.md
+//! §5.5): for one (program, weaken plan, seed, worker count), the
+//! entire observable outcome — every violation, every quarantine and
+//! heal transition, the trace bytes — must be identical at every
+//! *analysis* thread count. The inference's parallel per-section phase
+//! must never leak into the runtime's quarantine decisions, exactly as
+//! `tests/adapt_determinism.rs` demands of the adaptation loop.
+
+use atomic_lock_inference as ali;
+
+use ali::interp::{ExecMode, Machine, Options, SentinelConfig, WeakenPlan};
+use ali::lir;
+use ali::lockinfer::library::LibrarySpec;
+use ali::lockscheme::SchemeConfig;
+use ali::pointsto::PointsTo;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Same two-section shape as the chaos suite's sentinel runs: the
+/// weakened section has two inferred locks (either is droppable), the
+/// other must stay healthy.
+const SRC: &str = r#"
+    global a;
+    global b;
+    global c;
+    fn setup(n) { a = n; b = n; c = n; }
+    fn work(iters) {
+        let i = 0;
+        while (i < iters) {
+            atomic { a = a + 1; b = b + a; nops(10); }
+            atomic { c = c + 1; nops(5); }
+            i = i + 1;
+        }
+        return 0;
+    }
+"#;
+
+/// One full sentinel run with the inference executed at
+/// `analysis_threads`; returns every observable the ledger produces.
+fn ledger(
+    analysis_threads: usize,
+    weaken: WeakenPlan,
+    seed: u64,
+    workers: usize,
+    iters: i64,
+) -> (String, Vec<(u32, bool, u32)>, String) {
+    let program = lir::compile(SRC).expect("sentinel source compiles");
+    let pt = Arc::new(PointsTo::analyze(&program));
+    let cfg = SchemeConfig::full(3, program.elem_field_opt());
+    let analysis = ali::lockinfer::analyze_program_with_opts(
+        &program,
+        &pt,
+        cfg,
+        &LibrarySpec::new(),
+        analysis_threads,
+    );
+    let transformed = Arc::new(ali::lockinfer::transform(&program, &analysis));
+    let opts = Options {
+        heap_cells: 1 << 12,
+        seed,
+        sentinel: Some(SentinelConfig::default()),
+        weaken: Some(weaken),
+        trace: Some(ali::trace::TraceConfig::default()),
+        ..Options::default()
+    };
+    let m = Machine::new(transformed, pt, ExecMode::MultiGrain, opts);
+    m.run_named("setup", &[0]).expect("init");
+    m.run_threads_virtual("work", workers, |_| vec![iters])
+        .expect("weakened runs still complete");
+    let history = m
+        .sentinel()
+        .expect("machine built with a sentinel")
+        .history()
+        .iter()
+        .map(|e| (e.section, e.healed, e.probation))
+        .collect();
+    let trace = m.take_trace().expect("tracing on");
+    (trace.digest(), history, m.degradation_report().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The quarantine/heal ledger is a pure function of the run
+    /// configuration: digests, transitions, and the rendered report
+    /// agree byte for byte at analysis thread counts 1, 2, and 7.
+    #[test]
+    fn quarantine_ledger_is_identical_at_every_analysis_thread_count(
+        seed in any::<u64>(),
+        workers in 2usize..5,
+        iters in 4i64..10,
+        drop_index in 0usize..2,
+    ) {
+        let weaken = WeakenPlan { section: 0, drop_index };
+        let runs: Vec<_> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| ledger(t, weaken, seed, workers, iters))
+            .collect();
+        let first = &runs[0];
+        prop_assert!(
+            !first.1.is_empty(),
+            "dropping a spec from the hot section must trip the ladder"
+        );
+        for r in &runs[1..] {
+            prop_assert_eq!(&r.0, &first.0, "trace digests diverged");
+            prop_assert_eq!(&r.1, &first.1, "ladder transitions diverged");
+            prop_assert_eq!(&r.2, &first.2, "degradation reports diverged");
+        }
+    }
+}
