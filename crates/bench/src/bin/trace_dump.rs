@@ -11,6 +11,8 @@
 //! trace-dump quarantine <trace.json>
 //! trace-dump adapt   <workload> [--mode M] [--k N] [--threads N] [--ops N]
 //!                               [--contention low|high] [--json FILE]
+//! trace-dump sched   <workload> [--mode M] [--k N] [--threads N] [--ops N]
+//!                               [--contention low|high] [--json FILE]
 //! ```
 //!
 //! * `record` runs a named workload (`list`, `hashtable`, `hashtable2`,
@@ -36,11 +38,17 @@
 //!   the same deterministic schedule, and report whether any override
 //!   reduces total virtual-time wait. Exits nonzero if the selected
 //!   candidate fails the `adapted wait <= baseline wait` invariant.
+//! * `sched` runs the wake-policy evaluation loop (DESIGN.md §5.6):
+//!   record a FIFO baseline, flag convoy-prone sections from the
+//!   wait/hold profiles, re-run every contention-aware wake policy on
+//!   the same deterministic schedule, and report whether any policy
+//!   reduces total virtual-time wait. Exits nonzero if a selected
+//!   policy fails the `steered wait <= baseline wait` invariant.
 //!
 //! Exit status is nonzero on a validation failure or digest mismatch,
 //! so all subcommands double as CI checks.
 
-use atomic_lock_inference::{adapt, replay, replay::RunConfig};
+use atomic_lock_inference::{adapt, replay, replay::RunConfig, sched};
 use interp::{ExecMode, FaultPlan, SentinelConfig, WeakenPlan};
 use lockinfer::adapt::AdaptPolicy;
 use std::process::ExitCode;
@@ -55,6 +63,8 @@ fn usage() -> ExitCode {
          \x20      trace-dump replay   <trace.json>\n\
          \x20      trace-dump quarantine <trace.json>\n\
          \x20      trace-dump adapt    <workload> [--mode M] [--k N] [--threads N] \
+         [--ops N] [--contention low|high] [--json FILE]\n\
+         \x20      trace-dump sched    <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--json FILE]\n\
          workloads: list hashtable hashtable2 rbtree th genome vacation kmeans"
     );
@@ -310,6 +320,103 @@ fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_sched(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("sched: missing workload name")?;
+    let mut mode = ExecMode::MultiGrain;
+    let mut k = 9usize;
+    let mut threads = 8usize;
+    let mut ops = 200i64;
+    let mut contention = Contention::High;
+    let mut json = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("sched: {flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                let v = val("a mode")?;
+                mode = parse_exec_mode(&v).ok_or_else(|| format!("sched: bad mode `{v}`"))?;
+            }
+            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--threads" => {
+                threads = val("a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--contention" => {
+                contention = match val("low|high")?.as_str() {
+                    "low" => Contention::Low,
+                    "high" => Contention::High,
+                    other => return Err(format!("sched: bad contention `{other}`")),
+                };
+            }
+            "--json" => json = Some(val("a path")?),
+            other => return Err(format!("sched: unknown flag `{other}`")),
+        }
+    }
+    let spec = workload(name, ops, contention)
+        .ok_or_else(|| format!("sched: unknown workload `{name}`"))?;
+    let cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    let run = sched::evaluate(&cfg, &sched::ConvoyPolicy::default(), 0)?;
+    let b = run.report.baseline;
+    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "baseline (fifo): wait={} hold={} makespan={}",
+        b.total_wait, b.total_hold, b.makespan
+    );
+    for f in &run.report.convoys {
+        println!(
+            "convoy: section={} depth={:.1} hold={:.1} pressure={:.1}",
+            f.section, f.depth, f.mean_hold, f.pressure
+        );
+    }
+    for o in &run.report.evaluated {
+        println!(
+            "policy {:<6}: wait={} hold={} makespan={}",
+            o.policy.tag(),
+            o.cost.total_wait,
+            o.cost.total_hold,
+            o.cost.makespan
+        );
+    }
+    let best_wait = match run.report.winner() {
+        Some(w) => {
+            let saved = b.total_wait - w.cost.total_wait;
+            println!(
+                "selected: {} — wait {} vs fifo {} (-{:.1}%)",
+                w.policy.tag(),
+                w.cost.total_wait,
+                b.total_wait,
+                100.0 * saved as f64 / (b.total_wait as f64).max(1.0)
+            );
+            w.cost.total_wait
+        }
+        None => {
+            println!("selected: none (fifo order stands)");
+            b.total_wait
+        }
+    };
+    if let Some(path) = json {
+        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let ok = best_wait <= b.total_wait;
+    println!(
+        "sched check: steered wait {best_wait} <= baseline wait {}: {}",
+        b.total_wait,
+        if ok { "OK" } else { "FAIL" }
+    );
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_replay(path: &str) -> Result<ExitCode, String> {
     let t = load(path)?;
     let rec = replay::replay(&t)?;
@@ -350,6 +457,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }),
             ("adapt", rest) => cmd_adapt(rest),
+            ("sched", rest) => cmd_sched(rest),
             _ => return usage(),
         },
         None => return usage(),

@@ -17,6 +17,8 @@
 //! crate (`src/adapt.rs`), which can see the interpreter.
 
 use lockscheme::{ConfigMap, SchemeConfig};
+use sched::convoy::ConvoyPolicy;
+use sched::PolicyKind;
 use trace::SectionProfile;
 
 /// Thresholds steering candidate generation. All comparisons are pure
@@ -46,6 +48,10 @@ pub struct AdaptPolicy {
     pub raise_k_step: usize,
     /// Upper bound on the raised `k`.
     pub max_k: usize,
+    /// Convoy thresholds: sections whose estimated queue depth × hold
+    /// pressure exceeds these get wake-policy candidates — the lock
+    /// *plan* stands, only the wake order at release changes.
+    pub convoy: ConvoyPolicy,
 }
 
 impl Default for AdaptPolicy {
@@ -57,6 +63,7 @@ impl Default for AdaptPolicy {
             uncontended_wait_hold_ratio: 0.05,
             raise_k_step: 3,
             max_k: 9,
+            convoy: ConvoyPolicy::default(),
         }
     }
 }
@@ -73,6 +80,11 @@ pub enum Adjustment {
     Globalize,
     /// Raise the expression bound to the given `k` (finer locks).
     RaiseK(usize),
+    /// Keep the lock plan, change the wake order: run the section's
+    /// workload under the given contention-aware wake policy. The
+    /// scheme configuration is untouched, so candidate evaluation
+    /// reuses the base inference (a `SummaryStore` cache hit).
+    WakePolicy(PolicyKind),
 }
 
 impl Adjustment {
@@ -82,6 +94,7 @@ impl Adjustment {
             Adjustment::Coarsen => "coarsen".into(),
             Adjustment::Globalize => "globalize".into(),
             Adjustment::RaiseK(k) => format!("raise-k:{k}"),
+            Adjustment::WakePolicy(kind) => format!("wake:{}", kind.tag()),
         }
     }
 }
@@ -95,6 +108,10 @@ pub enum Trigger {
     Drift,
     /// Negligible wait: room for finer locks.
     NoContention,
+    /// A waiter queue that never drains (estimated depth × hold over
+    /// the convoy thresholds) — re-ordering wakes can recover wait
+    /// that re-planning the locks cannot.
+    Convoy,
 }
 
 impl Trigger {
@@ -104,6 +121,7 @@ impl Trigger {
             Trigger::Contention => "contention",
             Trigger::Drift => "drift",
             Trigger::NoContention => "no-contention",
+            Trigger::Convoy => "convoy",
         }
     }
 }
@@ -187,6 +205,24 @@ pub fn candidates(
                 config: SchemeConfig { k, ..current },
                 adjustment: Adjustment::RaiseK(k),
                 trigger: Trigger::NoContention,
+            });
+        }
+    }
+    // Convoy-flagged sections additionally get wake-policy candidates,
+    // appended after all granularity proposals (fixed order keeps the
+    // candidate vector deterministic). The scheme config is the
+    // section's *current* one — the orchestration layer evaluates
+    // these by steering the scheduler, not by re-planning locks.
+    for flag in sched::convoy::detect(profiles, &policy.convoy) {
+        for kind in PolicyKind::ALL {
+            if kind == PolicyKind::Fifo {
+                continue;
+            }
+            out.push(Candidate {
+                section: flag.section,
+                config: base.for_section(flag.section),
+                adjustment: Adjustment::WakePolicy(kind),
+                trigger: Trigger::Convoy,
             });
         }
     }
@@ -348,14 +384,44 @@ mod tests {
 
     #[test]
     fn contended_sections_get_coarsen_and_globalize_candidates() {
+        // Mean wait 500 over mean hold 15: contended (ratio 33) *and*
+        // convoy-flagged (depth 33, pressure 500), so the granularity
+        // candidates are followed by the wake-policy ones.
         let profiles = vec![prof(1, &[400, 600], &[10, 20], &[0, 0])];
         let cs = candidates(&profiles, &base(), &AdaptPolicy::default());
-        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.len(), 4);
         assert_eq!(cs[0].adjustment, Adjustment::Coarsen);
         assert!(!cs[0].config.use_expr && cs[0].config.use_pts);
         assert_eq!(cs[1].adjustment, Adjustment::Globalize);
         assert!(!cs[1].config.use_pts);
         assert_eq!(cs[0].trigger, Trigger::Contention);
+        assert_eq!(
+            cs[2].adjustment,
+            Adjustment::WakePolicy(PolicyKind::ShortestExpectedHold)
+        );
+        assert_eq!(
+            cs[3].adjustment,
+            Adjustment::WakePolicy(PolicyKind::ReaderBatch)
+        );
+        assert!(cs[2..].iter().all(|c| c.trigger == Trigger::Convoy));
+        // Wake candidates leave the lock plan untouched.
+        assert_eq!(cs[2].config, base().for_section(1));
+        assert_eq!(cs[2].adjustment.tag(), "wake:seh");
+        assert_eq!(cs[2].trigger.tag(), "convoy");
+    }
+
+    #[test]
+    fn convoy_without_contention_gets_only_wake_candidates() {
+        // Mean wait 600 over mean hold 300: ratio 2 (< 4, not
+        // contended), but depth 2 and pressure 600 flag a convoy.
+        let profiles = vec![prof(5, &[500, 700], &[290, 310], &[0, 0])];
+        let cs = candidates(&profiles, &base(), &AdaptPolicy::default());
+        assert_eq!(cs.len(), 2);
+        assert!(cs
+            .iter()
+            .all(|c| matches!(c.adjustment, Adjustment::WakePolicy(_))));
+        assert!(cs.iter().all(|c| c.trigger == Trigger::Convoy));
+        assert!(cs.iter().all(|c| c.section == 5));
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub enum ExecMode {
     Validate,
 }
 
-/// Machine construction options.
-#[derive(Clone, Copy, Debug)]
+/// Machine construction options. (`Clone` but not `Copy`: the wake
+/// policy carries a frozen expected-hold table.)
+#[derive(Clone, Debug)]
 pub struct Options {
     /// Heap capacity in cells.
     pub heap_cells: usize,
@@ -60,6 +61,13 @@ pub struct Options {
     /// one lock spec from one section so the sentinel has a real
     /// soundness gap to catch. See [`crate::fault::WeakenPlan`].
     pub weaken: Option<crate::fault::WeakenPlan>,
+    /// Wake policy for the virtual-time scheduler (`None` = the legacy
+    /// `(clock, tid)` FIFO order, zero overhead, no `["wk", …]`
+    /// events). A policy's decisions are a pure function of recorded
+    /// state, so policy-steered runs stay deterministic and replayable
+    /// (the configuration is stamped into `run.sched_*` metadata by
+    /// the replayer).
+    pub sched: Option<sched::SchedConfig>,
 }
 
 impl Default for Options {
@@ -75,6 +83,7 @@ impl Default for Options {
             trace: None,
             sentinel: None,
             weaken: None,
+            sched: None,
         }
     }
 }
@@ -137,6 +146,7 @@ pub struct Machine {
     pub(crate) tracer: Option<Arc<trace::Recorder>>,
     pub(crate) sentinel: Option<Arc<sentinel::Sentinel>>,
     pub(crate) weaken: Option<crate::fault::WeakenPlan>,
+    pub(crate) sched: Option<sched::SchedConfig>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -241,6 +251,7 @@ impl Machine {
                 .sentinel
                 .map(|cfg| Arc::new(sentinel::Sentinel::new(cfg))),
             weaken: opts.weaken,
+            sched: opts.sched,
         };
         // Allocate the globals' cells.
         let globals = m.program.globals.clone();

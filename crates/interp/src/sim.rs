@@ -18,7 +18,17 @@
 //!
 //! The reported "execution time" of a virtual run is the makespan.
 
+//! Wake ordering is pluggable (`sched`): each waiter carries a *rank*
+//! assigned by the configured [`WakePolicy`] at the release that
+//! promotes it, and the scheduling order compares `(clock, rank, tid)`.
+//! Ranks never touch clocks — only the acquisition order among waiters
+//! promoted at the same release time changes — and every thread's rank
+//! resets to 0 at its next scheduling point. With no policy (or the
+//! FIFO policy, which ranks everything 0) the order degenerates to the
+//! historical `(clock, tid)`, reproducing legacy traces byte-for-byte.
+
 use parking_lot::{Condvar, Mutex};
+use sched::{rank_batch, Waiter, WakeGrant, WakePolicy};
 
 /// Virtual-time costs of runtime operations, in ticks (one tick ≈ one
 /// interpreted instruction ≈ 1 ns of the reported time).
@@ -83,6 +93,13 @@ enum St {
 struct SimInner {
     clocks: Vec<u64>,
     state: Vec<St>,
+    /// Policy-assigned wake ranks, breaking clock ties ahead of the
+    /// thread id. 0 for every thread that is not a freshly promoted
+    /// waiter; reset at the thread's next `advance`.
+    ranks: Vec<u64>,
+    /// Waiter snapshots registered at `begin_wait`, consumed (and
+    /// cleared) by the next release's ranking pass.
+    waiters: Vec<Option<Waiter>>,
     last_release_clock: u64,
     release_epoch: u64,
     /// Set when every live thread is `Waiting`: no runnable thread
@@ -97,20 +114,33 @@ pub(crate) struct Sim {
     cv: Condvar,
     /// Ticks a thread may execute between scheduling points.
     pub quantum: u64,
+    /// Wake policy for lock releases. `None` is the legacy path: no
+    /// ranking pass runs, no wake decisions are reported, and the
+    /// schedule is the historical `(clock, tid)` order.
+    policy: Option<Box<dyn WakePolicy>>,
 }
 
 impl Sim {
+    /// A policy-free scheduler: the historical `(clock, tid)` order.
+    #[cfg(test)]
     pub fn new(n: usize, quantum: u64) -> Sim {
+        Sim::with_policy(n, quantum, None)
+    }
+
+    pub fn with_policy(n: usize, quantum: u64, policy: Option<Box<dyn WakePolicy>>) -> Sim {
         Sim {
             inner: Mutex::new(SimInner {
                 clocks: vec![0; n],
                 state: vec![St::Ready; n],
+                ranks: vec![0; n],
+                waiters: vec![None; n],
                 last_release_clock: 0,
                 release_epoch: 0,
                 wedged: false,
             }),
             cv: Condvar::new(),
             quantum,
+            policy,
         }
     }
 
@@ -124,18 +154,21 @@ impl Sim {
         if g.state[tid] != St::Ready {
             return false;
         }
-        let me = (g.clocks[tid], tid);
+        let me = (g.clocks[tid], g.ranks[tid], tid);
         !g.state
             .iter()
             .enumerate()
-            .any(|(j, s)| *s == St::Ready && j != tid && (g.clocks[j], j) < me)
+            .any(|(j, s)| *s == St::Ready && j != tid && (g.clocks[j], g.ranks[j], j) < me)
     }
 
     /// Advances `tid`'s clock and blocks until it is the scheduling
-    /// minimum again.
+    /// minimum again. Reaching a scheduling point retires any wake
+    /// rank: the thread has consumed its preferential slot and
+    /// competes on `(clock, tid)` again.
     pub fn advance(&self, tid: usize, ticks: u64) {
         let mut g = self.inner.lock();
         g.clocks[tid] += ticks;
+        g.ranks[tid] = 0;
         self.cv.notify_all();
         while !Self::my_turn(&g, tid) {
             self.cv.wait(&mut g);
@@ -153,9 +186,18 @@ impl Sim {
 
     /// Marks `tid` blocked on a lock; other threads may run. Only a
     /// future [`Sim::on_release`] makes it runnable again.
+    #[cfg(test)]
     pub fn begin_wait(&self, tid: usize) {
+        self.begin_wait_with(tid, None);
+    }
+
+    /// [`Sim::begin_wait`] plus a waiter snapshot for the wake policy:
+    /// what the thread blocked on, in which mode, from which section.
+    /// `None` (or a `None` policy) ranks the thread 0, the FIFO slot.
+    pub fn begin_wait_with(&self, tid: usize, waiter: Option<Waiter>) {
         let mut g = self.inner.lock();
         g.state[tid] = St::Waiting;
+        g.waiters[tid] = waiter;
         Self::check_wedged(&mut g);
         self.cv.notify_all();
     }
@@ -189,16 +231,59 @@ impl Sim {
     /// Announces that `tid` released locks at its current clock.
     /// Every waiter is promoted to Ready *atomically here* — with its
     /// clock jumped to the release time — so scheduling order never
-    /// depends on OS wake-up order.
+    /// depends on OS wake-up order. Promote-all is what keeps the
+    /// wedge detection sound: a policy only *ranks* the batch (who
+    /// retries first among equal clocks), it never leaves anyone
+    /// parked.
+    ///
     pub fn on_release(&self, tid: usize) {
+        self.on_release_with(tid, |_| {});
+    }
+
+    /// [`Sim::on_release`], reporting the policy's wake decisions —
+    /// one per blocked-on node, empty on the legacy (`None`-policy)
+    /// path. The callback runs *inside* the release critical section,
+    /// before any promoted waiter can resume: a tracing caller stamps
+    /// the `["wk", …]` events with epochs strictly ahead of whatever
+    /// the woken threads record next, keeping the merged order
+    /// deterministic.
+    pub fn on_release_with(&self, tid: usize, mut decision: impl FnMut(WakeGrant)) {
         let mut g = self.inner.lock();
         let now = g.clocks[tid];
         g.last_release_clock = g.last_release_clock.max(now);
         g.release_epoch += 1;
+        let grants = match &self.policy {
+            None => Vec::new(),
+            Some(policy) => {
+                // Queue order is thread-id order — deterministic under
+                // the virtual-time scheduler, and exactly the order the
+                // historical tie-break would retry the batch in.
+                let queue: Vec<Waiter> = g
+                    .waiters
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| g.state[j] == St::Waiting)
+                    .filter_map(|(_, w)| *w)
+                    .collect();
+                if queue.is_empty() {
+                    Vec::new()
+                } else {
+                    let (ranks, grants) = rank_batch(policy.as_ref(), &queue);
+                    for (w, r) in queue.iter().zip(&ranks) {
+                        g.ranks[w.tid as usize] = *r;
+                    }
+                    grants
+                }
+            }
+        };
+        for gr in grants {
+            decision(gr);
+        }
         for j in 0..g.state.len() {
             if g.state[j] == St::Waiting {
                 g.clocks[j] = g.clocks[j].max(now);
                 g.state[j] = St::Ready;
+                g.waiters[j] = None;
             }
         }
         self.cv.notify_all();
@@ -301,5 +386,69 @@ mod tests {
         let sim = Sim::new(1, 10);
         sim.begin_wait(0);
         assert!(!sim.await_release(0), "sole waiter wedges immediately");
+    }
+
+    #[test]
+    fn policy_ranks_break_clock_ties_among_promoted_waiters() {
+        use mglock::{Mode, NodeKey};
+        use sched::{PolicyKind, SchedConfig};
+        // Section 1 is expected to hold for 100 ticks, section 2 for
+        // 5: shortest-expected-hold must wake tid 2 (section 2) ahead
+        // of tid 1 despite the lower thread id waiting too.
+        let cfg = SchedConfig {
+            policy: PolicyKind::ShortestExpectedHold,
+            expected_hold: vec![(1, 100), (2, 5)],
+        };
+        let sim = Arc::new(Sim::with_policy(3, 10, Some(cfg.build())));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (tid, section) in [(1usize, 1u32), (2, 2)] {
+            let sim = Arc::clone(&sim);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                sim.advance(tid, 0);
+                sim.begin_wait_with(
+                    tid,
+                    Some(Waiter {
+                        tid: tid as u32,
+                        since: 0,
+                        section,
+                        node: NodeKey::Root,
+                        mode: Mode::X,
+                    }),
+                );
+                assert!(sim.await_release(tid));
+                order.lock().push(tid);
+                sim.advance(tid, 1);
+                sim.finish(tid);
+            }));
+        }
+        // Thread 0 "holds the lock": it can only pass its second
+        // advance once both waiters are parked, then releases at 500.
+        sim.advance(0, 0);
+        sim.advance(0, 500);
+        let mut grants = Vec::new();
+        sim.on_release_with(0, |g| grants.push(g));
+        assert_eq!(
+            grants,
+            vec![WakeGrant {
+                node: NodeKey::Root,
+                mode: Mode::X,
+                depth: 2,
+                woken: 1,
+            }]
+        );
+        sim.finish(0);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            order.lock().clone(),
+            vec![2, 1],
+            "the short-hold section's waiter goes first"
+        );
+        // Both waiters resumed at the release clock: ranks reorder
+        // ties, they never touch clocks.
+        assert_eq!(sim.makespan(), 501);
     }
 }

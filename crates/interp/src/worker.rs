@@ -124,6 +124,34 @@ impl<'m> Worker<'m> {
         }
     }
 
+    /// Announces a lock release to the virtual scheduler, tracing the
+    /// wake policy's `["wk", …]` decisions (none on the legacy path),
+    /// then re-enters the schedule before executing anything further —
+    /// a promoted waiter with a smaller `(clock, rank, tid)` must
+    /// record its grants first, or the epoch order of the merged trace
+    /// would depend on physical thread timing. No-op in real time.
+    fn sim_release(&mut self) {
+        let Some(sim) = self.sim.clone() else { return };
+        // The decision callback runs inside the scheduler's release
+        // critical section, so `record` must not re-enter the
+        // scheduler: pre-stamp the clock and append directly.
+        self.sync_trace_clock();
+        let tracer = self.tracer.clone();
+        sim.on_release_with(self.tid as usize, |g| {
+            if let Some(t) = &tracer {
+                t.record(trace::EventKind::WakeDecision {
+                    node: g.node,
+                    mode: g.mode,
+                    depth: g.depth,
+                    woken: g.woken,
+                });
+            }
+        });
+        if self.tracer.is_some() {
+            self.flush_ticks();
+        }
+    }
+
     // ------------------------------------------------------------------
     // Tracing (all no-ops when the machine was built without a tracer)
 
@@ -702,6 +730,33 @@ impl<'m> Worker<'m> {
         Ok(())
     }
 
+    /// Injected delayed wakeup after a lock wait. Every wake path must
+    /// route through this one helper (rather than consulting the
+    /// injector inline) so new wait paths cannot diverge from the
+    /// fault plan's delay stream or its accounting.
+    fn injected_wakeup_delay(&mut self) {
+        let delay = match self.injector.as_mut() {
+            Some(inj) => inj.take_wakeup_delay(),
+            None => None,
+        };
+        if let Some(t) = delay {
+            self.m
+                .fault_stats
+                .injected_delays
+                .fetch_add(1, Ordering::Relaxed);
+            self.trace_event(trace::EventKind::Fault {
+                class: trace::FaultClass::WakeupDelay,
+            });
+            if self.sim.is_some() {
+                self.tick(t);
+            } else {
+                for _ in 0..t {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
     fn alloc_cells(&mut self, n: usize, class: PtsClass) -> Result<u64, Exc> {
         let base = self.m.alloc(n, class)?;
         let in_section = self.sec_depth > 0 || self.session.nesting_level() > 0;
@@ -867,12 +922,7 @@ impl<'m> Worker<'m> {
                         .lock_revalidations
                         .fetch_add(1, Ordering::Relaxed);
                     self.session.release_all();
-                    if let Some(sim) = &self.sim {
-                        sim.on_release(self.tid as usize);
-                        if self.tracer.is_some() {
-                            self.flush_ticks();
-                        }
-                    }
+                    self.sim_release();
                 }
                 Ok(false)
             }
@@ -982,24 +1032,21 @@ impl<'m> Worker<'m> {
                     match self.session.acquire_all_step() {
                         mglock::StepResult::Done => break,
                         mglock::StepResult::WouldBlock => {
-                            sim.begin_wait(self.tid as usize);
+                            // Snapshot what we are blocked on for the
+                            // wake policy (ignored on the legacy path).
+                            let waiter =
+                                self.session.blocked_on().map(|(node, mode)| sched::Waiter {
+                                    tid: self.tid,
+                                    since: self.now(),
+                                    section: self.current_section.0,
+                                    node,
+                                    mode,
+                                });
+                            sim.begin_wait_with(self.tid as usize, waiter);
                             if !sim.await_release(self.tid as usize) {
                                 return Err(InterpError::SchedulerStalled { tid: self.tid }.into());
                             }
-                            let delay = match self.injector.as_mut() {
-                                Some(inj) => inj.take_wakeup_delay(),
-                                None => None,
-                            };
-                            if let Some(t) = delay {
-                                self.m
-                                    .fault_stats
-                                    .injected_delays
-                                    .fetch_add(1, Ordering::Relaxed);
-                                self.trace_event(trace::EventKind::Fault {
-                                    class: trace::FaultClass::WakeupDelay,
-                                });
-                                self.tick(t);
-                            }
+                            self.injected_wakeup_delay();
                         }
                     }
                 }
@@ -1036,18 +1083,7 @@ impl<'m> Worker<'m> {
                 self.session.release_all();
                 let closed = self.session.nesting_level() == 0;
                 if closed {
-                    if let Some(sim) = &self.sim {
-                        sim.on_release(self.tid as usize);
-                        // When tracing, re-enter the schedule before
-                        // executing (and stamping) anything further:
-                        // a promoted waiter with the smaller (clock,
-                        // tid) must record its grants first, or the
-                        // epoch order of the merged trace would depend
-                        // on physical thread timing.
-                        if self.tracer.is_some() {
-                            self.flush_ticks();
-                        }
-                    }
+                    self.sim_release();
                     self.held_concrete.clear();
                     self.my_allocs.clear();
                     self.note_section_closed(sid.0);
@@ -1349,7 +1385,11 @@ impl Machine {
             .program
             .function_named(name)
             .ok_or_else(|| InterpError::NoSuchFunction(name.to_owned()))?;
-        let sim = Arc::new(Sim::new(n, self.quantum));
+        let sim = Arc::new(Sim::with_policy(
+            n,
+            self.quantum,
+            self.sched.as_ref().map(|c| c.build()),
+        ));
         let results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for tid in 0..n as u32 {

@@ -612,6 +612,19 @@ impl Session {
     pub fn held_modes(&self) -> impl Iterator<Item = (NodeKey, Mode)> + '_ {
         self.held.iter().map(|&(key, _, mode)| (key, mode))
     }
+
+    /// The `(node, mode)` pair an in-flight step-wise acquisition is
+    /// currently blocked on — the cursor's next step. `None` outside a
+    /// stepping acquisition (or once the plan is fully granted). Wake
+    /// policies snapshot this into the scheduler's waiter queue when a
+    /// step returns [`StepResult::WouldBlock`].
+    pub fn blocked_on(&self) -> Option<(NodeKey, Mode)> {
+        if self.stepping {
+            self.cursor.last().copied()
+        } else {
+            None
+        }
+    }
 }
 
 impl Drop for Session {

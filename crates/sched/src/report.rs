@@ -1,0 +1,199 @@
+//! The machine-readable outcome of one replay-driven policy
+//! evaluation (the `ali::sched` harness): baseline cost under FIFO,
+//! the cost of each alternative policy re-run on the identical
+//! recorded schedule, the convoy evidence that motivated the
+//! evaluation, and the selection — strict measured wait reduction,
+//! mirroring `lockinfer::adapt::select`.
+
+use crate::convoy::ConvoyFlag;
+use crate::PolicyKind;
+use trace::SectionProfile;
+
+/// Total cost of one run, summed over every section profile of its
+/// trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PolicyCost {
+    /// Σ wait ticks across all outermost section executions.
+    pub total_wait: u64,
+    /// Σ hold ticks.
+    pub total_hold: u64,
+    /// Virtual makespan of the worker phase.
+    pub makespan: u64,
+}
+
+impl PolicyCost {
+    /// Sums the profile histograms of one trace.
+    pub fn from_profiles(profiles: &[SectionProfile], makespan: u64) -> PolicyCost {
+        let mut c = PolicyCost {
+            makespan,
+            ..PolicyCost::default()
+        };
+        for p in profiles {
+            c.total_wait = c.total_wait.saturating_add(p.wait.sum);
+            c.total_hold = c.total_hold.saturating_add(p.hold.sum);
+        }
+        c
+    }
+}
+
+/// One evaluated policy: the kind plus its measured replay cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PolicyOutcome {
+    pub policy: PolicyKind,
+    pub cost: PolicyCost,
+}
+
+/// Picks the winning policy: strictly lower total replayed wait than
+/// the FIFO baseline, ties broken by lower makespan, then by
+/// evaluation order. `None` when FIFO stands.
+pub fn select(baseline: PolicyCost, outcomes: &[PolicyOutcome]) -> Option<usize> {
+    outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.cost.total_wait < baseline.total_wait)
+        .min_by_key(|(i, o)| (o.cost.total_wait, o.cost.makespan, *i))
+        .map(|(i, _)| i)
+}
+
+/// The full evaluation record for one workload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SchedReport {
+    /// Workload / run name.
+    pub name: String,
+    /// Execution mode of the recorded run.
+    pub mode: String,
+    /// Cost of the recorded FIFO baseline.
+    pub baseline: PolicyCost,
+    /// Every alternative policy evaluated, in [`PolicyKind::ALL`]
+    /// order (minus the baseline).
+    pub evaluated: Vec<PolicyOutcome>,
+    /// Index into `evaluated` of the selected policy, if any.
+    pub selected: Option<usize>,
+    /// Convoy evidence from the baseline profiles.
+    pub convoys: Vec<ConvoyFlag>,
+}
+
+impl SchedReport {
+    /// The selected outcome, if any policy beat the baseline.
+    pub fn winner(&self) -> Option<&PolicyOutcome> {
+        self.selected.map(|i| &self.evaluated[i])
+    }
+
+    /// Canonical JSON encoding (hand-rolled — the build environment
+    /// has no serde; fixed key order, no whitespace). Floats print
+    /// with one decimal so the encoding is stable across platforms.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn push_cost(out: &mut String, c: PolicyCost) {
+            let _ = write!(
+                out,
+                "{{\"wait\":{},\"hold\":{},\"makespan\":{}}}",
+                c.total_wait, c.total_hold, c.makespan
+            );
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"mode\":\"{}\",\"baseline\":",
+            self.name, self.mode
+        );
+        push_cost(&mut out, self.baseline);
+        out.push_str(",\"policies\":[");
+        for (i, o) in self.evaluated.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"policy\":\"{}\",\"cost\":", o.policy.tag());
+            push_cost(&mut out, o.cost);
+            out.push('}');
+        }
+        out.push_str("],\"convoys\":[");
+        for (i, c) in self.convoys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"section\":{},\"depth\":{:.1},\"hold\":{:.1},\"pressure\":{:.1}}}",
+                c.section, c.depth, c.mean_hold, c.pressure
+            );
+        }
+        out.push_str("],\"selected\":");
+        match self.selected {
+            Some(i) => {
+                let _ = write!(out, "{i}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_requires_strict_wait_improvement() {
+        let b = PolicyCost {
+            total_wait: 100,
+            makespan: 50,
+            ..PolicyCost::default()
+        };
+        let o = |policy, total_wait, makespan| PolicyOutcome {
+            policy,
+            cost: PolicyCost {
+                total_wait,
+                makespan,
+                ..PolicyCost::default()
+            },
+        };
+        let worse = o(PolicyKind::ShortestExpectedHold, 120, 50);
+        let tie = o(PolicyKind::ReaderBatch, 100, 10);
+        assert_eq!(select(b, &[worse, tie]), None);
+        let better = o(PolicyKind::ShortestExpectedHold, 80, 60);
+        let best = o(PolicyKind::ReaderBatch, 80, 55);
+        assert_eq!(select(b, &[worse, better, best]), Some(2));
+        assert_eq!(select(b, &[best, better]), Some(0));
+    }
+
+    #[test]
+    fn report_json_is_canonical() {
+        let r = SchedReport {
+            name: "list".into(),
+            mode: "MultiGrain".into(),
+            baseline: PolicyCost {
+                total_wait: 900,
+                total_hold: 300,
+                makespan: 1200,
+            },
+            evaluated: vec![PolicyOutcome {
+                policy: PolicyKind::ShortestExpectedHold,
+                cost: PolicyCost {
+                    total_wait: 700,
+                    total_hold: 300,
+                    makespan: 1100,
+                },
+            }],
+            selected: Some(0),
+            convoys: vec![ConvoyFlag {
+                section: 2,
+                depth: 6.0,
+                mean_hold: 100.0,
+                pressure: 600.0,
+            }],
+        };
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"name\":\"list\",\"mode\":\"MultiGrain\",\
+             \"baseline\":{\"wait\":900,\"hold\":300,\"makespan\":1200},\
+             \"policies\":[{\"policy\":\"seh\",\
+             \"cost\":{\"wait\":700,\"hold\":300,\"makespan\":1100}}],\
+             \"convoys\":[{\"section\":2,\"depth\":6.0,\"hold\":100.0,\"pressure\":600.0}],\
+             \"selected\":0}"
+        );
+        assert_eq!(r.winner().unwrap().policy, PolicyKind::ShortestExpectedHold);
+    }
+}

@@ -95,6 +95,19 @@ pub enum EventKind {
         healed: bool,
         probation: u32,
     },
+    /// A policy-steered lock release made a wake decision: `depth`
+    /// threads were queued on `node`, of which the `woken` with the
+    /// minimal policy rank form the preferred batch; `mode` is the
+    /// request of the batch's first member. Recorded by the releasing
+    /// thread (after its release events) only when a wake policy is
+    /// configured — the legacy FIFO path emits nothing, keeping
+    /// historical traces byte-identical.
+    WakeDecision {
+        node: NodeKey,
+        mode: Mode,
+        depth: u32,
+        woken: u32,
+    },
 }
 
 /// One recorded event.

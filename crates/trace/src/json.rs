@@ -23,6 +23,7 @@
 //!       | ["rd",addr] | ["wr",addr] | ["al",base,len]
 //!       | ["cmt",reads,writes] | ["ab"] | ["fb"] | ["flt",CLASS]
 //!       | ["qr",section,healed01,probation]
+//!       | ["wk",NODE,MODE,depth,woken]
 //! NODE := ["root"] | ["pts",p] | ["cell",p,addr] | ["range",p,base]
 //! MODE := "IS" | "IX" | "S" | "SIX" | "X"
 //! ```
@@ -141,6 +142,18 @@ fn push_kind(out: &mut String, k: EventKind) {
             // The parser's number grammar has no booleans; `healed`
             // encodes as 0/1.
             let _ = write!(out, "[\"qr\",{section},{},{probation}]", u64::from(healed));
+        }
+        EventKind::WakeDecision {
+            node,
+            mode,
+            depth,
+            woken,
+        } => {
+            out.push_str("[\"wk\",");
+            push_node(out, node);
+            out.push(',');
+            push_escaped(out, mode_tag(mode));
+            let _ = write!(out, ",{depth},{woken}]");
         }
     }
 }
@@ -440,6 +453,13 @@ fn kind_from(v: &Value) -> PResult<EventKind> {
             },
             probation: num(3)? as u32,
         },
+        ("wk", 5) => EventKind::WakeDecision {
+            node: node_from(&items[1])?,
+            mode: mode_from_tag(as_str(&items[2], "mode")?)
+                .ok_or_else(|| "trace json: unknown mode".to_owned())?,
+            depth: num(3)? as u32,
+            woken: num(4)? as u32,
+        },
         _ => return Err(format!("trace json: unknown event kind `{tag}`")),
     })
 }
@@ -556,6 +576,12 @@ mod tests {
                 section: 5,
                 healed: true,
                 probation: 8,
+            },
+            EventKind::WakeDecision {
+                node: NodeKey::Pts(2),
+                mode: Mode::S,
+                depth: 4,
+                woken: 3,
             },
         ];
         let t = Trace {

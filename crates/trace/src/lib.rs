@@ -147,6 +147,7 @@ impl Trace {
                 EventKind::StmFallback => "stm_fallback",
                 EventKind::Fault { .. } => "fault",
                 EventKind::Quarantine { .. } => "quarantine",
+                EventKind::WakeDecision { .. } => "wake_decision",
             };
             *m.entry(k).or_insert(0) += 1;
         }

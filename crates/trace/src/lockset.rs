@@ -225,7 +225,8 @@ pub fn validate(trace: &Trace) -> Result<Validation, ValidationError> {
             | EventKind::StmCommit { .. }
             | EventKind::StmFallback
             | EventKind::Fault { .. }
-            | EventKind::Quarantine { .. } => {}
+            | EventKind::Quarantine { .. }
+            | EventKind::WakeDecision { .. } => {}
         }
     }
     let mut crashed: Vec<u32> = threads

@@ -18,6 +18,11 @@ cargo build --release -q
 # workload improves or an adapted run waits longer than its baseline.
 ./target/release/adapt-table > results_adapt.txt
 
+# Contention-aware wake policies (DESIGN.md §5.6): FIFO baseline vs
+# steered replay per workload. The binary exits nonzero when no
+# workload improves or a steered run waits longer than its baseline.
+./target/release/sched-table > results_sched.txt
+
 # Analysis-engine throughput: prints the naive-vs-optimized table and
 # refreshes the committed baseline the CI smoke job checks against.
 ./target/release/analysis-bench --out BENCH_analysis.json \

@@ -85,7 +85,15 @@ pub fn adapt(
     let mut recordings = Vec::with_capacity(cands.len());
     for cand in &cands {
         let map = cand.config_map(&base_map);
-        let rec = record_with_map(cfg, &map, analysis_threads, &mut store)?;
+        // Wake-policy candidates keep the lock plan (the base map, a
+        // SummaryStore cache hit) and steer the scheduler instead: the
+        // policy's configuration is frozen from the baseline profiles,
+        // exactly as the `crate::sched` harness would.
+        let mut cand_cfg = cfg.clone();
+        if let lockinfer::adapt::Adjustment::WakePolicy(kind) = cand.adjustment {
+            cand_cfg.sched = Some(interp::SchedConfig::from_profiles(kind, &profiles));
+        }
+        let rec = record_with_map(&cand_cfg, &map, analysis_threads, &mut store)?;
         let prof = trace::profile(&rec.trace);
         decisions.push(Decision {
             candidate: *cand,
@@ -167,6 +175,9 @@ fn record_with_map(
             ),
         );
     }
+    if let Some(s) = &cfg.sched {
+        trace.meta_set("adapt.wake_policy", s.policy.tag().to_owned());
+    }
     stamp_outcome(&outcome, &mut trace);
     Ok(Recording { outcome, trace })
 }
@@ -210,6 +221,7 @@ mod tests {
             faults: None,
             sentinel: None,
             weaken: None,
+            sched: None,
             trace_capacity: 1 << 18,
             init: ("setup".into(), vec![0]),
             worker: ("work".into(), vec![30]),

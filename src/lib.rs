@@ -18,6 +18,7 @@
 //! | [`interp`] | concurrent interpreter: Global/MultiGrain/Stm/Validate + virtual time |
 //! | [`trace`] | event tracing, Eraser-style lockset validation, profiles |
 //! | [`sentinel`] | online lockset sentinel: inline licensing checks, per-section quarantine |
+//! | `sched` | pluggable deterministic wake policies + convoy detection (see [`sched`](crate::sched) for the evaluation harness) |
 //! | [`workloads`] | the evaluation programs (micro, STAMP-like, SPEC-like) |
 //!
 //! plus [`replay`], this crate's own deterministic record/replay layer
@@ -46,6 +47,7 @@
 
 pub mod adapt;
 pub mod replay;
+pub mod sched;
 
 pub use interp;
 pub use lir;

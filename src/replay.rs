@@ -25,7 +25,7 @@
 //! Replay re-runs with the *default* cost model; runs recorded under a
 //! custom [`interp::CostModel`] replay with different clock values.
 
-use interp::{ExecMode, FaultPlan, Options, SentinelConfig, WeakenPlan};
+use interp::{ExecMode, FaultPlan, Options, SchedConfig, SentinelConfig, WeakenPlan};
 use trace::Trace;
 
 /// Everything needed to reproduce one traced execution.
@@ -55,6 +55,10 @@ pub struct RunConfig {
     pub sentinel: Option<SentinelConfig>,
     /// Weakened-inference injection, if any.
     pub weaken: Option<WeakenPlan>,
+    /// Wake policy for the virtual-time scheduler (`None` = legacy
+    /// FIFO). Stamped into `run.sched_*` so policy-steered runs replay
+    /// under the same decisions.
+    pub sched: Option<SchedConfig>,
     /// Per-thread event ring capacity.
     pub trace_capacity: usize,
     /// Single-threaded setup entry `(function, args)`.
@@ -88,6 +92,7 @@ impl RunConfig {
             faults: None,
             sentinel: None,
             weaken: None,
+            sched: None,
             trace_capacity: trace::TraceConfig::default().capacity,
             init: (spec.init.0.to_owned(), spec.init.1.clone()),
             worker: (spec.worker.0.to_owned(), spec.worker.1.clone()),
@@ -142,6 +147,20 @@ impl RunConfig {
                 drop_index: int("run.weaken_drop")? as usize,
             }),
         };
+        let sched = match t.meta_get("run.sched_policy") {
+            None => None,
+            Some(tag) => {
+                let policy = interp::PolicyKind::from_tag(tag)
+                    .ok_or_else(|| format!("replay: unknown wake policy `{tag}`"))?;
+                let expected_hold =
+                    SchedConfig::parse_holds(t.meta_get("run.sched_holds").unwrap_or(""))
+                        .ok_or_else(|| "replay: bad `run.sched_holds`".to_owned())?;
+                Some(SchedConfig {
+                    policy,
+                    expected_hold,
+                })
+            }
+        };
         Ok(RunConfig {
             name: get("run.name")?,
             source: get("run.source")?,
@@ -155,6 +174,7 @@ impl RunConfig {
             faults,
             sentinel,
             weaken,
+            sched,
             trace_capacity: int("run.capacity")? as usize,
             init: (get("run.init")?, parse_args(&get("run.init_args")?)?),
             worker: (get("run.worker")?, parse_args(&get("run.worker_args")?)?),
@@ -163,8 +183,10 @@ impl RunConfig {
     }
 
     /// Stamps this config into a trace's metadata (the inverse of
-    /// [`RunConfig::from_trace`]).
-    fn stamp(&self, t: &mut Trace) {
+    /// [`RunConfig::from_trace`]). Crate-visible for the policy
+    /// evaluation harness (`crate::sched`), whose steered recordings
+    /// stay fully replayable.
+    pub(crate) fn stamp(&self, t: &mut Trace) {
         t.meta_set("run.name", self.name.clone());
         t.meta_set("run.source", self.source.clone());
         t.meta_set("run.k", self.k.to_string());
@@ -201,6 +223,10 @@ impl RunConfig {
         if let Some(w) = self.weaken {
             t.meta_set("run.weaken_section", w.section.to_string());
             t.meta_set("run.weaken_drop", w.drop_index.to_string());
+        }
+        if let Some(s) = &self.sched {
+            t.meta_set("run.sched_policy", s.policy.tag().to_owned());
+            t.meta_set("run.sched_holds", s.holds_string());
         }
     }
 }
@@ -284,6 +310,7 @@ pub(crate) fn options_for(cfg: &RunConfig) -> Options {
         faults: cfg.faults,
         sentinel: cfg.sentinel,
         weaken: cfg.weaken,
+        sched: cfg.sched.clone(),
         stm_abort_budget: cfg.stm_abort_budget,
         trace: Some(trace::TraceConfig {
             capacity: cfg.trace_capacity,
@@ -383,6 +410,7 @@ mod tests {
             faults: None,
             sentinel: None,
             weaken: None,
+            sched: None,
             trace_capacity: 1 << 16,
             init: ("setup".into(), vec![10]),
             worker: ("work".into(), vec![25]),
@@ -404,6 +432,10 @@ mod tests {
         c.weaken = Some(WeakenPlan {
             section: 1,
             drop_index: 0,
+        });
+        c.sched = Some(SchedConfig {
+            policy: interp::PolicyKind::ShortestExpectedHold,
+            expected_hold: vec![(1, 40), (2, 900)],
         });
         c.stamp(&mut t);
         assert_eq!(RunConfig::from_trace(&t).unwrap(), c);

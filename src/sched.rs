@@ -1,0 +1,285 @@
+//! Replay-driven wake-policy evaluation — the *measurement* half of
+//! the contention-aware scheduling subsystem (DESIGN.md §5.6).
+//!
+//! The `sched` crate is the pure policy engine: [`WakePolicy`] ranking
+//! functions in, wake order out. This module closes the loop against
+//! the deterministic interpreter, mirroring [`crate::adapt`]:
+//!
+//! 1. **Record** the baseline under the historical FIFO order
+//!    (`sched: None`) and profile its trace.
+//! 2. **Detect** convoy-prone sections from the wait/hold histograms
+//!    ([`sched::convoy::detect`]) — the evidence that re-ordering
+//!    wakes can recover anything at all.
+//! 3. **Re-run** the *identical* `RunConfig` (same seed, same virtual
+//!    scheduler, same fault plan) once per non-FIFO [`PolicyKind`],
+//!    with each policy's [`SchedConfig`] frozen from the baseline
+//!    profiles, and measure the replayed [`PolicyCost`].
+//! 4. **Select** the policy with the lowest total virtual-time wait,
+//!    strictly below the FIFO baseline, and emit a machine-readable
+//!    [`SchedReport`].
+//!
+//! Everything downstream of the recorded trace is deterministic:
+//! policies are pure functions of recorded state, inference is
+//! byte-identical at any analysis thread count, and the virtual
+//! scheduler reproduces executions exactly — so two `evaluate` runs
+//! over the same config produce byte-identical reports and steered
+//! trace digests.
+//!
+//! Unlike adapted traces (which carry `adapt.*` keys only), a
+//! policy-steered recording **is** stamped with full `run.*` metadata
+//! including `run.sched_policy` / `run.sched_holds`: the frozen
+//! expected-hold table travels with the trace, so
+//! [`crate::replay::replay`] reproduces the steered schedule
+//! bit-for-bit from the trace alone.
+
+use crate::replay::{execute, options_for, stamp_outcome, Recording, RunConfig};
+use ::sched::convoy::detect;
+use ::sched::report::select;
+use interp::Machine;
+use lockinfer::library::LibrarySpec;
+use lockscheme::SchemeConfig;
+use std::sync::Arc;
+use trace::Trace;
+
+pub use ::sched::convoy::{ConvoyFlag, ConvoyPolicy};
+pub use ::sched::report::{PolicyCost, PolicyOutcome, SchedReport};
+pub use ::sched::{queue_profiles, PolicyKind, SchedConfig, WakePolicy};
+
+/// The full result of one policy evaluation loop.
+#[derive(Clone, Debug)]
+pub struct SchedRun {
+    /// Machine-readable evaluation record (all policies, all costs,
+    /// convoy evidence).
+    pub report: SchedReport,
+    /// The FIFO baseline recording the profiles came from.
+    pub baseline: Recording,
+    /// The winning policy's recording, when one beat the baseline.
+    pub steered: Option<Recording>,
+}
+
+/// Records `cfg` under FIFO, profiles it, re-runs each alternative
+/// wake policy on the identical schedule, and selects the best by
+/// strict measured wait reduction.
+///
+/// `cfg.sched` is ignored — the baseline is always the FIFO order, so
+/// the evaluation answers "what would each policy have bought *this*
+/// run". `analysis_threads` is the Phase B worker count for lock
+/// inference (`0` = one per core); the outcome is identical for every
+/// value.
+///
+/// # Errors
+///
+/// Returns a message on compile failure or when a recorded trace is
+/// unusable (ring overflow).
+pub fn evaluate(
+    cfg: &RunConfig,
+    convoy: &ConvoyPolicy,
+    analysis_threads: usize,
+) -> Result<SchedRun, String> {
+    let mut base_cfg = cfg.clone();
+    base_cfg.sched = None;
+    let baseline = record_with_threads(&base_cfg, analysis_threads)?;
+    if baseline.trace.dropped > 0 {
+        return Err(format!(
+            "sched: baseline trace dropped {} events — raise trace_capacity",
+            baseline.trace.dropped
+        ));
+    }
+    let profiles = trace::profile(&baseline.trace);
+    let convoys = detect(&profiles, convoy);
+    let base_cost = PolicyCost::from_profiles(&profiles, baseline.outcome.makespan);
+
+    let mut evaluated = Vec::new();
+    let mut recordings = Vec::new();
+    for kind in PolicyKind::ALL {
+        if kind == PolicyKind::Fifo {
+            continue;
+        }
+        let mut steered_cfg = base_cfg.clone();
+        steered_cfg.sched = Some(SchedConfig::from_profiles(kind, &profiles));
+        let rec = record_with_threads(&steered_cfg, analysis_threads)?;
+        let prof = trace::profile(&rec.trace);
+        evaluated.push(PolicyOutcome {
+            policy: kind,
+            cost: PolicyCost::from_profiles(&prof, rec.outcome.makespan),
+        });
+        recordings.push(rec);
+    }
+    let selected = select(base_cost, &evaluated);
+    let report = SchedReport {
+        name: cfg.name.clone(),
+        mode: format!("{:?}", cfg.mode),
+        baseline: base_cost,
+        evaluated,
+        selected,
+        convoys,
+    };
+    let steered = selected.and_then(|i| recordings.into_iter().nth(i));
+    Ok(SchedRun {
+        report,
+        baseline,
+        steered,
+    })
+}
+
+/// Like [`evaluate`], but starting from an existing self-describing
+/// trace (one produced by [`crate::replay::record`]): the embedded
+/// [`RunConfig`] is re-executed as the baseline.
+///
+/// # Errors
+///
+/// Returns a message when the trace lacks `run.*` metadata or the
+/// embedded source no longer compiles.
+pub fn evaluate_trace(
+    t: &Trace,
+    convoy: &ConvoyPolicy,
+    analysis_threads: usize,
+) -> Result<SchedRun, String> {
+    evaluate(&RunConfig::from_trace(t)?, convoy, analysis_threads)
+}
+
+/// [`crate::replay::record`] with an explicit analysis worker count:
+/// same uniform `Σ_k × Σ≡ × Σ_ε` inference, same `run.*` stamping, so
+/// the recording (steered or not) stays fully replayable.
+fn record_with_threads(cfg: &RunConfig, analysis_threads: usize) -> Result<Recording, String> {
+    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+    let pt = pointsto::PointsTo::analyze(&program);
+    let config = SchemeConfig::full(cfg.k, program.elem_field_opt());
+    let analysis = lockinfer::analyze_program_with_opts(
+        &program,
+        &pt,
+        config,
+        &LibrarySpec::new(),
+        analysis_threads,
+    );
+    let transformed = lockinfer::transform(&program, &analysis);
+    let m = Machine::new(
+        Arc::new(transformed),
+        Arc::new(pt),
+        cfg.mode,
+        options_for(cfg),
+    );
+    let (outcome, mut trace) = execute(&m, cfg);
+    cfg.stamp(&mut trace);
+    stamp_outcome(&outcome, &mut trace);
+    Ok(Recording { outcome, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::ExecMode;
+
+    /// A convoy factory: every thread hammers one global under a long
+    /// critical section (`hot`, expensive) or a short one (`quick`,
+    /// cheap), so FIFO wake order regularly parks quick work behind
+    /// expensive holders. ShortestExpectedHold reorders those ties.
+    const SRC: &str = r#"
+        global shared;
+        global tally;
+        fn setup(n) { shared = 0; tally = 0; }
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { shared = shared + 1; nops(300); }
+                atomic { tally = tally + 1; }
+                i = i + 1;
+            }
+            return 0;
+        }
+        fn total() { return shared + tally; }
+    "#;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            name: "convoy-factory".into(),
+            source: SRC.into(),
+            k: 3,
+            mode: ExecMode::MultiGrain,
+            threads: 8,
+            heap_cells: 1 << 16,
+            seed: 11,
+            quantum: 64,
+            stm_abort_budget: 16,
+            faults: None,
+            sentinel: None,
+            weaken: None,
+            sched: None,
+            trace_capacity: 1 << 18,
+            init: ("setup".into(), vec![0]),
+            worker: ("work".into(), vec![25]),
+            check: Some("total".into()),
+        }
+    }
+
+    #[test]
+    fn evaluate_reports_convoys_and_all_policies() {
+        let run = evaluate(&cfg(), &ConvoyPolicy::default(), 1).unwrap();
+        assert_eq!(run.report.evaluated.len(), PolicyKind::ALL.len() - 1);
+        assert!(
+            !run.report.convoys.is_empty(),
+            "8 threads behind a 300-nop hold must flag a convoy: {}",
+            run.report.to_json()
+        );
+        assert!(run.report.baseline.total_wait > 0);
+        // Every policy run still computes the right answer.
+        assert_eq!(run.baseline.outcome.check, Some(2 * 8 * 25));
+        let json = run.report.to_json();
+        assert!(json.contains("\"policy\":\"seh\""), "{json}");
+        assert!(json.contains("\"policy\":\"rbatch\""), "{json}");
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_across_analysis_thread_counts() {
+        let runs: Vec<SchedRun> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| evaluate(&cfg(), &ConvoyPolicy::default(), t).unwrap())
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.report.to_json(), runs[0].report.to_json());
+            assert_eq!(r.baseline.trace.digest(), runs[0].baseline.trace.digest());
+            match (&r.steered, &runs[0].steered) {
+                (Some(a), Some(b)) => assert_eq!(a.trace.digest(), b.trace.digest()),
+                (None, None) => {}
+                other => panic!("selection diverged across thread counts: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steered_recordings_replay_bit_for_bit() {
+        let run = evaluate(&cfg(), &ConvoyPolicy::default(), 1).unwrap();
+        // The baseline replays, and so does every steered recording:
+        // the frozen policy travels in `run.sched_*` metadata.
+        let again = crate::replay::replay(&run.baseline.trace).unwrap();
+        assert_eq!(again.trace.digest(), run.baseline.trace.digest());
+        if let Some(steered) = &run.steered {
+            assert_eq!(
+                steered.trace.meta_get("run.sched_policy"),
+                Some(run.report.winner().unwrap().policy.tag())
+            );
+            let rep = crate::replay::replay(&steered.trace).unwrap();
+            assert_eq!(rep.trace.digest(), steered.trace.digest());
+            assert_eq!(rep.outcome, steered.outcome);
+        }
+    }
+
+    #[test]
+    fn steered_traces_record_wake_decisions_fifo_records_none() {
+        let run = evaluate(&cfg(), &ConvoyPolicy::default(), 1).unwrap();
+        let wk = |t: &Trace| {
+            t.events
+                .iter()
+                .filter(|e| matches!(e.kind, trace::EventKind::WakeDecision { .. }))
+                .count()
+        };
+        assert_eq!(wk(&run.baseline.trace), 0, "FIFO path must stay silent");
+        if let Some(steered) = &run.steered {
+            assert!(wk(&steered.trace) > 0, "steered runs trace their decisions");
+            assert!(
+                !queue_profiles(&steered.trace).is_empty(),
+                "wake decisions aggregate into per-lock queue profiles"
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 use atomic_lock_inference::adapt::adapt;
 use atomic_lock_inference::replay::RunConfig;
 use interp::ExecMode;
-use lockinfer::adapt::{candidates, AdaptPolicy, PlanCost};
+use lockinfer::adapt::{candidates, AdaptPolicy, Adjustment, PlanCost};
 use lockscheme::{ConfigMap, SchemeConfig};
 use proptest::prelude::*;
 use workloads::{micro, Contention, RunSpec};
@@ -54,8 +54,10 @@ proptest! {
     }
 
     /// The policy itself is pure: re-deriving candidates from the same
-    /// recorded trace always yields the same overrides, and every
-    /// override differs from the section's base configuration.
+    /// recorded trace always yields the same overrides. Every
+    /// scheme-changing override differs from the section's base
+    /// configuration; wake-policy candidates steer the scheduler
+    /// instead and must leave the scheme exactly at base.
     #[test]
     fn candidate_overrides_are_stable_and_canonical(
         which in 0usize..3,
@@ -76,6 +78,12 @@ proptest! {
         let b = candidates(&profiles, &base, &policy);
         prop_assert_eq!(&a, &b);
         for c in &a {
+            if let Adjustment::WakePolicy(_) = c.adjustment {
+                // The scheme is untouched; the adjustment lives in the
+                // run's sched config.
+                prop_assert!(c.config == base.for_section(c.section));
+                continue;
+            }
             prop_assert!(c.config != base.for_section(c.section));
             // The override survives the map's canonicalization.
             let map = c.config_map(&base);

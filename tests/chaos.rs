@@ -86,6 +86,17 @@ struct Digest {
 /// Runs `spec` once under `mode` with `plan` injected and tracing on,
 /// inside a watchdog: exceeding [`WATCHDOG`] is reported as a hang.
 fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> (Digest, ali::trace::Trace) {
+    chaos_run_sched(spec, mode, plan, None)
+}
+
+/// [`chaos_run`] with an optional wake policy steering the virtual
+/// scheduler's release order.
+fn chaos_run_sched(
+    spec: RunSpec,
+    mode: ExecMode,
+    plan: FaultPlan,
+    sched: Option<ali::interp::SchedConfig>,
+) -> (Digest, ali::trace::Trace) {
     let label = format!("{} [{mode:?}] plan {:#x}", spec.name, plan.seed);
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -94,6 +105,7 @@ fn chaos_run(spec: RunSpec, mode: ExecMode, plan: FaultPlan) -> (Digest, ali::tr
             faults: Some(plan),
             stm_abort_budget: 64,
             trace: Some(ali::trace::TraceConfig::default()),
+            sched,
             ..Options::default()
         };
         let m = build(&spec, mode, opts);
@@ -197,6 +209,44 @@ fn chaos_matrix_terminates_deterministically() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Every wake policy must carry the chaos bar under fault-delayed
+/// wakeups: deterministic (same digest twice), quiescent, typed
+/// errors only, lockset-clean traces. Delayed wakeups are the nasty
+/// case for a wake policy — the preferred waiter's preferential slot
+/// can be stalled out from under it.
+#[test]
+fn chaos_wake_policies_reproduce_under_delayed_wakeups() {
+    let plan = FaultPlan::new(0x0D44).with_wakeup_delays(150, 300);
+    for kind in ali::interp::PolicyKind::ALL {
+        // A fixed frozen hold table (what a prior profile would have
+        // produced) — the decisions must be pure functions of it.
+        let sched = ali::interp::SchedConfig {
+            policy: kind,
+            expected_hold: vec![(0, 60), (1, 15), (2, 40)],
+        };
+        for spec in specs() {
+            let label = format!("{} [MultiGrain] wake {}", spec.name, kind.tag());
+            let (first, trace) = chaos_run_sched(
+                spec.clone(),
+                ExecMode::MultiGrain,
+                plan,
+                Some(sched.clone()),
+            );
+            let (second, _) =
+                chaos_run_sched(spec, ExecMode::MultiGrain, plan, Some(sched.clone()));
+            assert_eq!(first, second, "{label}: steered chaos must reproduce");
+            if let Some(Err(e)) = &first.outcome {
+                assert_typed(&label, e);
+            }
+            assert!(first.quiescent, "{label}: locks leaked");
+            if let Some(check) = &first.check {
+                assert!(check.is_ok(), "{label}: survivor broke its invariant");
+            }
+            assert_lockset_clean(&label, &trace);
         }
     }
 }
