@@ -42,16 +42,8 @@ fn main() -> ExitCode {
     println!("`decision` names the selected override (- = uniform configuration stands).");
     println!();
     println!(
-        "{:<18} {:>2} {:>10} {:>10} {:>7} {:>9} {:>9} {:>6}  {}",
-        "Program",
-        "k",
-        "base-wait",
-        "ad-wait",
-        "Δwait%",
-        "base-span",
-        "ad-span",
-        "reval",
-        "decision"
+        "{:<18} {:>2} {:>10} {:>10} {:>7} {:>9} {:>9} {:>6}  decision",
+        "Program", "k", "base-wait", "ad-wait", "Δwait%", "base-span", "ad-span", "reval"
     );
     let mut failed = false;
     let mut improved = 0usize;

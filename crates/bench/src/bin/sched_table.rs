@@ -110,7 +110,7 @@ fn smoke() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    for arg in std::env::args().skip(1) {
+    if let Some(arg) = std::env::args().nth(1) {
         match arg.as_str() {
             "--smoke" => return smoke(),
             other => {
@@ -129,16 +129,8 @@ fn main() -> ExitCode {
     println!("the selected wake policy (- = FIFO stands).");
     println!();
     println!(
-        "{:<18} {:>2} {:>10} {:>10} {:>7} {:>9} {:>9} {:>7}  {}",
-        "Program",
-        "k",
-        "fifo-wait",
-        "best-wait",
-        "Δwait%",
-        "fifo-span",
-        "best-span",
-        "convoys",
-        "policy"
+        "{:<18} {:>2} {:>10} {:>10} {:>7} {:>9} {:>9} {:>7}  policy",
+        "Program", "k", "fifo-wait", "best-wait", "Δwait%", "fifo-span", "best-span", "convoys"
     );
     let mut failed = false;
     let mut improved = 0usize;

@@ -80,7 +80,7 @@ use lockscheme::{intern, AbsLock, ConfigMap, LockId, LockRec, SchemeConfig};
 use pointsto::{PointsTo, PtsClass};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Locks inferred for one atomic section.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,9 +193,25 @@ pub fn analyze_program_with_opts(
 /// [`ConfigMap`]s pays for each distinct configuration once. Summaries
 /// depend only on `(program, pt, lib, config)` — a store must never be
 /// reused across different programs.
+///
+/// The store is **concurrent**: lookups and inserts go through `&self`
+/// behind a mutex-guarded slot table, so a parallel candidate-
+/// evaluation harness can share one store across every eval thread.
+/// Each distinct configuration gets a dedicated once-slot — the first
+/// thread to claim it computes the summaries while later arrivals
+/// block on that slot (not on the whole store) and then reuse the
+/// frozen cache, keeping the computation once-per-config even under
+/// contention. Summaries are a pure function of
+/// `(program, pt, lib, config)`, so which thread wins the claim can
+/// never change any analysis output.
 #[derive(Default)]
 pub struct SummaryStore {
-    entries: Vec<(SchemeConfig, Arc<SummaryCache>)>,
+    slots: Mutex<Vec<(SchemeConfig, Arc<SummarySlot>)>>,
+}
+
+#[derive(Default)]
+struct SummarySlot {
+    cache: Mutex<Option<Arc<SummaryCache>>>,
 }
 
 impl SummaryStore {
@@ -204,25 +220,47 @@ impl SummaryStore {
         SummaryStore::default()
     }
 
-    /// Distinct configurations whose summaries have been computed.
+    /// Distinct configurations whose summary slots have been claimed
+    /// (computed or in flight).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.lock().unwrap().len()
     }
 
     /// True when no summary pass has run yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.lock().unwrap().is_empty()
     }
 
-    fn lookup(&self, cfg: SchemeConfig) -> Option<Arc<SummaryCache>> {
-        self.entries
-            .iter()
-            .find(|(c, _)| *c == cfg)
-            .map(|(_, c)| Arc::clone(c))
+    fn slot(&self, cfg: SchemeConfig) -> Arc<SummarySlot> {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.iter().find(|(c, _)| *c == cfg) {
+            Some((_, s)) => Arc::clone(s),
+            None => {
+                let s = Arc::new(SummarySlot::default());
+                slots.push((cfg, Arc::clone(&s)));
+                s
+            }
+        }
     }
 
-    fn insert(&mut self, cfg: SchemeConfig, cache: Arc<SummaryCache>) {
-        self.entries.push((cfg, cache));
+    /// The frozen cache for `cfg`, computing it via `compute` exactly
+    /// once per distinct configuration (concurrent callers for the
+    /// same configuration serialize on its slot and share the result).
+    fn get_or_compute(
+        &self,
+        cfg: SchemeConfig,
+        compute: impl FnOnce() -> Arc<SummaryCache>,
+    ) -> (Arc<SummaryCache>, bool) {
+        let slot = self.slot(cfg);
+        let mut guard = slot.cache.lock().unwrap();
+        match guard.as_ref() {
+            Some(cache) => (Arc::clone(cache), true),
+            None => {
+                let cache = compute();
+                *guard = Some(Arc::clone(&cache));
+                (cache, false)
+            }
+        }
     }
 }
 
@@ -238,7 +276,7 @@ pub fn analyze_program_with_configs(
     configs: &ConfigMap,
     lib: &LibrarySpec,
     threads: usize,
-    mut store: Option<&mut SummaryStore>,
+    store: Option<&SummaryStore>,
 ) -> ProgramAnalysis {
     let modsets = compute_modsets(program, pt, lib);
     let preds: Vec<Vec<Vec<u32>>> = program
@@ -302,30 +340,26 @@ pub fn analyze_program_with_configs(
     let caches: Vec<Arc<SummaryCache>> = distinct
         .iter()
         .map(|&cfg| {
-            if let Some(st) = store.as_deref_mut() {
-                if let Some(cache) = st.lookup(cfg) {
-                    stats.summary_functions += cache.gen.len();
-                    stats.summary_queries += cache.query.len();
-                    return cache;
-                }
-            }
-            let mut pre = Engine::new(
-                EngineEnv {
-                    config: cfg,
-                    ..base_env
-                },
-                None,
-                None,
-            );
-            pre.solve_summaries(&gen_fns);
-            let (cache, pre_stats) = pre.freeze(&gen_fns);
-            stats.absorb(&pre_stats);
+            let mut compute = || {
+                let mut pre = Engine::new(
+                    EngineEnv {
+                        config: cfg,
+                        ..base_env
+                    },
+                    None,
+                    None,
+                );
+                pre.solve_summaries(&gen_fns);
+                let (cache, pre_stats) = pre.freeze(&gen_fns);
+                stats.absorb(&pre_stats);
+                Arc::new(cache)
+            };
+            let cache = match store {
+                Some(st) => st.get_or_compute(cfg, compute).0,
+                None => compute(),
+            };
             stats.summary_functions += cache.gen.len();
             stats.summary_queries += cache.query.len();
-            let cache = Arc::new(cache);
-            if let Some(st) = store.as_deref_mut() {
-                st.insert(cfg, Arc::clone(&cache));
-            }
             cache
         })
         .collect();

@@ -35,13 +35,17 @@
 pub mod adapt;
 pub mod bits;
 pub mod dataflow;
+pub mod estimate;
 pub mod library;
 pub mod reference;
 pub mod report;
 pub mod transfer;
 pub mod transform;
 
-pub use adapt::{candidates, select, AdaptPolicy, Candidate, Decision, DecisionReport, PlanCost};
+pub use adapt::{
+    candidates, extend_beam, select, AdaptPolicy, BeamPolicy, BeamReport, Candidate, Decision,
+    DecisionReport, EvalStatus, MultiCandidate, MultiDecision, PlanCost,
+};
 pub use dataflow::{
     analyze_program, analyze_program_with_configs, analyze_program_with_opts, AnalysisStats,
     ProgramAnalysis, SectionResult, SummaryStore,

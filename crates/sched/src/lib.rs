@@ -48,7 +48,7 @@ use std::collections::BTreeMap;
 use trace::{EventKind, Histogram, SectionProfile, Trace};
 
 pub use convoy::{detect, ConvoyFlag, ConvoyPolicy};
-pub use report::{select, PolicyCost, PolicyOutcome, SchedReport};
+pub use report::{select, PolicyCost, PolicyOutcome, SchedReport, SkippedPolicy};
 
 /// Snapshot of one blocked thread, recorded when it parks on a lock.
 /// Everything a policy may consult; all fields come from recorded

@@ -43,6 +43,16 @@ pub struct PolicyOutcome {
     pub cost: PolicyCost,
 }
 
+/// A policy whose candidate re-run produced an unusable recording
+/// (e.g. the steered trace overflowed its ring): surfaced in the
+/// report instead of silently profiling bogus events, and excluded
+/// from selection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SkippedPolicy {
+    pub policy: PolicyKind,
+    pub reason: String,
+}
+
 /// Picks the winning policy: strictly lower total replayed wait than
 /// the FIFO baseline, ties broken by lower makespan, then by
 /// evaluation order. `None` when FIFO stands.
@@ -71,6 +81,9 @@ pub struct SchedReport {
     pub selected: Option<usize>,
     /// Convoy evidence from the baseline profiles.
     pub convoys: Vec<ConvoyFlag>,
+    /// Policies whose candidate recordings were unusable, in
+    /// [`PolicyKind::ALL`] order.
+    pub skipped: Vec<SkippedPolicy>,
 }
 
 impl SchedReport {
@@ -116,6 +129,18 @@ impl SchedReport {
                 out,
                 "{{\"section\":{},\"depth\":{:.1},\"hold\":{:.1},\"pressure\":{:.1}}}",
                 c.section, c.depth, c.mean_hold, c.pressure
+            );
+        }
+        out.push_str("],\"skipped\":[");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"policy\":\"{}\",\"note\":\"{}\"}}",
+                s.policy.tag(),
+                s.reason
             );
         }
         out.push_str("],\"selected\":");
@@ -183,6 +208,10 @@ mod tests {
                 mean_hold: 100.0,
                 pressure: 600.0,
             }],
+            skipped: vec![SkippedPolicy {
+                policy: PolicyKind::ReaderBatch,
+                reason: "trace dropped 12 events".into(),
+            }],
         };
         let j = r.to_json();
         assert_eq!(
@@ -192,6 +221,7 @@ mod tests {
              \"policies\":[{\"policy\":\"seh\",\
              \"cost\":{\"wait\":700,\"hold\":300,\"makespan\":1100}}],\
              \"convoys\":[{\"section\":2,\"depth\":6.0,\"hold\":100.0,\"pressure\":600.0}],\
+             \"skipped\":[{\"policy\":\"rbatch\",\"note\":\"trace dropped 12 events\"}],\
              \"selected\":0}"
         );
         assert_eq!(r.winner().unwrap().policy, PolicyKind::ShortestExpectedHold);

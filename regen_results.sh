@@ -23,6 +23,14 @@ cargo build --release -q
 # workload improves or a steered run waits longer than its baseline.
 ./target/release/sched-table > results_sched.txt
 
+# Shared candidate-evaluation harness (DESIGN.md §5.7): legacy
+# sequential candidate loop vs the hoisted, parallel, pruned harness
+# on generated scale programs. The binary exits nonzero when the
+# aggregate candidate-loop speedup drops below 3x, an exact parallel
+# report diverges from the sequential bytes, or pruning discards an
+# exact winner.
+./target/release/eval-bench > results_eval.txt
+
 # Analysis-engine throughput: prints the naive-vs-optimized table and
 # refreshes the committed baseline the CI smoke job checks against.
 ./target/release/analysis-bench --out BENCH_analysis.json \

@@ -3,42 +3,50 @@
 //!
 //! [`lockinfer::adapt`] is the pure policy: corrected wait/hold
 //! profiles in, candidate per-section [`ConfigMap`] overrides out. This
-//! module closes the loop against the deterministic interpreter:
+//! module closes the loop against the deterministic interpreter,
+//! driving the shared evaluation harness ([`crate::eval`]):
 //!
-//! 1. **Record** the baseline under the uniform configuration
-//!    ([`crate::replay::record`]) and profile its trace — wait split
-//!    from hold at the first `PlanComplete` marker, revalidation
-//!    retries tallied separately.
+//! 1. **Record** the baseline under the uniform configuration and
+//!    profile its trace — wait split from hold at the first
+//!    `PlanComplete` marker, revalidation retries tallied separately.
+//!    The program is compiled and points-to analyzed **once**, shared
+//!    with every candidate.
 //! 2. **Propose** candidate overrides from those profiles.
-//! 3. **Re-infer** the program once per candidate map. Phase A summary
-//!    caches are memoized in a [`SummaryStore`] keyed by scheme
-//!    configuration, so the candidate loop pays for each distinct
-//!    configuration once.
+//! 3. **Prune** (optionally) by the trace-analytic estimator
+//!    ([`lockinfer::estimate`]): only the estimated top-k candidates
+//!    are replayed, the rest carry [`EvalStatus::Pruned`].
 //! 4. **Replay** the identical `RunConfig` (same seed, same virtual
-//!    scheduler, same fault plan) under each candidate's locks and
-//!    measure the replayed [`PlanCost`].
+//!    scheduler, same fault plan) under each kept candidate's locks —
+//!    **concurrently**, on the harness's eval-thread pool — and
+//!    measure the replayed [`PlanCost`]. Candidate recordings are
+//!    dropped after profiling (O(1) memory in candidate count); a
+//!    candidate whose trace overflowed its ring is surfaced as
+//!    [`EvalStatus::Skipped`], not a silently bogus cost.
 //! 5. **Select** the candidate with the lowest total virtual-time wait,
 //!    strictly below the baseline, and emit a machine-readable
-//!    [`DecisionReport`].
+//!    [`DecisionReport`]. With [`EvalOptions::beam`] set, a beam search
+//!    over compound multi-override maps runs afterwards, seeded from
+//!    the improving singles. The winning configuration (compound
+//!    beating singles beating baseline) is re-executed once for the
+//!    returned recording.
 //!
 //! Everything downstream of the recorded trace is deterministic: the
 //! policy is pure, inference is byte-identical at any analysis thread
-//! count, and the virtual scheduler reproduces executions exactly — so
-//! two `adapt` runs over the same config produce byte-identical
-//! reports and adapted-trace digests.
+//! count, each replay is an exact virtual-time re-execution, and the
+//! harness merges results in candidate order — so two `adapt` runs
+//! over the same config produce byte-identical reports and
+//! adapted-trace digests **at every eval thread count**.
 //!
 //! An adapted trace is deliberately **not** stamped with `run.*`
 //! replay metadata: `replay()` would re-infer under the uniform
 //! configuration and silently diverge. It carries `adapt.*` keys
 //! describing the applied overrides instead.
 
-use crate::replay::{execute, options_for, record, stamp_outcome, Recording, RunConfig};
-use interp::Machine;
-use lockinfer::adapt::{candidates, select, AdaptPolicy, Decision, DecisionReport, PlanCost};
-use lockinfer::library::LibrarySpec;
-use lockinfer::SummaryStore;
-use lockscheme::{ConfigMap, SchemeConfig};
-use std::sync::Arc;
+use crate::eval::{eval_singles, run_beam, EvalContext, EvalOptions, EvalScope, Stamp};
+use crate::replay::{Recording, RunConfig};
+use lockinfer::adapt::{
+    candidates, select, AdaptPolicy, Adjustment, BeamReport, Decision, DecisionReport, PlanCost,
+};
 use trace::Trace;
 
 /// The full result of one adaptation loop.
@@ -48,8 +56,12 @@ pub struct AdaptRun {
     pub report: DecisionReport,
     /// The baseline recording the profiles came from.
     pub baseline: Recording,
-    /// The winning candidate's recording, when one beat the baseline.
+    /// The winning configuration's recording, when one beat the
+    /// baseline (the beam winner when the search found a compound that
+    /// beat every single).
     pub adapted: Option<Recording>,
+    /// The beam-search record, when [`EvalOptions::beam`] was set.
+    pub beam: Option<BeamReport>,
 }
 
 /// Records `cfg`, profiles it, evaluates policy candidates by replay,
@@ -57,6 +69,9 @@ pub struct AdaptRun {
 ///
 /// `analysis_threads` is the Phase B worker count for lock inference
 /// (`0` = one per core); the outcome is identical for every value.
+/// Candidates are evaluated with default [`EvalOptions`]: exact (no
+/// pruning, no beam search), concurrently on one eval worker per core
+/// — the report is byte-identical at every worker count.
 ///
 /// # Errors
 ///
@@ -67,44 +82,79 @@ pub fn adapt(
     policy: &AdaptPolicy,
     analysis_threads: usize,
 ) -> Result<AdaptRun, String> {
-    let baseline = record(cfg)?;
+    adapt_with(
+        cfg,
+        policy,
+        &EvalOptions {
+            analysis_threads,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// [`adapt`] with full control over the evaluation harness: eval
+/// parallelism, trace-analytic pruning, beam search over compound
+/// candidates, and invariant hoisting.
+///
+/// # Errors
+///
+/// Returns a message on compile failure or when the recorded baseline
+/// trace is unusable (ring overflow). A *candidate* trace overflowing
+/// is not an error — the candidate is marked [`EvalStatus::Skipped`]
+/// in the report and excluded from selection.
+pub fn adapt_with(
+    cfg: &RunConfig,
+    policy: &AdaptPolicy,
+    opts: &EvalOptions,
+) -> Result<AdaptRun, String> {
+    let ctx = EvalContext::new(cfg, opts.hoist)?;
+    let base_map = ctx.base_map(cfg);
+    let baseline = ctx.run_one(cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
     if baseline.trace.dropped > 0 {
         return Err(format!(
             "adapt: baseline trace dropped {} events — raise trace_capacity",
             baseline.trace.dropped
         ));
     }
-    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
-    let base_map = ConfigMap::uniform(SchemeConfig::full(cfg.k, program.elem_field_opt()));
     let profiles = trace::profile(&baseline.trace);
     let cands = candidates(&profiles, &base_map, policy);
     let base_cost = PlanCost::from_profiles(&profiles, baseline.outcome.makespan);
 
-    let mut store = SummaryStore::new();
-    let mut decisions = Vec::with_capacity(cands.len());
-    let mut recordings = Vec::with_capacity(cands.len());
-    for cand in &cands {
-        let map = cand.config_map(&base_map);
-        // Wake-policy candidates keep the lock plan (the base map, a
-        // SummaryStore cache hit) and steer the scheduler instead: the
-        // policy's configuration is frozen from the baseline profiles,
-        // exactly as the `crate::sched` harness would.
-        let mut cand_cfg = cfg.clone();
-        if let lockinfer::adapt::Adjustment::WakePolicy(kind) = cand.adjustment {
-            cand_cfg.sched = Some(interp::SchedConfig::from_profiles(kind, &profiles));
-        }
-        let rec = record_with_map(&cand_cfg, &map, analysis_threads, &mut store)?;
-        let prof = trace::profile(&rec.trace);
-        decisions.push(Decision {
+    let scope = EvalScope {
+        ctx: &ctx,
+        cfg,
+        base_map: &base_map,
+        profiles: &profiles,
+        base_cost,
+        opts,
+    };
+    let singles = eval_singles(&scope, &cands)?;
+    let decisions: Vec<Decision> = cands
+        .iter()
+        .zip(&singles)
+        .map(|(cand, (cost, status))| Decision {
             candidate: *cand,
-            cost: PlanCost::from_profiles(&prof, rec.outcome.makespan),
-        });
-        recordings.push(rec);
-    }
+            cost: *cost,
+            status: status.clone(),
+        })
+        .collect();
+    // Selection runs over the replayed subset only (pruned/skipped
+    // candidates have no measured cost), mapped back to canonical
+    // candidate indices.
+    let replayed: Vec<usize> = decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.status.is_replayed())
+        .map(|(i, _)| i)
+        .collect();
     let selected = select(
         base_cost,
-        &decisions.iter().map(|d| d.cost).collect::<Vec<_>>(),
-    );
+        &replayed
+            .iter()
+            .map(|&i| decisions[i].cost)
+            .collect::<Vec<_>>(),
+    )
+    .map(|j| replayed[j]);
     let report = DecisionReport {
         name: cfg.name.clone(),
         mode: format!("{:?}", cfg.mode),
@@ -112,11 +162,46 @@ pub fn adapt(
         candidates: decisions,
         selected,
     };
-    let adapted = selected.and_then(|i| recordings.into_iter().nth(i));
+
+    let beam = match opts.beam {
+        Some(bp) => Some(run_beam(&scope, &cands, &singles, bp)?),
+        None => None,
+    };
+
+    // Candidate recordings were dropped after profiling; the overall
+    // winner — the beam compound when it beat every single, else the
+    // selected single — is re-executed once, deterministically
+    // identical to its evaluation run.
+    let adapted = if let Some((bi, b)) = beam.as_ref().and_then(|b| b.selected.zip(Some(b))) {
+        let m = &b.evaluated[bi].candidate;
+        let ccfg = EvalContext::candidate_cfg(cfg, m.wake_policy(), &profiles);
+        Some(ctx.run_one(
+            &ccfg,
+            &m.config_map(&base_map),
+            Stamp::Adapt,
+            opts.analysis_threads,
+        )?)
+    } else if let Some(i) = selected {
+        let cand = &cands[i];
+        let wake = match cand.adjustment {
+            Adjustment::WakePolicy(kind) => Some(kind),
+            _ => None,
+        };
+        let ccfg = EvalContext::candidate_cfg(cfg, wake, &profiles);
+        Some(ctx.run_one(
+            &ccfg,
+            &cand.config_map(&base_map),
+            Stamp::Adapt,
+            opts.analysis_threads,
+        )?)
+    } else {
+        None
+    };
     Ok(AdaptRun {
         report,
         baseline,
         adapted,
+        beam,
     })
 }
 
@@ -136,56 +221,11 @@ pub fn adapt_trace(
     adapt(&RunConfig::from_trace(t)?, policy, analysis_threads)
 }
 
-/// Executes `cfg` with locks inferred under a per-section `map` rather
-/// than the uniform configuration — the candidate-evaluation twin of
-/// [`crate::replay::record`]. Phase A summaries are shared through
-/// `store` across every candidate of the same program.
-fn record_with_map(
-    cfg: &RunConfig,
-    map: &ConfigMap,
-    analysis_threads: usize,
-    store: &mut SummaryStore,
-) -> Result<Recording, String> {
-    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
-    let pt = pointsto::PointsTo::analyze(&program);
-    let analysis = lockinfer::analyze_program_with_configs(
-        &program,
-        &pt,
-        map,
-        &LibrarySpec::new(),
-        analysis_threads,
-        Some(store),
-    );
-    let transformed = lockinfer::transform(&program, &analysis);
-    let m = Machine::new(
-        Arc::new(transformed),
-        Arc::new(pt),
-        cfg.mode,
-        options_for(cfg),
-    );
-    let (outcome, mut trace) = execute(&m, cfg);
-    trace.meta_set("adapt.name", cfg.name.clone());
-    trace.meta_set("adapt.base_k", cfg.k.to_string());
-    for (section, c) in map.overrides() {
-        trace.meta_set(
-            &format!("adapt.section.{section}"),
-            format!(
-                "k={},expr={},pts={},eff={}",
-                c.k, c.use_expr, c.use_pts, c.use_eff
-            ),
-        );
-    }
-    if let Some(s) = &cfg.sched {
-        trace.meta_set("adapt.wake_policy", s.policy.tag().to_owned());
-    }
-    stamp_outcome(&outcome, &mut trace);
-    Ok(Recording { outcome, trace })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use interp::ExecMode;
+    use lockinfer::adapt::{BeamPolicy, EvalStatus};
 
     /// Two sections with opposite temperaments: `hot` hammers one
     /// global under long critical sections (wait ≫ hold per entry once
@@ -239,6 +279,8 @@ mod tests {
         let json = run.report.to_json();
         assert!(json.contains("\"baseline\""), "{json}");
         assert!(run.report.baseline.total_wait > 0);
+        // The exact default evaluation replays every candidate.
+        assert!(run.report.candidates.iter().all(|d| d.status.is_replayed()));
         // Candidate runs still compute the right answer.
         assert_eq!(run.baseline.outcome.check, Some(8 * 30));
     }
@@ -277,9 +319,80 @@ mod tests {
 
     #[test]
     fn adapt_trace_round_trips_through_recorded_metadata() {
-        let rec = record(&cfg()).unwrap();
+        let rec = crate::replay::record(&cfg()).unwrap();
         let from_trace = adapt_trace(&rec.trace, &AdaptPolicy::default(), 1).unwrap();
         let direct = adapt(&cfg(), &AdaptPolicy::default(), 1).unwrap();
         assert_eq!(from_trace.report.to_json(), direct.report.to_json());
+    }
+
+    #[test]
+    fn pruned_adaptation_marks_unreplayed_candidates() {
+        let exact = adapt(&cfg(), &AdaptPolicy::default(), 1).unwrap();
+        let n = exact.report.candidates.len();
+        assert!(n >= 2, "need at least two candidates to prune");
+        let pruned = adapt_with(
+            &cfg(),
+            &AdaptPolicy::default(),
+            &EvalOptions {
+                analysis_threads: 1,
+                prune: Some(1),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let replayed = pruned
+            .report
+            .candidates
+            .iter()
+            .filter(|d| d.status.is_replayed())
+            .count();
+        // top-1 plus the diversity guard's family bests: strictly
+        // fewer replays than the exact run when any family has more
+        // than one member.
+        assert!(replayed >= 1 && replayed <= n);
+        if replayed < n {
+            assert!(pruned
+                .report
+                .candidates
+                .iter()
+                .any(|d| matches!(d.status, EvalStatus::Pruned { .. })));
+        }
+        // Pruning is advisory: replayed candidates keep their exact
+        // measured costs.
+        for (p, e) in pruned
+            .report
+            .candidates
+            .iter()
+            .zip(&exact.report.candidates)
+        {
+            if p.status.is_replayed() {
+                assert_eq!(p.cost, e.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn beam_search_reports_compound_candidates() {
+        let run = adapt_with(
+            &cfg(),
+            &AdaptPolicy::default(),
+            &EvalOptions {
+                analysis_threads: 1,
+                beam: Some(BeamPolicy::default()),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let beam = run.beam.expect("beam requested");
+        assert_eq!(beam.baseline, run.report.baseline);
+        let json = beam.to_json();
+        assert!(json.starts_with("{\"width\":"), "{json}");
+        // A selected compound must strictly beat the baseline and be
+        // replayed, and the returned recording must exist.
+        if let Some(d) = beam.winner() {
+            assert!(d.status.is_replayed());
+            assert!(d.cost.total_wait < beam.baseline.total_wait);
+            assert!(run.adapted.is_some());
+        }
     }
 }

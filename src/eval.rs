@@ -1,0 +1,594 @@
+//! Shared what-if candidate-evaluation harness (DESIGN.md §5.7).
+//!
+//! The adaptive loop ([`crate::adapt`]) and the wake-policy loop
+//! ([`crate::sched`]) share one measurement shape: record a baseline,
+//! derive candidates from its profiles, re-run the identical
+//! deterministic schedule once per candidate, select by strict
+//! measured wait reduction. This module is that shape, factored out
+//! and made fast, in four layers:
+//!
+//! 1. **Hoisted invariants.** The program is compiled and the
+//!    points-to analysis run **once per evaluation**, shared as
+//!    [`Arc`]s across every candidate; Phase A summary caches are
+//!    memoized per distinct [`SchemeConfig`] in one concurrent
+//!    [`SummaryStore`], and candidates naming the same effective run
+//!    configuration replay once (see [`eval_singles`]). The
+//!    pre-harness behavior — re-deriving all three per candidate, no
+//!    dedup — is kept reachable (`hoist: false`) so `eval-bench` can
+//!    measure exactly what the harness buys.
+//! 2. **Parallel evaluation.** Candidates replay concurrently on a
+//!    [`std::thread::scope`] pool of `eval_threads` workers pulling
+//!    from an atomic work queue, and results are merged **by candidate
+//!    index** — so every report is byte-identical at every eval thread
+//!    count, the same guarantee (and the same mechanism) as the
+//!    analysis engine's Phase B.
+//! 3. **Trace-analytic pruning.** [`lockinfer::estimate`] scores every
+//!    candidate from the baseline profiles alone; only the estimated
+//!    `top_k` are replayed, the rest are marked
+//!    [`EvalStatus::Pruned`] in the report. `prune: None` keeps exact
+//!    behavior, and the `eval-bench` gate asserts the pruned set
+//!    always contains the replay-selected winner.
+//! 4. **Beam search over multi-override [`ConfigMap`]s.** Compound
+//!    candidates — several per-section overrides plus a wake policy,
+//!    k-sweeps, elem-field drops — are generated from the
+//!    single-override winners ([`lockinfer::extend_beam`]) and
+//!    evaluated through the same parallel, pruned pipeline.
+//!
+//! Candidate recordings are **not retained**: each worker profiles its
+//! recording, keeps the [`PlanCost`], and drops the events, so memory
+//! is O(1) in candidate count. The winner (if any) is re-executed once
+//! at the end — deterministically identical to its evaluation run.
+//!
+//! A candidate whose trace overflowed its ring (`dropped > 0`) is
+//! surfaced as [`EvalStatus::Skipped`] (or [`sched::SkippedPolicy`](::sched::SkippedPolicy))
+//! instead of silently contributing a bogus profile; the baseline
+//! overflowing is still a hard error, since every candidate's
+//! evidence derives from it.
+
+use crate::replay::{execute, options_for, stamp_outcome, Recording, RunConfig};
+use interp::Machine;
+use lockinfer::adapt::{Adjustment, BeamPolicy, BeamReport, MultiCandidate, MultiDecision};
+use lockinfer::estimate;
+use lockinfer::library::LibrarySpec;
+use lockinfer::{Candidate, EvalStatus, PlanCost, SummaryStore};
+use lockscheme::{ConfigMap, SchemeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use trace::SectionProfile;
+
+/// Knobs of one harness evaluation. [`Default`] is the exact,
+/// fully-parallel configuration: every candidate replayed, eval
+/// workers one per core, invariants hoisted.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EvalOptions {
+    /// Phase B worker count for lock inference (`0` = one per core).
+    /// The outcome is identical for every value.
+    pub analysis_threads: usize,
+    /// Concurrent candidate replays (`0` = one per core). The outcome
+    /// is identical for every value — results merge in candidate
+    /// order.
+    pub eval_threads: usize,
+    /// Replay only the estimator's `top_k` candidates (`None` = exact:
+    /// replay everything).
+    pub prune: Option<usize>,
+    /// Run a beam search over compound candidates after the
+    /// single-override round.
+    pub beam: Option<BeamPolicy>,
+    /// Share one compiled program / points-to result / summary store
+    /// across all candidates and deduplicate candidates naming the
+    /// same effective run configuration. `false` re-derives everything
+    /// per candidate and replays every candidate individually — the
+    /// pre-harness loop, kept reachable so `eval-bench` measures
+    /// exactly what the harness buys. Reports are byte-identical
+    /// either way (duplicates replay to identical costs).
+    pub hoist: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            analysis_threads: 0,
+            eval_threads: 0,
+            prune: None,
+            beam: None,
+            hoist: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The exact sequential configuration with the given analysis
+    /// parallelism — what the pre-harness loops did, minus the
+    /// per-candidate recompiles.
+    pub fn sequential(analysis_threads: usize) -> EvalOptions {
+        EvalOptions {
+            analysis_threads,
+            eval_threads: 1,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// How a harness recording is stamped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Stamp {
+    /// Full `run.*` metadata: the recording is self-describing and
+    /// replayable (baselines, steered wake-policy runs).
+    Run,
+    /// `adapt.*` metadata only: the recording ran under a candidate
+    /// [`ConfigMap`], so `replay()` must reject it rather than
+    /// silently re-infer under the uniform configuration.
+    Adapt,
+}
+
+/// What one candidate evaluation produced (the recording itself is
+/// dropped — memory stays O(1) in candidate count).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum CandidateRun {
+    /// Replayed clean; the measured cost.
+    Done(PlanCost),
+    /// The recording was unusable; the reason to surface.
+    Skipped(String),
+}
+
+/// The per-evaluation invariants every candidate shares: one compiled
+/// program, one points-to result, one concurrent summary store.
+pub struct EvalContext {
+    program: Arc<lir::Program>,
+    pt: Arc<pointsto::PointsTo>,
+    store: SummaryStore,
+    lib: LibrarySpec,
+    hoist: bool,
+}
+
+impl EvalContext {
+    /// Compiles `cfg`'s program and runs points-to, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on compile failure.
+    pub fn new(cfg: &RunConfig, hoist: bool) -> Result<EvalContext, String> {
+        let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+        let pt = pointsto::PointsTo::analyze(&program);
+        Ok(EvalContext {
+            program: Arc::new(program),
+            pt: Arc::new(pt),
+            store: SummaryStore::new(),
+            lib: LibrarySpec::new(),
+            hoist,
+        })
+    }
+
+    /// The uniform configuration map `cfg` prescribes — the baseline
+    /// every candidate overrides.
+    pub fn base_map(&self, cfg: &RunConfig) -> ConfigMap {
+        ConfigMap::uniform(SchemeConfig::full(cfg.k, self.program.elem_field_opt()))
+    }
+
+    /// Distinct scheme configurations whose Phase A summaries have
+    /// been computed so far.
+    pub fn summary_configs(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Executes `cfg` with locks inferred under `map` — the one
+    /// recording primitive behind baselines, adapt candidates, and
+    /// steered sched runs (formerly the near-identical
+    /// `record_with_map` / `record_with_threads` twins).
+    pub(crate) fn run_one(
+        &self,
+        cfg: &RunConfig,
+        map: &ConfigMap,
+        stamp: Stamp,
+        analysis_threads: usize,
+    ) -> Result<Recording, String> {
+        let (program, pt) = if self.hoist {
+            (Arc::clone(&self.program), Arc::clone(&self.pt))
+        } else {
+            let p = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+            let pt = pointsto::PointsTo::analyze(&p);
+            (Arc::new(p), Arc::new(pt))
+        };
+        let analysis = lockinfer::analyze_program_with_configs(
+            &program,
+            &pt,
+            map,
+            &self.lib,
+            analysis_threads,
+            if self.hoist { Some(&self.store) } else { None },
+        );
+        let transformed = lockinfer::transform(&program, &analysis);
+        let m = Machine::new(Arc::new(transformed), pt, cfg.mode, options_for(cfg));
+        let (outcome, mut trace) = execute(&m, cfg);
+        match stamp {
+            Stamp::Run => cfg.stamp(&mut trace),
+            Stamp::Adapt => {
+                trace.meta_set("adapt.name", cfg.name.clone());
+                trace.meta_set("adapt.base_k", cfg.k.to_string());
+                for (section, c) in map.overrides() {
+                    trace.meta_set(
+                        &format!("adapt.section.{section}"),
+                        format!(
+                            "k={},expr={},pts={},eff={}",
+                            c.k, c.use_expr, c.use_pts, c.use_eff
+                        ),
+                    );
+                }
+                if let Some(s) = &cfg.sched {
+                    trace.meta_set("adapt.wake_policy", s.policy.tag().to_owned());
+                }
+            }
+        }
+        stamp_outcome(&outcome, &mut trace);
+        Ok(Recording { outcome, trace })
+    }
+
+    /// [`Self::run_one`] for a candidate: profiles the recording,
+    /// keeps the cost, drops the events. A trace that overflowed its
+    /// ring is a skip, not a silently bogus cost.
+    pub(crate) fn eval_candidate(
+        &self,
+        cfg: &RunConfig,
+        map: &ConfigMap,
+        analysis_threads: usize,
+    ) -> Result<CandidateRun, String> {
+        let rec = self.run_one(cfg, map, Stamp::Adapt, analysis_threads)?;
+        if rec.trace.dropped > 0 {
+            return Ok(CandidateRun::Skipped(format!(
+                "candidate trace dropped {} events - raise trace_capacity",
+                rec.trace.dropped
+            )));
+        }
+        let prof = trace::profile(&rec.trace);
+        Ok(CandidateRun::Done(PlanCost::from_profiles(
+            &prof,
+            rec.outcome.makespan,
+        )))
+    }
+
+    /// The [`RunConfig`] a candidate runs under: `cfg` plus the frozen
+    /// wake-policy configuration when the candidate steers the
+    /// scheduler.
+    pub(crate) fn candidate_cfg(
+        cfg: &RunConfig,
+        wake: Option<interp::PolicyKind>,
+        profiles: &[SectionProfile],
+    ) -> RunConfig {
+        let mut c = cfg.clone();
+        if let Some(kind) = wake {
+            c.sched = Some(interp::SchedConfig::from_profiles(kind, profiles));
+        }
+        c
+    }
+}
+
+/// Runs `f(0..n)` on `eval_threads` scoped workers (0 = one per core)
+/// pulling indices from an atomic queue, and merges the results **in
+/// index order** — the canonical merge that keeps every downstream
+/// report byte-identical at every thread count. `eval_threads <= 1`
+/// (or a single item) degenerates to a plain sequential loop.
+pub(crate) fn par_map<T, F>(n: usize, eval_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_threads = if eval_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        eval_threads
+    }
+    .clamp(1, n.max(1));
+    if n_threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
+    for part in parts {
+        for (i, v) in part {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index evaluated exactly once"))
+        .collect()
+}
+
+/// The wake policy a single-override candidate steers, if any.
+fn wake_of(c: &Candidate) -> Option<interp::PolicyKind> {
+    match c.adjustment {
+        Adjustment::WakePolicy(kind) => Some(kind),
+        _ => None,
+    }
+}
+
+/// Everything one candidate round evaluates against: the hoisted
+/// context, the run being adapted, its baseline map/profiles/cost, and
+/// the harness knobs.
+pub(crate) struct EvalScope<'a> {
+    pub ctx: &'a EvalContext,
+    pub cfg: &'a RunConfig,
+    pub base_map: &'a ConfigMap,
+    pub profiles: &'a [SectionProfile],
+    pub base_cost: PlanCost,
+    pub opts: &'a EvalOptions,
+}
+
+/// Evaluates one set of single-override candidates through the pruned,
+/// parallel pipeline and returns one `(cost, status)` per candidate
+/// **in candidate order**.
+///
+/// Candidates naming the same *effective run configuration* — the same
+/// override set and wake policy, e.g. one wake policy proposed for two
+/// different convoy sections (steering is global, so both describe the
+/// identical run) — are **deduplicated**: the configuration replays
+/// once and every duplicate carries the shared measured cost as
+/// [`EvalStatus::Replayed`]. Pruning and the estimator's diversity
+/// guard operate on the deduplicated groups, each represented by its
+/// best-estimated member, so a group is kept or pruned as a whole.
+/// The legacy-emulation mode (`hoist: false`) skips the dedup and
+/// replays each candidate individually; determinism makes the
+/// resulting report byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates the first candidate whose execution failed outright
+/// (compile failure — impossible for candidates of a compiled
+/// baseline, but surfaced rather than swallowed).
+pub(crate) fn eval_singles(
+    scope: &EvalScope<'_>,
+    cands: &[Candidate],
+) -> Result<Vec<(PlanCost, EvalStatus)>, String> {
+    let &EvalScope {
+        ctx,
+        cfg,
+        base_map,
+        profiles,
+        base_cost,
+        opts,
+    } = scope;
+    let ests: Vec<u64> = cands
+        .iter()
+        .map(|c| estimate::estimate(c, profiles, base_cost))
+        .collect();
+    // Group by effective configuration, preserving first-seen order.
+    // The legacy-emulation mode (`hoist: false`) replays every
+    // candidate individually instead.
+    type Key = (Vec<(u32, SchemeConfig)>, Option<interp::PolicyKind>);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if opts.hoist {
+        let mut keys: Vec<Key> = Vec::new();
+        for (i, c) in cands.iter().enumerate() {
+            let key: Key = (c.config_map(base_map).overrides().to_vec(), wake_of(c));
+            match keys.iter().position(|k| *k == key) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    keys.push(key);
+                    groups.push(vec![i]);
+                }
+            }
+        }
+    } else {
+        groups = (0..cands.len()).map(|i| vec![i]).collect();
+    }
+    // One representative per group: the member the estimator rates
+    // best (ties by candidate order — deterministic).
+    let reps: Vec<Candidate> = groups
+        .iter()
+        .map(|members| {
+            let &best = members
+                .iter()
+                .min_by_key(|&&i| (ests[i], i))
+                .expect("groups are non-empty");
+            cands[best]
+        })
+        .collect();
+    let keep: Vec<usize> = match opts.prune {
+        Some(top_k) => estimate::prune(&reps, profiles, base_cost, top_k),
+        None => (0..reps.len()).collect(),
+    };
+    let runs: Vec<Result<CandidateRun, String>> = par_map(keep.len(), opts.eval_threads, |j| {
+        let rep = &reps[keep[j]];
+        let cand_cfg = EvalContext::candidate_cfg(cfg, wake_of(rep), profiles);
+        ctx.eval_candidate(&cand_cfg, &rep.config_map(base_map), opts.analysis_threads)
+    });
+    let mut out: Vec<(PlanCost, EvalStatus)> = cands
+        .iter()
+        .zip(&ests)
+        .map(|(_, &est)| (PlanCost::default(), EvalStatus::Pruned { est }))
+        .collect();
+    for (j, run) in runs.into_iter().enumerate() {
+        let shared = match run? {
+            CandidateRun::Done(cost) => (cost, EvalStatus::Replayed),
+            CandidateRun::Skipped(reason) => (PlanCost::default(), EvalStatus::Skipped { reason }),
+        };
+        for &i in &groups[keep[j]] {
+            out[i] = shared.clone();
+        }
+    }
+    Ok(out)
+}
+
+/// Beam search over compound candidates, seeded from the improving
+/// single-override decisions. Each round extends the beam with every
+/// compatible seed plus the k-sweep / elem-field variants, prunes by
+/// the analytic estimate, replays the survivors in parallel, and
+/// carries the `width` best forward. Returns the full evaluation
+/// record; `selected` names the best compound that strictly beats both
+/// the baseline **and** the best single-override cost.
+pub(crate) fn run_beam(
+    scope: &EvalScope<'_>,
+    cands: &[Candidate],
+    singles: &[(PlanCost, EvalStatus)],
+    bp: BeamPolicy,
+) -> Result<BeamReport, String> {
+    let &EvalScope {
+        ctx,
+        cfg,
+        base_map,
+        profiles,
+        base_cost,
+        opts,
+    } = scope;
+    // Improving singles, best first — the seeds and the round-0 beam.
+    let mut improving: Vec<(PlanCost, usize)> = singles
+        .iter()
+        .enumerate()
+        .filter(|(_, (cost, status))| {
+            status.is_replayed() && cost.total_wait < base_cost.total_wait
+        })
+        .map(|(i, (cost, _))| (*cost, i))
+        .collect();
+    improving.sort_by_key(|(c, i)| (c.total_wait, c.makespan, *i));
+    let seeds: Vec<Candidate> = improving.iter().map(|&(_, i)| cands[i]).collect();
+    let single_floor = improving
+        .first()
+        .map(|(c, _)| c.total_wait)
+        .unwrap_or(base_cost.total_wait);
+    let mut beam: Vec<MultiCandidate> = seeds
+        .iter()
+        .take(bp.width)
+        .map(MultiCandidate::single)
+        .collect();
+    let mut evaluated: Vec<MultiDecision> = Vec::new();
+    // Cross-round dedup by effective configuration (extend_beam only
+    // dedupes within one round).
+    type SeenKey = (Vec<(u32, SchemeConfig)>, Option<String>);
+    let mut seen: Vec<SeenKey> = Vec::new();
+    let key = |m: &MultiCandidate| {
+        (
+            m.config_map(base_map).overrides().to_vec(),
+            m.wake_policy().map(|k| k.tag().to_owned()),
+        )
+    };
+    for round in 1..=bp.rounds {
+        let gen: Vec<MultiCandidate> = lockinfer::extend_beam(&beam, &seeds, base_map, bp.max_k)
+            .into_iter()
+            .filter(|m| {
+                let k = key(m);
+                if seen.contains(&k) {
+                    false
+                } else {
+                    seen.push(k);
+                    true
+                }
+            })
+            .collect();
+        if gen.is_empty() {
+            break;
+        }
+        let keep: Vec<usize> = match opts.prune {
+            Some(top_k) => estimate::prune_multi(&gen, profiles, base_cost, top_k),
+            None => (0..gen.len()).collect(),
+        };
+        let runs: Vec<Result<CandidateRun, String>> = par_map(keep.len(), opts.eval_threads, |j| {
+            let m = &gen[keep[j]];
+            let cand_cfg = EvalContext::candidate_cfg(cfg, m.wake_policy(), profiles);
+            ctx.eval_candidate(&cand_cfg, &m.config_map(base_map), opts.analysis_threads)
+        });
+        let mut round_costs: Vec<(PlanCost, usize)> = Vec::new();
+        let mut statuses: Vec<(PlanCost, EvalStatus)> = gen
+            .iter()
+            .map(|m| {
+                (
+                    PlanCost::default(),
+                    EvalStatus::Pruned {
+                        est: estimate::estimate_multi(m, profiles, base_cost),
+                    },
+                )
+            })
+            .collect();
+        for (j, run) in runs.into_iter().enumerate() {
+            statuses[keep[j]] = match run? {
+                CandidateRun::Done(cost) => (cost, EvalStatus::Replayed),
+                CandidateRun::Skipped(reason) => {
+                    (PlanCost::default(), EvalStatus::Skipped { reason })
+                }
+            };
+        }
+        for (m, (cost, status)) in gen.into_iter().zip(statuses) {
+            if status.is_replayed() && cost.total_wait < base_cost.total_wait {
+                round_costs.push((cost, evaluated.len()));
+            }
+            evaluated.push(MultiDecision {
+                candidate: m,
+                cost,
+                status,
+                round,
+            });
+        }
+        // Next beam: this round's `width` best improving compounds.
+        round_costs.sort_by_key(|(c, i)| (c.total_wait, c.makespan, *i));
+        if round_costs.is_empty() {
+            break;
+        }
+        beam = round_costs
+            .iter()
+            .take(bp.width)
+            .map(|&(_, i)| evaluated[i].candidate.clone())
+            .collect();
+    }
+    let selected = evaluated
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            d.status.is_replayed()
+                && d.cost.total_wait < base_cost.total_wait
+                && d.cost.total_wait < single_floor
+        })
+        .min_by_key(|(i, d)| (d.cost.total_wait, d.cost.makespan, *i))
+        .map(|(i, _)| i);
+    Ok(BeamReport {
+        width: bp.width,
+        rounds: bp.rounds,
+        baseline: base_cost,
+        evaluated,
+        selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_merges_in_index_order_at_any_thread_count() {
+        for threads in [0usize, 1, 2, 7, 16] {
+            let out = par_map(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+        assert!(par_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_runs_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        par_map(50, 7, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -46,6 +46,7 @@
 //! figures.
 
 pub mod adapt;
+pub mod eval;
 pub mod replay;
 pub mod sched;
 

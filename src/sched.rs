@@ -3,27 +3,37 @@
 //!
 //! The `sched` crate is the pure policy engine: [`WakePolicy`] ranking
 //! functions in, wake order out. This module closes the loop against
-//! the deterministic interpreter, mirroring [`crate::adapt`]:
+//! the deterministic interpreter through the shared evaluation harness
+//! ([`crate::eval`]), mirroring [`crate::adapt`]:
 //!
 //! 1. **Record** the baseline under the historical FIFO order
-//!    (`sched: None`) and profile its trace.
+//!    (`sched: None`) and profile its trace. The program is compiled
+//!    and points-to analyzed **once**, shared with every policy run.
 //! 2. **Detect** convoy-prone sections from the wait/hold histograms
 //!    ([`sched::convoy::detect`]) — the evidence that re-ordering
 //!    wakes can recover anything at all.
 //! 3. **Re-run** the *identical* `RunConfig` (same seed, same virtual
 //!    scheduler, same fault plan) once per non-FIFO [`PolicyKind`],
 //!    with each policy's [`SchedConfig`] frozen from the baseline
-//!    profiles, and measure the replayed [`PolicyCost`].
+//!    profiles — **concurrently**, on the harness's eval-thread pool —
+//!    and measure the replayed [`PolicyCost`]. Every policy uses the
+//!    same uniform lock plan, so inference runs once and the rest hit
+//!    the shared `SummaryStore`. Candidate recordings are dropped
+//!    after profiling; a policy whose trace overflowed its ring lands
+//!    in [`SchedReport::skipped`] instead of contributing a bogus
+//!    cost.
 //! 4. **Select** the policy with the lowest total virtual-time wait,
 //!    strictly below the FIFO baseline, and emit a machine-readable
-//!    [`SchedReport`].
+//!    [`SchedReport`]. The winner is re-executed once for the returned
+//!    recording.
 //!
 //! Everything downstream of the recorded trace is deterministic:
 //! policies are pure functions of recorded state, inference is
-//! byte-identical at any analysis thread count, and the virtual
-//! scheduler reproduces executions exactly — so two `evaluate` runs
-//! over the same config produce byte-identical reports and steered
-//! trace digests.
+//! byte-identical at any analysis thread count, each replay is an
+//! exact virtual-time re-execution, and the harness merges results in
+//! policy order — so two `evaluate` runs over the same config produce
+//! byte-identical reports and steered trace digests **at every eval
+//! thread count**.
 //!
 //! Unlike adapted traces (which carry `adapt.*` keys only), a
 //! policy-steered recording **is** stamped with full `run.*` metadata
@@ -32,17 +42,14 @@
 //! [`crate::replay::replay`] reproduces the steered schedule
 //! bit-for-bit from the trace alone.
 
-use crate::replay::{execute, options_for, stamp_outcome, Recording, RunConfig};
+use crate::eval::{par_map, EvalContext, EvalOptions, Stamp};
+use crate::replay::{Recording, RunConfig};
 use ::sched::convoy::detect;
 use ::sched::report::select;
-use interp::Machine;
-use lockinfer::library::LibrarySpec;
-use lockscheme::SchemeConfig;
-use std::sync::Arc;
 use trace::Trace;
 
 pub use ::sched::convoy::{ConvoyFlag, ConvoyPolicy};
-pub use ::sched::report::{PolicyCost, PolicyOutcome, SchedReport};
+pub use ::sched::report::{PolicyCost, PolicyOutcome, SchedReport, SkippedPolicy};
 pub use ::sched::{queue_profiles, PolicyKind, SchedConfig, WakePolicy};
 
 /// The full result of one policy evaluation loop.
@@ -65,20 +72,49 @@ pub struct SchedRun {
 /// the evaluation answers "what would each policy have bought *this*
 /// run". `analysis_threads` is the Phase B worker count for lock
 /// inference (`0` = one per core); the outcome is identical for every
-/// value.
+/// value. Policies are evaluated with default [`EvalOptions`]:
+/// concurrently on one eval worker per core — the report is
+/// byte-identical at every worker count.
 ///
 /// # Errors
 ///
-/// Returns a message on compile failure or when a recorded trace is
-/// unusable (ring overflow).
+/// Returns a message on compile failure or when the recorded baseline
+/// trace is unusable (ring overflow).
 pub fn evaluate(
     cfg: &RunConfig,
     convoy: &ConvoyPolicy,
     analysis_threads: usize,
 ) -> Result<SchedRun, String> {
+    evaluate_with(
+        cfg,
+        convoy,
+        &EvalOptions {
+            analysis_threads,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// [`evaluate`] with full control over the evaluation harness (eval
+/// parallelism, invariant hoisting; pruning and beam search do not
+/// apply to the fixed policy set).
+///
+/// # Errors
+///
+/// Returns a message on compile failure or when the recorded baseline
+/// trace is unusable (ring overflow). A *steered* trace overflowing is
+/// not an error — the policy lands in [`SchedReport::skipped`] and is
+/// excluded from selection.
+pub fn evaluate_with(
+    cfg: &RunConfig,
+    convoy: &ConvoyPolicy,
+    opts: &EvalOptions,
+) -> Result<SchedRun, String> {
     let mut base_cfg = cfg.clone();
     base_cfg.sched = None;
-    let baseline = record_with_threads(&base_cfg, analysis_threads)?;
+    let ctx = EvalContext::new(&base_cfg, opts.hoist)?;
+    let base_map = ctx.base_map(&base_cfg);
+    let baseline = ctx.run_one(&base_cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
     if baseline.trace.dropped > 0 {
         return Err(format!(
             "sched: baseline trace dropped {} events — raise trace_capacity",
@@ -89,21 +125,40 @@ pub fn evaluate(
     let convoys = detect(&profiles, convoy);
     let base_cost = PolicyCost::from_profiles(&profiles, baseline.outcome.makespan);
 
-    let mut evaluated = Vec::new();
-    let mut recordings = Vec::new();
-    for kind in PolicyKind::ALL {
-        if kind == PolicyKind::Fifo {
-            continue;
-        }
-        let mut steered_cfg = base_cfg.clone();
-        steered_cfg.sched = Some(SchedConfig::from_profiles(kind, &profiles));
-        let rec = record_with_threads(&steered_cfg, analysis_threads)?;
-        let prof = trace::profile(&rec.trace);
-        evaluated.push(PolicyOutcome {
-            policy: kind,
-            cost: PolicyCost::from_profiles(&prof, rec.outcome.makespan),
+    let kinds: Vec<PolicyKind> = PolicyKind::ALL
+        .into_iter()
+        .filter(|&k| k != PolicyKind::Fifo)
+        .collect();
+    // One steered re-run per policy, concurrently; recordings are
+    // profiled and dropped inside the worker (O(1) memory), results
+    // merged in policy order.
+    let runs: Vec<Result<Result<PolicyCost, String>, String>> =
+        par_map(kinds.len(), opts.eval_threads, |i| {
+            let mut steered_cfg = base_cfg.clone();
+            steered_cfg.sched = Some(SchedConfig::from_profiles(kinds[i], &profiles));
+            let rec = ctx.run_one(&steered_cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
+            if rec.trace.dropped > 0 {
+                return Ok(Err(format!(
+                    "steered trace dropped {} events - raise trace_capacity",
+                    rec.trace.dropped
+                )));
+            }
+            let prof = trace::profile(&rec.trace);
+            Ok(Ok(PolicyCost::from_profiles(&prof, rec.outcome.makespan)))
         });
-        recordings.push(rec);
+    let mut evaluated = Vec::new();
+    let mut skipped = Vec::new();
+    for (kind, run) in kinds.iter().zip(runs) {
+        match run? {
+            Ok(cost) => evaluated.push(PolicyOutcome {
+                policy: *kind,
+                cost,
+            }),
+            Err(reason) => skipped.push(SkippedPolicy {
+                policy: *kind,
+                reason,
+            }),
+        }
     }
     let selected = select(base_cost, &evaluated);
     let report = SchedReport {
@@ -113,8 +168,18 @@ pub fn evaluate(
         evaluated,
         selected,
         convoys,
+        skipped,
     };
-    let steered = selected.and_then(|i| recordings.into_iter().nth(i));
+    // Re-execute the winner once for the returned recording —
+    // deterministically identical to its evaluation run.
+    let steered = match report.winner() {
+        Some(w) => {
+            let mut steered_cfg = base_cfg.clone();
+            steered_cfg.sched = Some(SchedConfig::from_profiles(w.policy, &profiles));
+            Some(ctx.run_one(&steered_cfg, &base_map, Stamp::Run, opts.analysis_threads)?)
+        }
+        None => None,
+    };
     Ok(SchedRun {
         report,
         baseline,
@@ -136,33 +201,6 @@ pub fn evaluate_trace(
     analysis_threads: usize,
 ) -> Result<SchedRun, String> {
     evaluate(&RunConfig::from_trace(t)?, convoy, analysis_threads)
-}
-
-/// [`crate::replay::record`] with an explicit analysis worker count:
-/// same uniform `Σ_k × Σ≡ × Σ_ε` inference, same `run.*` stamping, so
-/// the recording (steered or not) stays fully replayable.
-fn record_with_threads(cfg: &RunConfig, analysis_threads: usize) -> Result<Recording, String> {
-    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
-    let pt = pointsto::PointsTo::analyze(&program);
-    let config = SchemeConfig::full(cfg.k, program.elem_field_opt());
-    let analysis = lockinfer::analyze_program_with_opts(
-        &program,
-        &pt,
-        config,
-        &LibrarySpec::new(),
-        analysis_threads,
-    );
-    let transformed = lockinfer::transform(&program, &analysis);
-    let m = Machine::new(
-        Arc::new(transformed),
-        Arc::new(pt),
-        cfg.mode,
-        options_for(cfg),
-    );
-    let (outcome, mut trace) = execute(&m, cfg);
-    cfg.stamp(&mut trace);
-    stamp_outcome(&outcome, &mut trace);
-    Ok(Recording { outcome, trace })
 }
 
 #[cfg(test)]
@@ -216,6 +254,7 @@ mod tests {
     fn evaluate_reports_convoys_and_all_policies() {
         let run = evaluate(&cfg(), &ConvoyPolicy::default(), 1).unwrap();
         assert_eq!(run.report.evaluated.len(), PolicyKind::ALL.len() - 1);
+        assert!(run.report.skipped.is_empty(), "nothing overflows here");
         assert!(
             !run.report.convoys.is_empty(),
             "8 threads behind a 300-nop hold must flag a convoy: {}",

@@ -1,0 +1,218 @@
+//! Determinism and soundness properties of the shared candidate-
+//! evaluation harness (DESIGN.md §5.7):
+//!
+//! * **Parallel determinism** — `adapt_with` / `evaluate_with` produce
+//!   byte-identical reports and identical winner digests at every eval
+//!   thread count (1, 2, 7): results merge in candidate order, so the
+//!   worker pool never leaks into the outcome.
+//! * **Estimator soundness (empirical)** — pruning is advisory: on the
+//!   micro workloads, the estimator's kept set contains the winner the
+//!   exact (unpruned) evaluation selects, and the pruned run selects
+//!   that same winner.
+//! * **Skip surfacing** — a candidate trace that overflows its ring
+//!   becomes a per-candidate `Skipped` marker (adapt) or a
+//!   `SkippedPolicy` entry (sched), never an error and never a bogus
+//!   cost.
+
+use atomic_lock_inference::adapt::{adapt_with, AdaptRun};
+use atomic_lock_inference::eval::EvalOptions;
+use atomic_lock_inference::replay::RunConfig;
+use atomic_lock_inference::sched::evaluate_with;
+use interp::ExecMode;
+use lockinfer::adapt::{AdaptPolicy, BeamPolicy, EvalStatus};
+use proptest::prelude::*;
+use workloads::{micro, Contention, RunSpec};
+
+fn spec_for(which: usize, ops: i64) -> RunSpec {
+    match which {
+        0 => micro::list(Contention::High, ops, 10),
+        1 => micro::hashtable2(Contention::High, ops, 10),
+        _ => micro::th(Contention::High, ops, 10),
+    }
+}
+
+fn opts(eval_threads: usize) -> EvalOptions {
+    EvalOptions {
+        analysis_threads: 1,
+        eval_threads,
+        ..EvalOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The adaptation loop is a pure function of the run configuration:
+    /// eval parallelism must never leak into the report bytes, the
+    /// baseline digest, or the winner's re-executed digest — even with
+    /// pruning and beam search on.
+    #[test]
+    fn adapt_report_is_byte_identical_at_every_eval_thread_count(
+        which in 0usize..3,
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        ops in 20i64..50,
+    ) {
+        let spec = spec_for(which, ops);
+        let mut cfg = RunConfig::from_spec(&spec, 9, ExecMode::MultiGrain, threads);
+        cfg.seed = seed;
+        let runs: Vec<AdaptRun> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| {
+                let o = EvalOptions {
+                    prune: Some(4),
+                    beam: Some(BeamPolicy::default()),
+                    ..opts(t)
+                };
+                adapt_with(&cfg, &AdaptPolicy::default(), &o).unwrap()
+            })
+            .collect();
+        let first = &runs[0];
+        for r in &runs[1..] {
+            prop_assert_eq!(r.report.to_json(), first.report.to_json());
+            prop_assert_eq!(
+                r.beam.as_ref().unwrap().to_json(),
+                first.beam.as_ref().unwrap().to_json()
+            );
+            prop_assert_eq!(r.baseline.trace.digest(), first.baseline.trace.digest());
+            match (&r.adapted, &first.adapted) {
+                (Some(a), Some(b)) => prop_assert_eq!(a.trace.digest(), b.trace.digest()),
+                (None, None) => {}
+                _ => prop_assert!(false, "selection diverged across eval thread counts"),
+            }
+        }
+    }
+
+    /// Same property for the wake-policy harness.
+    #[test]
+    fn sched_report_is_byte_identical_at_every_eval_thread_count(
+        which in 0usize..3,
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        ops in 20i64..50,
+    ) {
+        let spec = spec_for(which, ops);
+        let mut cfg = RunConfig::from_spec(&spec, 9, ExecMode::MultiGrain, threads);
+        cfg.seed = seed;
+        let convoy = atomic_lock_inference::sched::ConvoyPolicy::default();
+        let runs: Vec<_> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| evaluate_with(&cfg, &convoy, &opts(t)).unwrap())
+            .collect();
+        let first = &runs[0];
+        for r in &runs[1..] {
+            prop_assert_eq!(r.report.to_json(), first.report.to_json());
+            prop_assert_eq!(r.baseline.trace.digest(), first.baseline.trace.digest());
+            match (&r.steered, &first.steered) {
+                (Some(a), Some(b)) => prop_assert_eq!(a.trace.digest(), b.trace.digest()),
+                (None, None) => {}
+                _ => prop_assert!(false, "selection diverged across eval thread counts"),
+            }
+        }
+    }
+
+    /// Empirical estimator soundness on the micro workloads: the
+    /// trace-analytic top-k always contains the candidate the exact
+    /// evaluation selects, and the pruned run selects the same winner
+    /// with the same measured cost.
+    #[test]
+    fn pruning_never_discards_the_exact_winner(
+        which in 0usize..3,
+        seed in any::<u64>(),
+        ops in 30i64..60,
+    ) {
+        let spec = spec_for(which, ops);
+        let mut cfg = RunConfig::from_spec(&spec, 9, ExecMode::MultiGrain, 4);
+        cfg.seed = seed;
+        let exact = adapt_with(&cfg, &AdaptPolicy::default(), &opts(0)).unwrap();
+        let pruned = adapt_with(
+            &cfg,
+            &AdaptPolicy::default(),
+            &EvalOptions { prune: Some(4), ..opts(0) },
+        )
+        .unwrap();
+        if let Some(i) = exact.report.selected {
+            let kept = &pruned.report.candidates[i];
+            prop_assert!(
+                kept.status.is_replayed(),
+                "estimator pruned the exact winner (candidate {}: {})",
+                i,
+                kept.candidate.adjustment.tag()
+            );
+            prop_assert_eq!(pruned.report.selected, Some(i));
+            prop_assert_eq!(kept.cost, exact.report.candidates[i].cost);
+        } else {
+            // No exact winner: pruning must not invent one.
+            prop_assert_eq!(pruned.report.selected, None);
+        }
+    }
+}
+
+/// A candidate whose steered trace overflows its ring is surfaced as a
+/// skip, not an error — and never contributes a cost to selection. A
+/// tiny capacity overflows the baseline first, which *is* an error;
+/// here the baseline fits (FIFO, no wake-decision events) while every
+/// steered run overflows (each wake decision adds an event).
+#[test]
+fn overflowing_candidate_traces_surface_as_skips() {
+    let spec = micro::list(Contention::High, 120, 20);
+    let mut cfg = RunConfig::from_spec(&spec, 9, ExecMode::MultiGrain, 8);
+    // Find a capacity where the FIFO baseline fits exactly.
+    let base = atomic_lock_inference::replay::record(&cfg).unwrap();
+    let per_thread = base
+        .trace
+        .events
+        .iter()
+        .fold(std::collections::HashMap::new(), |mut m, e| {
+            *m.entry(e.tid).or_insert(0usize) += 1;
+            m
+        });
+    let max_ring = per_thread.values().copied().max().unwrap_or(0);
+    cfg.trace_capacity = max_ring;
+    let convoy = atomic_lock_inference::sched::ConvoyPolicy::default();
+    match evaluate_with(&cfg, &convoy, &opts(1)) {
+        Ok(run) => {
+            // Every skip carries a reason and is excluded from the
+            // evaluated set.
+            for s in &run.report.skipped {
+                assert!(s.reason.contains("dropped"), "{}", s.reason);
+                assert!(run.report.evaluated.iter().all(|o| o.policy != s.policy));
+            }
+            let json = run.report.to_json();
+            assert!(json.contains("\"skipped\":["), "{json}");
+        }
+        Err(e) => {
+            // Acceptable only if the baseline itself overflowed at
+            // this capacity (ring bookkeeping differs per mode).
+            assert!(e.contains("baseline"), "{e}");
+        }
+    }
+}
+
+/// The adapt-side skip marker: statuses land in the decision JSON.
+#[test]
+fn decision_json_carries_statuses() {
+    let spec = micro::list(Contention::High, 80, 10);
+    let cfg = RunConfig::from_spec(&spec, 9, ExecMode::MultiGrain, 4);
+    let run = adapt_with(
+        &cfg,
+        &AdaptPolicy::default(),
+        &EvalOptions {
+            prune: Some(1),
+            ..opts(0)
+        },
+    )
+    .unwrap();
+    let json = run.report.to_json();
+    assert!(json.contains("\"status\":\"replayed\""), "{json}");
+    // Whenever the harness pruned anything, the estimate travels in
+    // the JSON next to the zeroed cost.
+    if run
+        .report
+        .candidates
+        .iter()
+        .any(|d| matches!(d.status, EvalStatus::Pruned { .. }))
+    {
+        assert!(json.contains("\"status\":\"pruned\",\"est\":"), "{json}");
+    }
+}
