@@ -6,14 +6,21 @@
 //! ```
 //!
 //! Runs the `workloads::scale` smoke program under MultiGrain locks at
-//! k = 9 twice per repetition — sentinel disabled, then armed with
+//! k = 9 three times per repetition — sentinel disabled, armed with
 //! `sample_every = 1` (sampling off: every in-section access checked
-//! inline) — and compares the best wall-clock time of each arm. The
-//! armed runs use sound inferred locks, so the sentinel must stay
-//! silent; the bin fails outright if it reports a violation.
+//! inline), and armed with the `sampled-production` preset
+//! ([`SentinelConfig::sampled_production`], 1-in-8 sampling) — and
+//! compares the best wall-clock time of each arm. The armed runs use
+//! sound inferred locks, so the sentinel must stay silent; the bin
+//! fails outright if it reports a violation.
 //!
-//! With `--check`, exits nonzero when the armed/disabled ratio reaches
-//! 2.0, the overhead budget the sentinel promises when fully on.
+//! With `--check`, exits nonzero when either armed arm's ratio to the
+//! disabled arm reaches 2.0 — the overhead budget the sentinel
+//! promises when fully on, which the sampled-production preset (tuned
+//! from this very gate) must a fortiori stay inside. The
+//! sampled-vs-full comparison is printed for the record but not gated:
+//! on this virtual-time interpreter the check itself is cheap, so the
+//! two arms sit within scheduler noise of each other.
 
 use interp::{ExecMode, Machine, Options, SentinelConfig};
 use lockscheme::SchemeConfig;
@@ -91,16 +98,24 @@ fn main() -> ExitCode {
         sample_every: 1,
         ..SentinelConfig::default()
     };
-    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let sampled_cfg = SentinelConfig::sampled_production();
+    let (mut off, mut on, mut sampled) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..REPS {
         off = off.min(timed(None));
         on = on.min(timed(Some(armed_cfg)));
+        sampled = sampled.min(timed(Some(sampled_cfg)));
     }
     let ratio = on / off;
+    let sampled_ratio = sampled / off;
     println!("sentinel off: {off:.6}s (best of {REPS})");
     println!("sentinel on (sample_every=1): {on:.6}s (best of {REPS})");
+    println!(
+        "sentinel on (sampled-production, sample_every={}): {sampled:.6}s (best of {REPS})",
+        sampled_cfg.sample_every
+    );
     println!("overhead ratio: {ratio:.3}x (budget < 2.000x)");
-    if check && ratio >= 2.0 {
+    println!("sampled-production ratio: {sampled_ratio:.3}x (budget < 2.000x)");
+    if check && (ratio >= 2.0 || sampled_ratio >= 2.0) {
         println!("sentinel-overhead check: FAIL");
         return ExitCode::FAILURE;
     }

@@ -4,6 +4,7 @@
 //! ```text
 //! trace-dump record <workload> [--mode M] [--k N] [--threads N] [--ops N]
 //!                              [--faults] [--sentinel] [--weaken S:I]
+//!                              [--sentinel-preset default|sampled-production]
 //!                              [--out FILE]
 //! trace-dump validate <trace.json>
 //! trace-dump profile  <trace.json>
@@ -13,6 +14,9 @@
 //!                               [--contention low|high] [--json FILE]
 //! trace-dump sched   <workload> [--mode M] [--k N] [--threads N] [--ops N]
 //!                               [--contention low|high] [--json FILE]
+//! trace-dump reinfer <workload> [--mode M] [--k N] [--threads N] [--ops N]
+//!                               [--contention low|high] [--weaken S:I]
+//!                               [--json FILE]
 //! ```
 //!
 //! * `record` runs a named workload (`list`, `hashtable`, `hashtable2`,
@@ -44,11 +48,22 @@
 //!   the same deterministic schedule, and report whether any policy
 //!   reduces total virtual-time wait. Exits nonzero if a selected
 //!   policy fails the `steered wait <= baseline wait` invariant.
+//! * `reinfer` runs quarantine-aware re-inference (DESIGN.md §5.8):
+//!   record a sentinel-armed baseline (with `--weaken S:I` seeding the
+//!   modeled inference bug), diagnose the canonical violation ledger,
+//!   replay every repair candidate and the global-demotion reference
+//!   on the same deterministic schedule, and print the repair ledger —
+//!   per offending section: the diagnosis-tagged candidates, their
+//!   cleanliness and cost, and which (if any) was admitted. When a
+//!   fault was seeded, exits nonzero unless at least one section heals
+//!   onto an admitted non-global repair that is lockset-clean,
+//!   strictly cheaper than the demotion, never re-offends after the
+//!   `ri`-accepted event, and replays to the same digest.
 //!
 //! Exit status is nonzero on a validation failure or digest mismatch,
 //! so all subcommands double as CI checks.
 
-use atomic_lock_inference::{adapt, replay, replay::RunConfig, sched};
+use atomic_lock_inference::{adapt, reinfer, replay, replay::RunConfig, sched};
 use interp::{ExecMode, FaultPlan, SentinelConfig, WeakenPlan};
 use lockinfer::adapt::AdaptPolicy;
 use std::process::ExitCode;
@@ -57,7 +72,8 @@ use workloads::{micro, stamp, Contention, RunSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace-dump record <workload> [--mode global|multigrain|stm|validate] \
-         [--k N] [--threads N] [--ops N] [--faults] [--sentinel] [--weaken S:I] [--out FILE]\n\
+         [--k N] [--threads N] [--ops N] [--faults] [--sentinel] [--weaken S:I] \
+         [--sentinel-preset default|sampled-production] [--out FILE]\n\
          \x20      trace-dump validate <trace.json>\n\
          \x20      trace-dump profile  <trace.json>\n\
          \x20      trace-dump replay   <trace.json>\n\
@@ -66,7 +82,9 @@ fn usage() -> ExitCode {
          [--ops N] [--contention low|high] [--json FILE]\n\
          \x20      trace-dump sched    <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--json FILE]\n\
-         workloads: list hashtable hashtable2 rbtree th genome vacation kmeans"
+         \x20      trace-dump reinfer  <workload> [--mode M] [--k N] [--threads N] \
+         [--ops N] [--contention low|high] [--weaken S:I] [--json FILE]\n\
+         workloads: list hashtable hashtable2 rbtree th scale genome vacation kmeans"
     );
     ExitCode::from(2)
 }
@@ -78,6 +96,17 @@ fn workload(name: &str, ops: i64, c: Contention) -> Option<RunSpec> {
         "hashtable2" => micro::hashtable2(c, ops, 1),
         "rbtree" => micro::rbtree(c, ops, 1),
         "th" => micro::th(c, ops, 1),
+        "scale" => workloads::scale::smoke(
+            "scale",
+            workloads::scale::ScaleParams {
+                depth: 3,
+                width: 4,
+                sections: 12,
+                stmts_per_fn: 10,
+                seed: 11,
+            },
+            ops,
+        ),
         "genome" => stamp::genome(ops, 1),
         "vacation" => stamp::vacation(ops, 1),
         "kmeans" => stamp::kmeans(ops, 1),
@@ -152,6 +181,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let mut ops = 200i64;
     let mut faults = None;
     let mut sentinel = false;
+    let mut preset = SentinelConfig::default();
     let mut weaken = None;
     let mut out = None;
     let mut it = args[1..].iter();
@@ -182,6 +212,14 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--sentinel" => sentinel = true,
+            "--sentinel-preset" => {
+                preset = match val("default|sampled-production")?.as_str() {
+                    "default" => SentinelConfig::default(),
+                    "sampled-production" => SentinelConfig::sampled_production(),
+                    other => return Err(format!("record: unknown sentinel preset `{other}`")),
+                };
+                sentinel = true;
+            }
             "--weaken" => {
                 let v = val("SECTION:INDEX")?;
                 let (s, i) = v
@@ -201,7 +239,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         .ok_or_else(|| format!("record: unknown workload `{name}`"))?;
     let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
     cfg.faults = faults;
-    cfg.sentinel = sentinel.then(SentinelConfig::default);
+    cfg.sentinel = sentinel.then_some(preset);
     cfg.weaken = weaken;
     let rec = replay::record(&cfg)?;
     println!(
@@ -417,6 +455,178 @@ fn cmd_sched(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_reinfer(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("reinfer: missing workload name")?;
+    let mut mode = ExecMode::MultiGrain;
+    let mut k = 9usize;
+    let mut threads = 8usize;
+    let mut ops = 200i64;
+    let mut contention = Contention::High;
+    let mut weaken = None;
+    let mut json = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("reinfer: {flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                let v = val("a mode")?;
+                mode = parse_exec_mode(&v).ok_or_else(|| format!("reinfer: bad mode `{v}`"))?;
+            }
+            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--threads" => {
+                threads = val("a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--contention" => {
+                contention = match val("low|high")?.as_str() {
+                    "low" => Contention::Low,
+                    "high" => Contention::High,
+                    other => return Err(format!("reinfer: bad contention `{other}`")),
+                };
+            }
+            "--weaken" => {
+                let v = val("SECTION:INDEX")?;
+                let (s, i) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--weaken: `{v}` is not SECTION:INDEX"))?;
+                weaken = Some(WeakenPlan {
+                    section: s.parse().map_err(|e| format!("--weaken section: {e}"))?,
+                    drop_index: i.parse().map_err(|e| format!("--weaken index: {e}"))?,
+                });
+            }
+            "--json" => json = Some(val("a path")?),
+            other => return Err(format!("reinfer: unknown flag `{other}`")),
+        }
+    }
+    let spec = workload(name, ops, contention)
+        .ok_or_else(|| format!("reinfer: unknown workload `{name}`"))?;
+    let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    cfg.sentinel = Some(SentinelConfig::default());
+    cfg.weaken = weaken;
+    let run = reinfer::reinfer(&cfg, 0)?;
+    let b = run.report.baseline;
+    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "baseline (armed{}): wait={} hold={} makespan={}",
+        match &cfg.weaken {
+            Some(w) => format!(", weakened {}:{}", w.section, w.drop_index),
+            None => String::new(),
+        },
+        b.total_wait,
+        b.total_hold,
+        b.makespan
+    );
+    for sec in &run.report.sections {
+        println!(
+            "section {}: {} violations; demoted-to-global wait={} makespan={}",
+            sec.section, sec.violations, sec.demoted.total_wait, sec.demoted.makespan
+        );
+        for (i, d) in sec.candidates.iter().enumerate() {
+            let c = &d.candidate.config;
+            println!(
+                "  candidate {i}: {} ({}) k={} expr={} pts={} eff={} clean={} wait={} makespan={}",
+                d.candidate.repair.tag(),
+                d.candidate.diagnosis.tag(),
+                c.k,
+                c.use_expr,
+                c.use_pts,
+                c.use_eff,
+                d.clean,
+                d.cost.total_wait,
+                d.cost.makespan
+            );
+        }
+        match sec.winner() {
+            Some(w) => {
+                let saved = sec.demoted.total_wait - w.cost.total_wait;
+                println!(
+                    "  admitted: {} — wait {} vs demoted {} (-{:.1}%)",
+                    w.candidate.repair.tag(),
+                    w.cost.total_wait,
+                    sec.demoted.total_wait,
+                    100.0 * saved as f64 / (sec.demoted.total_wait as f64).max(1.0)
+                );
+            }
+            None => println!("  admitted: none (global demotion stands)"),
+        }
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let ok = match (&cfg.weaken, &run.healed) {
+        // No fault seeded: a quiet ledger is the expected outcome.
+        (None, _) => {
+            if run.report.sections.is_empty() {
+                println!("reinfer check: clean armed run, nothing to repair: OK");
+            } else {
+                println!("reinfer check: violations on an unweakened run — see ledger above");
+            }
+            run.report.sections.iter().all(|s| s.winner().is_some())
+                || run.report.sections.is_empty()
+        }
+        (Some(_), None) => {
+            println!("reinfer check: no repair admitted for the seeded fault: FAIL");
+            false
+        }
+        (Some(_), Some(healed)) => {
+            let admitted = run.report.admitted();
+            let nonglobal = run.report.sections.iter().all(|s| match s.winner() {
+                Some(w) => !w.candidate.config.is_trivially_sound(),
+                None => true,
+            });
+            // Zero post-repair violations: once a section's repair is
+            // accepted (`ri` event), it must never demote again.
+            let quiet = admitted.iter().all(|&(section, _)| {
+                let events = &healed.trace.events;
+                match events.iter().rposition(|e| {
+                    matches!(e.kind,
+                        trace::EventKind::Reinfer { section: s, accepted: true, .. } if s == section)
+                }) {
+                    Some(at) => !events[at..].iter().any(|e| {
+                        matches!(e.kind,
+                            trace::EventKind::Quarantine { section: s, healed: false, .. } if s == section)
+                    }),
+                    None => false,
+                }
+            });
+            let replayed = replay::replay(&healed.trace)
+                .map(|again| again.trace.digest() == healed.trace.digest())
+                .unwrap_or(false);
+            println!(
+                "healed: {} section(s) re-admitted, makespan={} ticks, digest {}",
+                admitted.len(),
+                healed.outcome.makespan,
+                healed.trace.digest()
+            );
+            println!(
+                "reinfer check: admitted={} nonglobal={} post-repair-quiet={} replay={}: {}",
+                !admitted.is_empty(),
+                nonglobal,
+                quiet,
+                replayed,
+                if !admitted.is_empty() && nonglobal && quiet && replayed {
+                    "OK"
+                } else {
+                    "FAIL"
+                }
+            );
+            !admitted.is_empty() && nonglobal && quiet && replayed
+        }
+    };
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_replay(path: &str) -> Result<ExitCode, String> {
     let t = load(path)?;
     let rec = replay::replay(&t)?;
@@ -458,6 +668,7 @@ fn main() -> ExitCode {
             }),
             ("adapt", rest) => cmd_adapt(rest),
             ("sched", rest) => cmd_sched(rest),
+            ("reinfer", rest) => cmd_reinfer(rest),
             _ => return usage(),
         },
         None => return usage(),

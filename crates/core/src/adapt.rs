@@ -304,7 +304,7 @@ impl EvalStatus {
         matches!(self, EvalStatus::Replayed)
     }
 
-    fn push_json(&self, out: &mut String) {
+    pub(crate) fn push_json(&self, out: &mut String) {
         use std::fmt::Write as _;
         match self {
             EvalStatus::Replayed => out.push_str("\"status\":\"replayed\""),

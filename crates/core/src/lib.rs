@@ -38,6 +38,7 @@ pub mod dataflow;
 pub mod estimate;
 pub mod library;
 pub mod reference;
+pub mod reinfer;
 pub mod report;
 pub mod transfer;
 pub mod transform;
@@ -51,6 +52,10 @@ pub use dataflow::{
     ProgramAnalysis, SectionResult, SummaryStore,
 };
 pub use reference::{analyze_program_reference, analyze_program_reference_with_configs};
+pub use reinfer::{
+    admit, alias_merge_collapse, diagnose, Diagnosis, Repair, RepairCandidate, RepairDecision,
+    RepairOutcome, RepairReport, SectionReport, Witness,
+};
 pub use report::{DegradationReport, LockCounts};
 pub use transform::transform;
 

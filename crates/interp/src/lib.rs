@@ -33,7 +33,7 @@ mod worker;
 
 pub use error::InterpError;
 pub use fault::{FaultPlan, FaultStats, WeakenPlan};
-pub use machine::{ExecMode, Machine, Options};
+pub use machine::{ExecMode, Machine, Options, RepairSpec};
 pub use sched::{PolicyKind, SchedConfig};
 pub use sentinel::SentinelConfig;
 pub use sim::CostModel;

@@ -27,6 +27,23 @@ pub enum ExecMode {
     Validate,
 }
 
+/// A staged repaired lock plan for one section, produced by
+/// quarantine-aware re-inference (`lockinfer::reinfer`): once the
+/// section has healed, the worker plans `specs` — derived from the
+/// admitted repair candidate's refined `SchemeConfig` under this
+/// machine's own program and points-to result — instead of the seed
+/// scheme. Until the heal, and again if the repair is revoked, the
+/// ordinary ladder applies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairSpec {
+    /// The section the repair targets.
+    pub section: u32,
+    /// The admitted candidate's index, for the `["ri", …]` ledger.
+    pub candidate: u32,
+    /// The repaired lock specs the worker plans after the heal.
+    pub specs: Vec<lir::LockSpec>,
+}
+
 /// Machine construction options. (`Clone` but not `Copy`: the wake
 /// policy carries a frozen expected-hold table.)
 #[derive(Clone, Debug)]
@@ -68,6 +85,10 @@ pub struct Options {
     /// (the configuration is stamped into `run.sched_*` metadata by
     /// the replayer).
     pub sched: Option<sched::SchedConfig>,
+    /// Staged section repairs from quarantine-aware re-inference
+    /// (empty = none). Installed dormant into the sentinel at
+    /// construction; inert without one.
+    pub repairs: Vec<RepairSpec>,
 }
 
 impl Default for Options {
@@ -84,6 +105,7 @@ impl Default for Options {
             sentinel: None,
             weaken: None,
             sched: None,
+            repairs: Vec::new(),
         }
     }
 }
@@ -147,6 +169,10 @@ pub struct Machine {
     pub(crate) sentinel: Option<Arc<sentinel::Sentinel>>,
     pub(crate) weaken: Option<crate::fault::WeakenPlan>,
     pub(crate) sched: Option<sched::SchedConfig>,
+    /// Repaired lock plans by section (see [`RepairSpec`]); the worker
+    /// consults these only while the sentinel reports the section's
+    /// repair as active.
+    pub(crate) repairs: std::collections::BTreeMap<u32, Vec<lir::LockSpec>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -252,7 +278,14 @@ impl Machine {
                 .map(|cfg| Arc::new(sentinel::Sentinel::new(cfg))),
             weaken: opts.weaken,
             sched: opts.sched,
+            repairs: std::collections::BTreeMap::new(),
         };
+        for r in opts.repairs {
+            if let Some(s) = &m.sentinel {
+                s.install_repair(r.section, r.candidate);
+            }
+            m.repairs.insert(r.section, r.specs);
+        }
         // Allocate the globals' cells.
         let globals = m.program.globals.clone();
         for g in globals {

@@ -249,9 +249,31 @@ impl<'m> Worker<'m> {
         }
         self.section_violated = true;
         let held = self.session.held_modes().collect();
-        let v = sentinel::Violation::new(self.current_section.0, self.tid, addr, write, held);
+        // Clock and access counter key the canonical violation ledger
+        // `(clock, tid, seq)` — both are schedule state, not
+        // OS-thread-arrival state, so re-inference input is
+        // deterministic at every thread count.
+        let v = sentinel::Violation::new(
+            self.current_section.0,
+            self.tid,
+            addr,
+            write,
+            self.now(),
+            n,
+            held,
+        );
         if let Some(ev) = sent.report_violation(v) {
             self.trace_quarantine(ev);
+            // A demotion of a section running its repaired scheme
+            // revokes the repair: it did not hold up, so the section
+            // falls back to the ordinary quarantine ladder.
+            if let Some(candidate) = sent.revoke_repair(ev.section) {
+                self.trace_event(trace::EventKind::Reinfer {
+                    section: ev.section,
+                    candidate,
+                    accepted: false,
+                });
+            }
         }
     }
 
@@ -273,6 +295,17 @@ impl<'m> Worker<'m> {
         self.section_violated = false;
         if let Some(ev) = sent.section_closed(section, clean) {
             self.trace_quarantine(ev);
+            // A heal with a staged repair re-admits the section onto
+            // the repaired scheme rather than the seed scheme.
+            if ev.healed {
+                if let Some(candidate) = sent.activate_repair(section) {
+                    self.trace_event(trace::EventKind::Reinfer {
+                        section,
+                        candidate,
+                        accepted: true,
+                    });
+                }
+            }
         }
     }
 
@@ -884,11 +917,26 @@ impl<'m> Worker<'m> {
                     self.trace_event(trace::EventKind::PlanComplete);
                     return Ok(false);
                 }
+                // A healed section with an active repair plans the
+                // repaired specs instead of the seed scheme. The
+                // repaired plan is a fresh inference artifact, so the
+                // weakened-seed fault does not apply to it — planning
+                // and quiet revalidation skip the drop filter together
+                // (they must agree, or revalidation retries forever).
+                let repair = m
+                    .sentinel
+                    .as_ref()
+                    .and_then(|s| s.active_repair(sid.0))
+                    .and_then(|_| m.repairs.get(&sid.0));
+                let (specs, filter_dropped) = match repair {
+                    Some(r) => (r.as_slice(), false),
+                    None => (specs.as_slice(), true),
+                };
                 loop {
                     self.held_concrete.clear();
                     let mut planned = Vec::new();
                     for (i, spec) in specs.iter().enumerate() {
-                        if self.spec_dropped(sid.0, i) {
+                        if filter_dropped && self.spec_dropped(sid.0, i) {
                             continue;
                         }
                         if let Some((d, c)) = self.eval_spec(spec, frame, f)? {
@@ -915,7 +963,7 @@ impl<'m> Worker<'m> {
                     // retry on drift; every retry implies some other
                     // section committed in between, so the loop makes
                     // system-wide progress.
-                    if self.eval_specs_quiet(specs, frame, f)? == planned {
+                    if self.eval_specs_quiet(specs, frame, f, filter_dropped)? == planned {
                         break;
                     }
                     m.fault_stats
@@ -1241,13 +1289,14 @@ impl<'m> Worker<'m> {
         specs: &[LockSpec],
         frame: &[i64],
         f: FnId,
+        filter_dropped: bool,
     ) -> Result<Vec<Descriptor>, Exc> {
         self.revalidating = true;
         let mut out = Vec::new();
         let mut err = None;
         let section = self.current_section.0;
         for (i, spec) in specs.iter().enumerate() {
-            if self.spec_dropped(section, i) {
+            if filter_dropped && self.spec_dropped(section, i) {
                 continue;
             }
             match self.eval_spec(spec, frame, f) {

@@ -31,7 +31,6 @@
 use mglock::{FineAddr, Mode, NodeKey};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tuning of one [`Sentinel`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +68,20 @@ impl SentinelConfig {
     pub fn should_check(&self, n: u64) -> bool {
         self.sample_every != 0 && n.is_multiple_of(u64::from(self.sample_every))
     }
+
+    /// The production sampling preset. The `sentinel-overhead --check`
+    /// gate bounds the fully armed (`sample_every: 1`) monitor at 2×
+    /// wall clock, i.e. the per-access check costs at most as much as
+    /// the access itself; sampling 1-in-8 therefore bounds the preset's
+    /// overhead at roughly 1/8 of that worst case (≈1.125×) while the
+    /// per-worker counter keeps every 8th access — not a biased prefix
+    /// — under watch. Quarantine bookkeeping is unchanged.
+    pub fn sampled_production() -> SentinelConfig {
+        SentinelConfig {
+            sample_every: 8,
+            ..SentinelConfig::default()
+        }
+    }
 }
 
 /// One in-section access the live held-mode set did not license.
@@ -82,6 +95,16 @@ pub struct Violation {
     pub addr: u64,
     /// Write or read.
     pub write: bool,
+    /// Virtual time of the offending access. Part of the canonical
+    /// ledger key `(clock, tid, seq)`: the virtual clock is a property
+    /// of the schedule, not of which OS thread got the mutex first, so
+    /// sorting by it makes [`Sentinel::violations`] byte-identical at
+    /// every analysis/eval thread count.
+    pub clock: u64,
+    /// The worker's in-section access counter at the offense — breaks
+    /// `(clock, tid)` ties (one worker, several accesses per step) and
+    /// is unique per `(tid, seq)` by construction.
+    pub seq: u64,
     /// The weakest Fig. 6 mode that would have licensed the effect
     /// (`X` for writes, `S` for reads) — what the inference should
     /// have planned on some covering node.
@@ -98,6 +121,8 @@ impl Violation {
         tid: u32,
         addr: u64,
         write: bool,
+        clock: u64,
+        seq: u64,
         held: Vec<(NodeKey, Mode)>,
     ) -> Violation {
         Violation {
@@ -105,6 +130,8 @@ impl Violation {
             tid,
             addr,
             write,
+            clock,
+            seq,
             missing: if write { Mode::X } else { Mode::S },
             held,
         }
@@ -159,29 +186,48 @@ struct SectionState {
     next_probation: u32,
 }
 
+/// A repaired lock scheme staged for one section. Installed dormant;
+/// the worker switches the section onto it only once the section has
+/// served out its quarantine (the heal is the proof the run is back in
+/// a known-clean state to cut over in).
+#[derive(Clone, Copy, Debug)]
+struct RepairState {
+    /// Index of the admitted repair candidate, for the `["ri", …]`
+    /// ledger.
+    candidate: u32,
+    /// Set at heal time; a violation under an active repair revokes it.
+    active: bool,
+}
+
 #[derive(Default)]
 struct State {
     sections: BTreeMap<u32, SectionState>,
     log: Vec<Violation>,
     history: Vec<LadderEvent>,
+    repairs: BTreeMap<u32, RepairState>,
+    /// Totals live under the same mutex as the ledger they summarize:
+    /// the old relaxed atomics could be read torn against `log`
+    /// (counter bumped, entry not yet pushed), which made reports
+    /// thread-count-dependent.
+    violations: u64,
+    quarantined: u64,
+    healed: u64,
 }
 
 /// The in-process monitor. One per machine; workers share it.
 pub struct Sentinel {
     cfg: SentinelConfig,
     inner: Mutex<State>,
-    violations: AtomicU64,
-    quarantined: AtomicU64,
-    healed: AtomicU64,
 }
 
 impl std::fmt::Debug for Sentinel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.lock();
         f.debug_struct("Sentinel")
             .field("cfg", &self.cfg)
-            .field("violations", &self.violations.load(Ordering::Relaxed))
-            .field("quarantined", &self.quarantined.load(Ordering::Relaxed))
-            .field("healed", &self.healed.load(Ordering::Relaxed))
+            .field("violations", &st.violations)
+            .field("quarantined", &st.quarantined)
+            .field("healed", &st.healed)
             .finish()
     }
 }
@@ -225,9 +271,6 @@ impl Sentinel {
         Sentinel {
             cfg,
             inner: Mutex::new(State::default()),
-            violations: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
-            healed: AtomicU64::new(0),
         }
     }
 
@@ -250,8 +293,8 @@ impl Sentinel {
     /// when this violation quarantines the section (first offense of a
     /// healthy section); `None` when the section is already serving.
     pub fn report_violation(&self, v: Violation) -> Option<LadderEvent> {
-        self.violations.fetch_add(1, Ordering::Relaxed);
         let mut st = self.inner.lock();
+        st.violations += 1;
         let section = v.section;
         st.log.push(v);
         let cfg = self.cfg;
@@ -260,7 +303,19 @@ impl Sentinel {
             next_probation: cfg.probation.max(1),
         });
         match sec.health {
-            Health::Quarantined { .. } => None,
+            Health::Quarantined { probation, .. } => {
+                // A violation slipped through while serving (sampling
+                // caught an access before the demotion's global plan
+                // took effect, or a nested enter wiped the worker's
+                // dirty flag): restart the term in place. No new
+                // ladder event and no `quarantined` bump — the section
+                // is already demoted, it just has not earned credit.
+                sec.health = Health::Quarantined {
+                    remaining: probation,
+                    probation,
+                };
+                None
+            }
             Health::Healthy => {
                 let probation = sec.next_probation;
                 sec.health = Health::Quarantined {
@@ -270,7 +325,7 @@ impl Sentinel {
                 sec.next_probation = probation
                     .saturating_mul(cfg.flap_multiplier.max(1))
                     .min(cfg.max_probation.max(probation));
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                st.quarantined += 1;
                 let ev = LadderEvent {
                     section,
                     healed: false,
@@ -315,7 +370,7 @@ impl Sentinel {
             return None;
         }
         sec.health = Health::Healthy;
-        self.healed.fetch_add(1, Ordering::Relaxed);
+        st.healed += 1;
         let ev = LadderEvent {
             section,
             healed: true,
@@ -325,9 +380,69 @@ impl Sentinel {
         Some(ev)
     }
 
-    /// Every recorded violation, in order.
+    /// Stages a repaired scheme for `section`. The repair lies dormant
+    /// until the section heals ([`Sentinel::activate_repair`]); a
+    /// re-install overwrites any previous repair for the section.
+    pub fn install_repair(&self, section: u32, candidate: u32) {
+        self.inner.lock().repairs.insert(
+            section,
+            RepairState {
+                candidate,
+                active: false,
+            },
+        );
+    }
+
+    /// The candidate index of `section`'s *active* repair, if the
+    /// section has healed onto one — the worker plans the repaired
+    /// specs instead of the seed scheme while this is `Some`.
+    pub fn active_repair(&self, section: u32) -> Option<u32> {
+        let st = self.inner.lock();
+        let r = st.repairs.get(&section)?;
+        r.active.then_some(r.candidate)
+    }
+
+    /// Switches a healed `section` onto its staged repair. Called by
+    /// the worker when [`Sentinel::section_closed`] returns a heal
+    /// event; returns the candidate index so the worker can ledger
+    /// `["ri", section, candidate, 1]`. `None` when no repair is
+    /// staged (plain heal back onto the seed scheme) or it is already
+    /// active.
+    pub fn activate_repair(&self, section: u32) -> Option<u32> {
+        let mut st = self.inner.lock();
+        let r = st.repairs.get_mut(&section)?;
+        if r.active {
+            return None;
+        }
+        r.active = true;
+        Some(r.candidate)
+    }
+
+    /// Withdraws `section`'s active repair — the repaired scheme
+    /// itself drew a violation, so the section falls back to the
+    /// ordinary demote→probation→seed ladder. Returns the revoked
+    /// candidate index for the `["ri", section, candidate, 0]` ledger
+    /// entry; `None` when no repair was active.
+    pub fn revoke_repair(&self, section: u32) -> Option<u32> {
+        let mut st = self.inner.lock();
+        let r = st.repairs.get(&section)?;
+        if !r.active {
+            return None;
+        }
+        let candidate = r.candidate;
+        st.repairs.remove(&section);
+        Some(candidate)
+    }
+
+    /// Every recorded violation, in the canonical `(clock, tid, seq)`
+    /// ledger order. Arrival order depends on which worker thread wins
+    /// the mutex; the canonical key depends only on the deterministic
+    /// schedule, so re-inference input and reports are byte-identical
+    /// at every thread count.
     pub fn violations(&self) -> Vec<Violation> {
-        self.inner.lock().log.clone()
+        let mut log = self.inner.lock().log.clone();
+        log.sort_by_key(|v| (v.clock, v.tid, v.seq));
+        log
     }
 
     /// Every ladder transition, in order.
@@ -348,17 +463,17 @@ impl Sentinel {
 
     /// Total unlicensed accesses recorded.
     pub fn sentinel_violations(&self) -> u64 {
-        self.violations.load(Ordering::Relaxed)
+        self.inner.lock().violations
     }
 
     /// Total demotion transitions.
     pub fn sections_quarantined(&self) -> u64 {
-        self.quarantined.load(Ordering::Relaxed)
+        self.inner.lock().quarantined
     }
 
     /// Total heal transitions.
     pub fn sections_healed(&self) -> u64 {
-        self.healed.load(Ordering::Relaxed)
+        self.inner.lock().healed
     }
 
     /// Folds the currently quarantined sections into `map` via
@@ -379,7 +494,15 @@ mod tests {
     use lockscheme::{ConfigMap, SchemeConfig};
 
     fn violation(section: u32) -> Violation {
-        Violation::new(section, 0, 42, true, vec![(NodeKey::Pts(1), Mode::Ix)])
+        Violation::new(
+            section,
+            0,
+            42,
+            true,
+            0,
+            0,
+            vec![(NodeKey::Pts(1), Mode::Ix)],
+        )
     }
 
     #[test]
@@ -524,6 +647,90 @@ mod tests {
     }
 
     #[test]
+    fn probation_violation_restarts_the_term_without_new_ladder_events() {
+        let s = Sentinel::new(SentinelConfig {
+            probation: 3,
+            ..SentinelConfig::default()
+        });
+        s.report_violation(violation(7)).expect("demotes");
+        // Two clean executions leave one to serve…
+        assert!(s.section_closed(7, true).is_none());
+        assert!(s.section_closed(7, true).is_none());
+        // …then a violation lands during probation (e.g. a nested
+        // enter wiped the worker's dirty flag, so the close below
+        // reports clean). It must restart the term itself, without
+        // re-demoting or double-counting.
+        assert!(s.report_violation(violation(7)).is_none());
+        assert_eq!(s.sections_quarantined(), 1);
+        assert!(
+            s.section_closed(7, true).is_none(),
+            "the poisoned execution must not complete the term"
+        );
+        // The full term was owed again as of the violation; only its
+        // last close heals.
+        assert!(s.section_closed(7, true).is_none());
+        let heal = s.section_closed(7, true).expect("term served anew");
+        assert!(heal.healed);
+        assert_eq!(s.sections_quarantined(), 1);
+        assert_eq!(s.sections_healed(), 1);
+        assert_eq!(
+            s.history().len(),
+            2,
+            "exactly one demote and one heal, no spurious events"
+        );
+    }
+
+    #[test]
+    fn ledger_is_sorted_by_clock_tid_seq_not_arrival() {
+        let s = Sentinel::new(SentinelConfig::default());
+        let v = |tid: u32, clock: u64, seq: u64| {
+            Violation::new(1, tid, 42, true, clock, seq, Vec::new())
+        };
+        // Arrival order scrambled relative to the schedule order.
+        s.report_violation(v(2, 9, 0));
+        s.report_violation(v(0, 3, 5));
+        s.report_violation(v(1, 3, 0));
+        s.report_violation(v(0, 3, 2));
+        let keys: Vec<(u64, u32, u64)> = s
+            .violations()
+            .iter()
+            .map(|v| (v.clock, v.tid, v.seq))
+            .collect();
+        assert_eq!(keys, vec![(3, 0, 2), (3, 0, 5), (3, 1, 0), (9, 2, 0)]);
+    }
+
+    #[test]
+    fn repairs_activate_on_heal_and_revoke_on_reoffense() {
+        let s = Sentinel::new(SentinelConfig {
+            probation: 1,
+            ..SentinelConfig::default()
+        });
+        s.install_repair(4, 2);
+        // Dormant until the section heals.
+        assert_eq!(s.active_repair(4), None);
+        s.report_violation(violation(4)).expect("demotes");
+        assert_eq!(s.active_repair(4), None);
+        s.section_closed(4, true).expect("heals");
+        assert_eq!(s.activate_repair(4), Some(2));
+        assert_eq!(s.active_repair(4), Some(2));
+        // Activation is edge-triggered: the worker ledgers it once.
+        assert_eq!(s.activate_repair(4), None);
+        // A violation under the repaired scheme withdraws it…
+        s.report_violation(violation(4)).expect("re-demotes");
+        assert_eq!(s.revoke_repair(4), Some(2));
+        assert_eq!(s.active_repair(4), None);
+        // …for good: the next heal (a flap-damped two-execution term)
+        // goes back to the seed scheme.
+        assert!(s.section_closed(4, true).is_none());
+        s.section_closed(4, true).expect("heals again");
+        assert_eq!(s.activate_repair(4), None);
+        // Revoking when nothing is active is a no-op.
+        assert_eq!(s.revoke_repair(4), None);
+        // Sections without a staged repair never activate one.
+        assert_eq!(s.activate_repair(9), None);
+    }
+
+    #[test]
     fn sections_quarantine_independently() {
         let s = Sentinel::new(SentinelConfig::default());
         s.report_violation(violation(1));
@@ -560,5 +767,15 @@ mod tests {
         assert!(tenth.should_check(0));
         assert!(!tenth.should_check(5));
         assert!(tenth.should_check(10));
+    }
+
+    #[test]
+    fn sampled_production_preset_samples_one_in_eight() {
+        let p = SentinelConfig::sampled_production();
+        assert_eq!(p.sample_every, 8);
+        assert!(p.should_check(0) && p.should_check(8) && !p.should_check(7));
+        // The quarantine ladder tuning is the default's.
+        assert_eq!(p.probation, SentinelConfig::default().probation);
+        assert_eq!(p.max_probation, SentinelConfig::default().max_probation);
     }
 }

@@ -108,6 +108,20 @@ pub enum EventKind {
         depth: u32,
         woken: u32,
     },
+    /// The re-inference repair ledger transitioned for `section`:
+    /// `accepted == true` means the section healed onto repair
+    /// `candidate` (its next executions plan the repaired specs
+    /// instead of the seed scheme), `accepted == false` means the
+    /// active repair was revoked because it drew a violation itself
+    /// (the section falls back to the ordinary quarantine ladder).
+    /// Recorded by the worker immediately after the corresponding
+    /// [`EventKind::Quarantine`] transition; runs without staged
+    /// repairs emit nothing, keeping historical traces byte-identical.
+    Reinfer {
+        section: u32,
+        candidate: u32,
+        accepted: bool,
+    },
 }
 
 /// One recorded event.

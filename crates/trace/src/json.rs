@@ -24,6 +24,7 @@
 //!       | ["cmt",reads,writes] | ["ab"] | ["fb"] | ["flt",CLASS]
 //!       | ["qr",section,healed01,probation]
 //!       | ["wk",NODE,MODE,depth,woken]
+//!       | ["ri",section,candidate,accepted01]
 //! NODE := ["root"] | ["pts",p] | ["cell",p,addr] | ["range",p,base]
 //! MODE := "IS" | "IX" | "S" | "SIX" | "X"
 //! ```
@@ -154,6 +155,18 @@ fn push_kind(out: &mut String, k: EventKind) {
             out.push(',');
             push_escaped(out, mode_tag(mode));
             let _ = write!(out, ",{depth},{woken}]");
+        }
+        EventKind::Reinfer {
+            section,
+            candidate,
+            accepted,
+        } => {
+            // `accepted` encodes as 0/1, like the qr healed flag.
+            let _ = write!(
+                out,
+                "[\"ri\",{section},{candidate},{}]",
+                u64::from(accepted)
+            );
         }
     }
 }
@@ -460,6 +473,15 @@ fn kind_from(v: &Value) -> PResult<EventKind> {
             depth: num(3)? as u32,
             woken: num(4)? as u32,
         },
+        ("ri", 4) => EventKind::Reinfer {
+            section: num(1)? as u32,
+            candidate: num(2)? as u32,
+            accepted: match num(3)? {
+                0 => false,
+                1 => true,
+                _ => return Err("trace json: ri accepted flag must be 0 or 1".into()),
+            },
+        },
         _ => return Err(format!("trace json: unknown event kind `{tag}`")),
     })
 }
@@ -583,6 +605,16 @@ mod tests {
                 depth: 4,
                 woken: 3,
             },
+            EventKind::Reinfer {
+                section: 5,
+                candidate: 1,
+                accepted: true,
+            },
+            EventKind::Reinfer {
+                section: 5,
+                candidate: 1,
+                accepted: false,
+            },
         ];
         let t = Trace {
             meta: vec![
@@ -623,6 +655,7 @@ mod tests {
             "{\"format\":\"nope\"}",
             "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"??\"]]]}",
             "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"qr\",1,2,4]]]}",
+            "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[[0,0,0,[\"ri\",1,2,2]]]}",
             "{\"format\":\"ali-trace-v1\",\"dropped\":0,\"meta\":[],\"allocs\":[],\"events\":[]} trailing",
         ] {
             assert!(decode(bad).is_err(), "accepted: {bad}");

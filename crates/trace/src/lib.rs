@@ -148,6 +148,7 @@ impl Trace {
                 EventKind::Fault { .. } => "fault",
                 EventKind::Quarantine { .. } => "quarantine",
                 EventKind::WakeDecision { .. } => "wake_decision",
+                EventKind::Reinfer { .. } => "reinfer",
             };
             *m.entry(k).or_insert(0) += 1;
         }

@@ -226,7 +226,8 @@ pub fn validate(trace: &Trace) -> Result<Validation, ValidationError> {
             | EventKind::StmFallback
             | EventKind::Fault { .. }
             | EventKind::Quarantine { .. }
-            | EventKind::WakeDecision { .. } => {}
+            | EventKind::WakeDecision { .. }
+            | EventKind::Reinfer { .. } => {}
         }
     }
     let mut crashed: Vec<u32> = threads

@@ -9,15 +9,20 @@
 //! transitions from a merged trace, producing the per-section history
 //! `trace-dump` prints and the corpus tests digest.
 //!
-//! Crash-truncated traces get the same treatment as the profiler's
+//! Truncated traces get the same treatment as the profiler's
 //! stale-open-section guard (DESIGN.md §5.4): a quarantine whose heal
 //! never made it into the buffer is reported in [`QuarantineHistory::
-//! open`] only when the trace is complete; when the recorder dropped
-//! events the half-open entries are *discarded* (counted in
-//! [`QuarantineHistory::suppressed`]) instead of being claimed as
-//! live state the run may never have been in. A heal with no matching
-//! open demotion (possible only on malformed input) is likewise
-//! skipped and counted, never fabricated into a transition pair.
+//! open`] only when the trace is complete. Two truncations count:
+//! the recorder dropped events (`dropped > 0`), and the run *crashed*
+//! — a thread is still mid-section at trace end (same detection the
+//! lockset validator uses), so the trace ends inside a quarantine or
+//! inside its probation and the lost tail may hold the heal or a
+//! dirty-execution reset. In both cases the half-open entries are
+//! *discarded* (counted in [`QuarantineHistory::suppressed`]) instead
+//! of being claimed as live state the run may never have been in. A
+//! heal with no matching open demotion (possible only on malformed
+//! input) is likewise skipped and counted, never fabricated into a
+//! transition pair.
 
 use crate::event::EventKind;
 use crate::Trace;
@@ -61,8 +66,11 @@ pub struct QuarantineHistory {
     /// trace (still serving probation). Sorted, deduplicated.
     pub open: Vec<u32>,
     /// Half-open quarantines discarded because the trace is truncated
-    /// (`dropped > 0`): the heal may simply be missing from the
-    /// buffer, so the guard refuses to report them as live state.
+    /// — the recorder dropped events (`dropped > 0`) or the run
+    /// crashed mid-section, ending the trace inside a quarantine or
+    /// its probation: the heal may simply be missing from the buffer
+    /// or the lost tail, so the guard refuses to report them as live
+    /// state.
     pub suppressed: u64,
     /// Heals with no matching open demotion — malformed input, never
     /// produced by the sentinel; skipped rather than paired up.
@@ -103,38 +111,57 @@ impl QuarantineHistory {
 pub fn quarantine_history(trace: &Trace) -> QuarantineHistory {
     let mut h = QuarantineHistory::default();
     let mut open: Vec<u32> = Vec::new();
+    // Per-thread section depth, to detect crash truncation: a thread
+    // whose depth never returns to zero died mid-section (injected
+    // panic, wedge), so the trace ends inside whatever quarantine or
+    // probation was serving at that point.
+    let mut depth: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     for e in &trace.events {
-        if let EventKind::Quarantine {
-            section,
-            healed,
-            probation,
-        } = e.kind
-        {
-            if healed {
-                match open.iter().position(|&s| s == section) {
-                    Some(i) => {
-                        open.remove(i);
-                    }
-                    None => {
-                        h.orphan_heals += 1;
-                        continue;
-                    }
-                }
-            } else {
-                open.push(section);
+        match e.kind {
+            EventKind::SectionEnter { .. } => {
+                *depth.entry(e.tid).or_insert(0) += 1;
             }
-            h.transitions.push(QuarantineTransition {
-                epoch: e.epoch,
-                tid: e.tid,
+            EventKind::SectionExit { .. } => {
+                let d = depth.entry(e.tid).or_insert(0);
+                *d = d.saturating_sub(1);
+            }
+            // An aborted STM attempt abandons every open level at once.
+            EventKind::StmAbort => {
+                depth.insert(e.tid, 0);
+            }
+            EventKind::Quarantine {
                 section,
                 healed,
                 probation,
-            });
+            } => {
+                if healed {
+                    match open.iter().position(|&s| s == section) {
+                        Some(i) => {
+                            open.remove(i);
+                        }
+                        None => {
+                            h.orphan_heals += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    open.push(section);
+                }
+                h.transitions.push(QuarantineTransition {
+                    epoch: e.epoch,
+                    tid: e.tid,
+                    section,
+                    healed,
+                    probation,
+                });
+            }
+            _ => {}
         }
     }
     open.sort_unstable();
     open.dedup();
-    if trace.dropped > 0 {
+    let crashed = depth.values().any(|&d| d > 0);
+    if trace.dropped > 0 || crashed {
         h.suppressed = open.len() as u64;
     } else {
         h.open = open;
@@ -232,6 +259,80 @@ mod tests {
         // …but the half-open entries are suppressed, not claimed.
         assert!(h.open.is_empty());
         assert_eq!(h.suppressed, 2);
+    }
+
+    #[test]
+    fn crash_inside_probation_suppresses_the_half_open_entry() {
+        let se = |epoch: u64, tid: u32, enter: bool| Event {
+            epoch,
+            tid,
+            clock: epoch,
+            kind: if enter {
+                EventKind::SectionEnter { section: 3 }
+            } else {
+                EventKind::SectionExit { section: 3 }
+            },
+        };
+        // Section 3 is demoted, serves part of its probation (a clean
+        // enter/exit pair), then the worker dies inside the next
+        // execution: the trace ends inside probation with dropped == 0.
+        let t = trace_of(
+            vec![
+                se(0, 1, true),
+                qr(1, 3, false, 4),
+                se(2, 1, false),
+                se(3, 1, true),
+                se(4, 1, false),
+                se(5, 1, true), // never exited — crash
+            ],
+            0,
+        );
+        let h = quarantine_history(&t);
+        assert_eq!(h.demotions(), 1);
+        assert!(
+            h.open.is_empty(),
+            "a crashed run cannot prove its live quarantine state"
+        );
+        assert_eq!(h.suppressed, 1);
+        // The same shape with the final execution completing stays
+        // exact: the section is genuinely still serving.
+        let complete = trace_of(
+            vec![
+                se(0, 1, true),
+                qr(1, 3, false, 4),
+                se(2, 1, false),
+                se(3, 1, true),
+                se(4, 1, false),
+            ],
+            0,
+        );
+        let h = quarantine_history(&complete);
+        assert_eq!(h.open, vec![3]);
+        assert_eq!(h.suppressed, 0);
+    }
+
+    #[test]
+    fn stm_aborts_do_not_count_as_crashes() {
+        let ev = |epoch: u64, kind: EventKind| Event {
+            epoch,
+            tid: 0,
+            clock: epoch,
+            kind,
+        };
+        // An aborted attempt resets the depth; the retry completes.
+        let t = trace_of(
+            vec![
+                ev(0, EventKind::SectionEnter { section: 2 }),
+                ev(1, EventKind::StmAbort),
+                ev(2, EventKind::SectionEnter { section: 2 }),
+                qr(3, 2, false, 4),
+                ev(4, EventKind::SectionExit { section: 2 }),
+            ],
+            0,
+        );
+        let h = quarantine_history(&t);
+        assert_eq!(h.open, vec![2], "abort + clean retry is not a crash");
+        assert_eq!(h.suppressed, 0);
     }
 
     #[test]

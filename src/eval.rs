@@ -182,6 +182,20 @@ impl EvalContext {
         stamp: Stamp,
         analysis_threads: usize,
     ) -> Result<Recording, String> {
+        Ok(self.run_one_ledger(cfg, map, stamp, analysis_threads)?.0)
+    }
+
+    /// [`Self::run_one`] plus the sentinel's canonical violation
+    /// ledger, snapshotted before the machine is dropped — the
+    /// evidence the re-inference pass (`crate::reinfer`) diagnoses.
+    /// Empty for machines built without a sentinel.
+    pub(crate) fn run_one_ledger(
+        &self,
+        cfg: &RunConfig,
+        map: &ConfigMap,
+        stamp: Stamp,
+        analysis_threads: usize,
+    ) -> Result<(Recording, Vec<sentinel::Violation>), String> {
         let (program, pt) = if self.hoist {
             (Arc::clone(&self.program), Arc::clone(&self.pt))
         } else {
@@ -189,17 +203,34 @@ impl EvalContext {
             let pt = pointsto::PointsTo::analyze(&p);
             (Arc::new(p), Arc::new(pt))
         };
+        let store = if self.hoist { Some(&self.store) } else { None };
         let analysis = lockinfer::analyze_program_with_configs(
             &program,
             &pt,
             map,
             &self.lib,
             analysis_threads,
-            if self.hoist { Some(&self.store) } else { None },
+            store,
         );
         let transformed = lockinfer::transform(&program, &analysis);
-        let m = Machine::new(Arc::new(transformed), pt, cfg.mode, options_for(cfg));
+        let mut opts = options_for(cfg);
+        if !cfg.repairs.is_empty() {
+            opts.repairs = crate::replay::repair_specs(
+                &cfg.repairs,
+                &program,
+                &pt,
+                map,
+                &self.lib,
+                analysis_threads,
+                store,
+            );
+        }
+        let m = Machine::new(Arc::new(transformed), pt, cfg.mode, opts);
         let (outcome, mut trace) = execute(&m, cfg);
+        let ledger = m
+            .sentinel()
+            .map(sentinel::Sentinel::violations)
+            .unwrap_or_default();
         match stamp {
             Stamp::Run => cfg.stamp(&mut trace),
             Stamp::Adapt => {
@@ -220,7 +251,7 @@ impl EvalContext {
             }
         }
         stamp_outcome(&outcome, &mut trace);
-        Ok(Recording { outcome, trace })
+        Ok((Recording { outcome, trace }, ledger))
     }
 
     /// [`Self::run_one`] for a candidate: profiles the recording,

@@ -19,6 +19,7 @@
 //! | [`trace`] | event tracing, Eraser-style lockset validation, profiles |
 //! | [`sentinel`] | online lockset sentinel: inline licensing checks, per-section quarantine |
 //! | `sched` | pluggable deterministic wake policies + convoy detection (see [`sched`](crate::sched) for the evaluation harness) |
+//! | `reinfer` | quarantine-aware re-inference: diagnose sentinel violations, repair demoted sections (see [`reinfer`](crate::reinfer)) |
 //! | [`workloads`] | the evaluation programs (micro, STAMP-like, SPEC-like) |
 //!
 //! plus [`replay`], this crate's own deterministic record/replay layer
@@ -47,6 +48,7 @@
 
 pub mod adapt;
 pub mod eval;
+pub mod reinfer;
 pub mod replay;
 pub mod sched;
 

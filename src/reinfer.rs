@@ -1,0 +1,426 @@
+//! Quarantine-aware re-inference — the *measurement* half (DESIGN.md
+//! §5.8).
+//!
+//! [`lockinfer::reinfer`] is the pure policy: a canonical violation
+//! ledger in, diagnosed repair candidates and an acceptance rule out.
+//! This module closes the loop against the deterministic interpreter,
+//! driving the shared evaluation harness ([`crate::eval`]):
+//!
+//! 1. **Record** the armed run (sentinel on, typically with a seeded
+//!    [`interp::WeakenPlan`] fault) and snapshot the sentinel's
+//!    canonical violation ledger — sorted by `(clock, tid, seq)`, so
+//!    every downstream decision is thread-count independent.
+//! 2. **Resolve** each violation address through the trace's
+//!    allocation-table snapshot into its points-to class
+//!    ([`trace::Trace::alloc_of`]), producing the [`Witness`]es the
+//!    policy diagnoses.
+//! 3. **Reference**: for every offending section, measure the cost of
+//!    the quarantine ladder's *status quo* — the run with that section
+//!    permanently demoted to the global lock
+//!    ([`lockscheme::ConfigMap::demote_to_global`], weaken off).
+//! 4. **Replay** every repair candidate on the identical deterministic
+//!    schedule (weaken off, sentinel still armed), concurrently on the
+//!    harness's eval-thread pool, and check each for *cleanliness*:
+//!    zero sentinel violations **and** a lockset-clean validator
+//!    verdict.
+//! 5. **Admit** per section ([`lockinfer::reinfer::admit`]): the
+//!    cheapest clean candidate strictly below the demotion reference's
+//!    total wait, or nothing (the demotion stands — sound, just slow).
+//! 6. **Heal**: re-run the original armed configuration with the
+//!    admitted repairs installed dormant ([`RunConfig::repairs`]). The
+//!    section offends, demotes, serves its probation, and heals *onto
+//!    the repaired scheme*, ledgered as `["ri",section,candidate,1]`
+//!    in the trace. The healed recording is stamped with full `run.*`
+//!    metadata (including `run.repair.*`), so it replays byte-for-byte.
+//!
+//! Everything downstream of the recorded trace is deterministic, so
+//! two runs over the same config produce byte-identical
+//! [`RepairReport`] JSON and healed-trace digests **at every analysis
+//! and eval thread count**.
+
+use crate::eval::{par_map, EvalContext, EvalOptions, Stamp};
+use crate::replay::{Recording, RunConfig};
+use lockinfer::reinfer::{
+    admit, candidates, RepairDecision, RepairOutcome, RepairReport, SectionReport, Witness,
+};
+use lockinfer::{EvalStatus, PlanCost};
+use lockscheme::ConfigMap;
+use sentinel::Violation;
+use trace::Trace;
+
+/// The full result of one re-inference pass.
+#[derive(Clone, Debug)]
+pub struct ReinferRun {
+    /// Machine-readable repair record (all sections, all candidates).
+    pub report: RepairReport,
+    /// The armed baseline recording the ledger came from.
+    pub baseline: Recording,
+    /// The healed re-recording with every admitted repair installed,
+    /// when at least one section's repair was admitted. Carries the
+    /// demote → probation → heal → `ri`-accepted arc in its events.
+    pub healed: Option<Recording>,
+}
+
+/// Records the armed run, diagnoses its violation ledger, evaluates
+/// repair candidates by replay, and re-records with the admitted
+/// repairs installed.
+///
+/// `analysis_threads` is the Phase B worker count for lock inference
+/// (`0` = one per core); the outcome is identical for every value.
+///
+/// # Errors
+///
+/// Returns a message when the run is not sentinel-armed, on compile
+/// failure, or when the baseline/reference traces are unusable (ring
+/// overflow). A *candidate* trace overflowing is not an error — the
+/// candidate is marked [`EvalStatus::Skipped`] and never admitted.
+pub fn reinfer(cfg: &RunConfig, analysis_threads: usize) -> Result<ReinferRun, String> {
+    reinfer_with(
+        cfg,
+        &EvalOptions {
+            analysis_threads,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// [`reinfer`] with full control over the evaluation harness.
+///
+/// # Errors
+///
+/// See [`reinfer`].
+pub fn reinfer_with(cfg: &RunConfig, opts: &EvalOptions) -> Result<ReinferRun, String> {
+    if cfg.sentinel.is_none() {
+        return Err("reinfer: the run must be sentinel-armed (set RunConfig::sentinel)".into());
+    }
+    let ctx = EvalContext::new(cfg, opts.hoist)?;
+    let base_map = ctx.base_map(cfg);
+    let (baseline, ledger) =
+        ctx.run_one_ledger(cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
+    if baseline.trace.dropped > 0 {
+        return Err(format!(
+            "reinfer: baseline trace dropped {} events — raise trace_capacity",
+            baseline.trace.dropped
+        ));
+    }
+    let base_cost =
+        PlanCost::from_profiles(&trace::profile(&baseline.trace), baseline.outcome.makespan);
+
+    // The ledger is already canonical (`(clock, tid, seq)` order);
+    // resolving each address through the baseline's allocation-table
+    // snapshot yields the witnesses the policy diagnoses.
+    let witnesses: Vec<Witness> = ledger
+        .iter()
+        .map(|v| Witness {
+            violation: v.clone(),
+            extent: baseline.trace.alloc_of(v.addr).map(|a| (a.base, a.class)),
+        })
+        .collect();
+    let sections: Vec<u32> = {
+        let mut s: Vec<u32> = witnesses.iter().map(|w| w.violation.section).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let cands = candidates(&witnesses, &base_map);
+
+    // Candidate and reference runs replay the steady state the repair
+    // would install: the weaken fault (the modeled inference bug) is
+    // off, the sentinel stays armed so cleanliness is measured, and
+    // the schedule is otherwise identical.
+    let mut ecfg = cfg.clone();
+    ecfg.weaken = None;
+    let maps: Vec<ConfigMap> = sections
+        .iter()
+        .map(|&s| {
+            let mut m = base_map.clone();
+            m.demote_to_global(s);
+            m
+        })
+        .chain(cands.iter().map(|c| c.config_map(&base_map)))
+        .collect();
+    let runs: Vec<Result<(Recording, Vec<Violation>), String>> =
+        par_map(maps.len(), opts.eval_threads, |i| {
+            ctx.run_one_ledger(&ecfg, &maps[i], Stamp::Adapt, opts.analysis_threads)
+        });
+    let mut assessed: Vec<(bool, PlanCost, EvalStatus)> = Vec::with_capacity(runs.len());
+    for run in runs {
+        let (rec, cand_ledger) = run?;
+        if rec.trace.dropped > 0 {
+            assessed.push((
+                false,
+                PlanCost::default(),
+                EvalStatus::Skipped {
+                    reason: format!(
+                        "candidate trace dropped {} events - raise trace_capacity",
+                        rec.trace.dropped
+                    ),
+                },
+            ));
+            continue;
+        }
+        let cost = PlanCost::from_profiles(&trace::profile(&rec.trace), rec.outcome.makespan);
+        let clean = rec.outcome.error.is_none()
+            && cand_ledger.is_empty()
+            && trace::validate(&rec.trace)
+                .map(|v| v.passed())
+                .unwrap_or(false);
+        assessed.push((clean, cost, EvalStatus::Replayed));
+    }
+
+    let mut reports: Vec<SectionReport> = Vec::with_capacity(sections.len());
+    for (si, &section) in sections.iter().enumerate() {
+        let (_, demoted, ref_status) = &assessed[si];
+        if !ref_status.is_replayed() {
+            return Err(format!(
+                "reinfer: global-demotion reference for section {section} was unusable"
+            ));
+        }
+        let demoted = *demoted;
+        let members: Vec<usize> = cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.section == section)
+            .map(|(i, _)| i)
+            .collect();
+        let decisions: Vec<RepairDecision> = members
+            .iter()
+            .map(|&i| {
+                let (clean, cost, status) = assessed[sections.len() + i].clone();
+                RepairDecision {
+                    candidate: cands[i],
+                    clean,
+                    cost,
+                    status,
+                }
+            })
+            .collect();
+        let outcomes: Vec<RepairOutcome> = decisions
+            .iter()
+            .map(|d| RepairOutcome {
+                clean: d.clean && d.status.is_replayed(),
+                cost: d.cost,
+            })
+            .collect();
+        let admitted = admit(demoted, &outcomes);
+        reports.push(SectionReport {
+            section,
+            violations: witnesses
+                .iter()
+                .filter(|w| w.violation.section == section)
+                .count() as u64,
+            demoted,
+            candidates: decisions,
+            admitted,
+        });
+    }
+    let report = RepairReport {
+        name: cfg.name.clone(),
+        mode: format!("{:?}", cfg.mode),
+        baseline: base_cost,
+        sections: reports,
+    };
+
+    // Re-record the original armed configuration with the admitted
+    // repairs installed dormant: the offending sections heal onto the
+    // repaired schemes instead of the seed scheme.
+    let admitted = report.admitted();
+    let healed = if admitted.is_empty() {
+        None
+    } else {
+        let mut fcfg = cfg.clone();
+        fcfg.repairs = admitted
+            .iter()
+            .map(|&(section, j)| {
+                let s = report
+                    .sections
+                    .iter()
+                    .find(|s| s.section == section)
+                    .expect("admitted section is reported");
+                (section, j as u32, s.candidates[j].candidate.config)
+            })
+            .collect();
+        Some(ctx.run_one(&fcfg, &base_map, Stamp::Run, opts.analysis_threads)?)
+    };
+    Ok(ReinferRun {
+        report,
+        baseline,
+        healed,
+    })
+}
+
+/// Like [`reinfer`], but starting from an existing self-describing
+/// trace (one produced by [`crate::replay::record`] with the sentinel
+/// armed): the embedded [`RunConfig`] is re-executed as the armed
+/// baseline.
+///
+/// # Errors
+///
+/// Returns a message when the trace lacks `run.*` metadata, is not
+/// sentinel-armed, or the embedded source no longer compiles.
+pub fn reinfer_trace(t: &Trace, analysis_threads: usize) -> Result<ReinferRun, String> {
+    reinfer(&RunConfig::from_trace(t)?, analysis_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::{ExecMode, SentinelConfig, WeakenPlan};
+    use trace::EventKind;
+
+    /// Two sections with disjoint footprints: section 0 updates two
+    /// globals under real work (its plan has two inferred locks —
+    /// either is droppable), section 1 hammers a third. Demoting
+    /// section 0 to the global lock serializes section 1 against it;
+    /// a coarse per-class repair does not — so the repair is strictly
+    /// cheaper than the demotion and the acceptance rule admits it.
+    const SRC: &str = r#"
+        global a;
+        global b;
+        global c;
+        fn setup(n) { a = n; b = n; c = n; }
+        fn work(iters) {
+            let i = 0;
+            while (i < iters) {
+                atomic { a = a + 1; b = b + a; nops(20); }
+                atomic { c = c + 1; nops(20); }
+                i = i + 1;
+            }
+            return 0;
+        }
+        fn total() { return a + c; }
+    "#;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            name: "weakened-pair".into(),
+            source: SRC.into(),
+            k: 3,
+            mode: ExecMode::MultiGrain,
+            threads: 6,
+            heap_cells: 1 << 14,
+            seed: 13,
+            quantum: 64,
+            stm_abort_budget: 16,
+            faults: None,
+            sentinel: Some(SentinelConfig {
+                sample_every: 1,
+                ..SentinelConfig::default()
+            }),
+            weaken: Some(WeakenPlan {
+                section: 0,
+                drop_index: 0,
+            }),
+            sched: None,
+            repairs: Vec::new(),
+            trace_capacity: 1 << 18,
+            init: ("setup".into(), vec![0]),
+            worker: ("work".into(), vec![24]),
+            check: Some("total".into()),
+        }
+    }
+
+    #[test]
+    fn a_weakened_section_heals_onto_an_admitted_nonglobal_repair() {
+        let run = reinfer(&cfg(), 1).unwrap();
+        // The seeded fault produced violations and the ledger reached
+        // the diagnosis.
+        let sec = run
+            .report
+            .sections
+            .iter()
+            .find(|s| s.section == 0)
+            .expect("the weakened section is reported");
+        assert!(sec.violations > 0);
+        assert!(!sec.candidates.is_empty());
+        // A repair was admitted: lockset-clean and strictly cheaper
+        // than the global-demotion reference.
+        let w = sec.winner().expect("a repair is admitted");
+        assert!(w.clean);
+        assert!(w.cost.total_wait < sec.demoted.total_wait);
+        assert!(!w.candidate.config.is_trivially_sound());
+        // The healed run ledgers the re-admission onto the repair and
+        // never demotes the section again afterwards.
+        let healed = run.healed.as_ref().expect("healed recording exists");
+        let events = &healed.trace.events;
+        let accept = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Reinfer {
+                        section: 0,
+                        accepted: true,
+                        ..
+                    }
+                )
+            })
+            .expect("healed trace carries the ri-accepted ledger entry");
+        assert!(
+            !events[accept..].iter().any(|e| matches!(
+                e.kind,
+                EventKind::Quarantine {
+                    section: 0,
+                    healed: false,
+                    ..
+                }
+            )),
+            "zero post-repair violations: the repaired scheme must not re-offend"
+        );
+        // The healed recording is self-describing: replaying it
+        // re-derives the repaired specs and reproduces the digest.
+        assert!(
+            healed.trace.meta_get("run.repair.0").is_some(),
+            "repairs are stamped"
+        );
+        let again = crate::replay::replay(&healed.trace).unwrap();
+        assert_eq!(again.trace.digest(), healed.trace.digest());
+        assert_eq!(again.outcome, healed.outcome);
+    }
+
+    #[test]
+    fn reports_and_healed_digests_are_identical_at_every_eval_thread_count() {
+        let runs: Vec<ReinferRun> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| {
+                reinfer_with(
+                    &cfg(),
+                    &EvalOptions {
+                        analysis_threads: 1,
+                        eval_threads: t,
+                        ..EvalOptions::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.report.to_json(), runs[0].report.to_json());
+            assert_eq!(r.baseline.trace.digest(), runs[0].baseline.trace.digest());
+            match (&r.healed, &runs[0].healed) {
+                (Some(a), Some(b)) => assert_eq!(a.trace.digest(), b.trace.digest()),
+                (None, None) => {}
+                other => panic!("healing diverged across eval thread counts: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_armed_runs_are_left_untouched() {
+        let mut c = cfg();
+        c.weaken = None;
+        let run = reinfer(&c, 1).unwrap();
+        assert!(run.report.sections.is_empty());
+        assert!(run.healed.is_none());
+        // And the baseline stays fully replayable.
+        let again = crate::replay::replay(&run.baseline.trace).unwrap();
+        assert_eq!(again.trace.digest(), run.baseline.trace.digest());
+    }
+
+    #[test]
+    fn unarmed_runs_are_rejected() {
+        let mut c = cfg();
+        c.sentinel = None;
+        assert!(reinfer(&c, 1).unwrap_err().contains("sentinel-armed"));
+    }
+}

@@ -25,8 +25,18 @@
 //! Replay re-runs with the *default* cost model; runs recorded under a
 //! custom [`interp::CostModel`] replay with different clock values.
 
-use interp::{ExecMode, FaultPlan, Options, SchedConfig, SentinelConfig, WeakenPlan};
+use interp::{ExecMode, FaultPlan, Options, RepairSpec, SchedConfig, SentinelConfig, WeakenPlan};
+use lockscheme::{ConfigMap, SchemeConfig};
+use std::sync::Arc;
 use trace::Trace;
+
+/// One installed repair, at configuration level: `(section, candidate
+/// id, repaired scheme configuration)`. The concrete per-section lock
+/// specs are **derived** deterministically at machine-build time (see
+/// [`repair_specs`]), so a trace stamped with repairs stays
+/// self-describing — replaying re-derives the identical specs from the
+/// embedded source.
+pub type RepairEntry = (u32, u32, SchemeConfig);
 
 /// Everything needed to reproduce one traced execution.
 #[derive(Clone, PartialEq, Debug)]
@@ -59,6 +69,12 @@ pub struct RunConfig {
     /// FIFO). Stamped into `run.sched_*` so policy-steered runs replay
     /// under the same decisions.
     pub sched: Option<SchedConfig>,
+    /// Admitted re-inference repairs (DESIGN.md §5.8), installed
+    /// dormant into the sentinel: when the named section heals, its
+    /// plans switch to the specs derived under the repaired
+    /// configuration instead of the seed scheme. Stamped into
+    /// `run.repair.<section>` so healed runs replay exactly.
+    pub repairs: Vec<RepairEntry>,
     /// Per-thread event ring capacity.
     pub trace_capacity: usize,
     /// Single-threaded setup entry `(function, args)`.
@@ -93,6 +109,7 @@ impl RunConfig {
             sentinel: None,
             weaken: None,
             sched: None,
+            repairs: Vec::new(),
             trace_capacity: trace::TraceConfig::default().capacity,
             init: (spec.init.0.to_owned(), spec.init.1.clone()),
             worker: (spec.worker.0.to_owned(), spec.worker.1.clone()),
@@ -161,6 +178,23 @@ impl RunConfig {
                 })
             }
         };
+        let mut repair_keys: Vec<u32> = t
+            .meta
+            .iter()
+            .filter_map(|(k, _)| k.strip_prefix("run.repair."))
+            .map(|s| {
+                s.parse::<u32>()
+                    .map_err(|e| format!("replay: bad repair section `{s}`: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        repair_keys.sort_unstable();
+        let repairs = repair_keys
+            .into_iter()
+            .map(|s| {
+                let v = get(&format!("run.repair.{s}"))?;
+                parse_repair(s, &v)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(RunConfig {
             name: get("run.name")?,
             source: get("run.source")?,
@@ -175,6 +209,7 @@ impl RunConfig {
             sentinel,
             weaken,
             sched,
+            repairs,
             trace_capacity: int("run.capacity")? as usize,
             init: (get("run.init")?, parse_args(&get("run.init_args")?)?),
             worker: (get("run.worker")?, parse_args(&get("run.worker_args")?)?),
@@ -228,7 +263,49 @@ impl RunConfig {
             t.meta_set("run.sched_policy", s.policy.tag().to_owned());
             t.meta_set("run.sched_holds", s.holds_string());
         }
+        for &(section, candidate, c) in &self.repairs {
+            t.meta_set(
+                &format!("run.repair.{section}"),
+                format!(
+                    "{candidate}:k={},expr={},pts={},eff={},elem={}",
+                    c.k,
+                    c.use_expr,
+                    c.use_pts,
+                    c.use_eff,
+                    match c.elem_field {
+                        Some(f) => f.0.to_string(),
+                        None => "none".to_owned(),
+                    }
+                ),
+            );
+        }
     }
+}
+
+/// Parses one `run.repair.<section>` value back into a [`RepairEntry`]
+/// (the inverse of the [`RunConfig::stamp`] encoding).
+fn parse_repair(section: u32, v: &str) -> Result<RepairEntry, String> {
+    let bad = || format!("replay: bad `run.repair.{section}`: `{v}`");
+    let (candidate, fields) = v.split_once(':').ok_or_else(bad)?;
+    let candidate = candidate.parse::<u32>().map_err(|_| bad())?;
+    let mut cfg = SchemeConfig::full(0, None);
+    for field in fields.split(',') {
+        let (key, val) = field.split_once('=').ok_or_else(bad)?;
+        match key {
+            "k" => cfg.k = val.parse().map_err(|_| bad())?,
+            "expr" => cfg.use_expr = val.parse().map_err(|_| bad())?,
+            "pts" => cfg.use_pts = val.parse().map_err(|_| bad())?,
+            "eff" => cfg.use_eff = val.parse().map_err(|_| bad())?,
+            "elem" => {
+                cfg.elem_field = match val {
+                    "none" => None,
+                    n => Some(lir::FieldId(n.parse().map_err(|_| bad())?)),
+                };
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok((section, candidate, cfg))
 }
 
 fn parse_mode(s: &str) -> Result<ExecMode, String> {
@@ -294,11 +371,78 @@ pub struct Recording {
 /// Returns a message on compile failure or when the trace was dropped
 /// (per-thread ring overflow — raise [`RunConfig::trace_capacity`]).
 pub fn record(cfg: &RunConfig) -> Result<Recording, String> {
-    let m = interp::machine_for(&cfg.source, cfg.k, cfg.mode, options_for(cfg))?;
+    let m = machine(cfg)?;
     let (outcome, mut trace) = execute(&m, cfg);
     cfg.stamp(&mut trace);
     stamp_outcome(&outcome, &mut trace);
     Ok(Recording { outcome, trace })
+}
+
+/// Builds the machine a [`RunConfig`] prescribes. Without repairs this
+/// is [`interp::machine_for`]; with repairs the program is compiled
+/// once and each repair's specs are derived before construction, so
+/// `replay()` of a healed trace reproduces the repaired plans exactly.
+fn machine(cfg: &RunConfig) -> Result<interp::Machine, String> {
+    if cfg.repairs.is_empty() {
+        return interp::machine_for(&cfg.source, cfg.k, cfg.mode, options_for(cfg));
+    }
+    let program = lir::compile(&cfg.source).map_err(|e| e.to_string())?;
+    let pt = Arc::new(pointsto::PointsTo::analyze(&program));
+    let base = ConfigMap::uniform(SchemeConfig::full(cfg.k, program.elem_field_opt()));
+    let lib = lockinfer::library::LibrarySpec::new();
+    let analysis = lockinfer::analyze_program_with_configs(&program, &pt, &base, &lib, 0, None);
+    let transformed = lockinfer::transform(&program, &analysis);
+    let mut opts = options_for(cfg);
+    opts.repairs = repair_specs(&cfg.repairs, &program, &pt, &base, &lib, 0, None);
+    Ok(interp::Machine::new(
+        Arc::new(transformed),
+        pt,
+        cfg.mode,
+        opts,
+    ))
+}
+
+/// Derives the concrete lock specs each [`RepairEntry`] installs:
+/// re-runs the inference with the repaired configuration overriding
+/// the entry's section on top of `base` and extracts that section's
+/// `acquireAll` plan. Deterministic at every `analysis_threads` count
+/// (the engine's Phase B guarantee), and incremental when `store`
+/// memoizes Phase A summaries across candidate configs.
+pub(crate) fn repair_specs(
+    repairs: &[RepairEntry],
+    program: &lir::Program,
+    pt: &pointsto::PointsTo,
+    base: &ConfigMap,
+    lib: &lockinfer::library::LibrarySpec,
+    analysis_threads: usize,
+    store: Option<&lockinfer::SummaryStore>,
+) -> Vec<RepairSpec> {
+    repairs
+        .iter()
+        .map(|&(section, candidate, config)| {
+            let mut map = base.clone();
+            map.set_override(section, config);
+            let analysis = lockinfer::analyze_program_with_configs(
+                program,
+                pt,
+                &map,
+                lib,
+                analysis_threads,
+                store,
+            );
+            let specs = analysis
+                .sections
+                .iter()
+                .find(|s| s.id.0 == section)
+                .map(|s| s.locks.iter().map(|l| l.to_spec()).collect())
+                .unwrap_or_default();
+            RepairSpec {
+                section,
+                candidate,
+                specs,
+            }
+        })
+        .collect()
 }
 
 /// The machine options a [`RunConfig`] prescribes (tracing always on).
@@ -411,6 +555,7 @@ mod tests {
             sentinel: None,
             weaken: None,
             sched: None,
+            repairs: Vec::new(),
             trace_capacity: 1 << 16,
             init: ("setup".into(), vec![10]),
             worker: ("work".into(), vec![25]),
@@ -437,6 +582,25 @@ mod tests {
             policy: interp::PolicyKind::ShortestExpectedHold,
             expected_hold: vec![(1, 40), (2, 900)],
         });
+        c.repairs = vec![
+            (
+                0,
+                1,
+                SchemeConfig {
+                    use_expr: false,
+                    ..SchemeConfig::full(3, None)
+                },
+            ),
+            (
+                2,
+                0,
+                SchemeConfig {
+                    use_eff: false,
+                    elem_field: Some(lir::FieldId(4)),
+                    ..SchemeConfig::full(9, Some(lir::FieldId(4)))
+                },
+            ),
+        ];
         c.stamp(&mut t);
         assert_eq!(RunConfig::from_trace(&t).unwrap(), c);
         // And through the JSON encoding as well.

@@ -243,6 +243,7 @@ mod tests {
             sentinel: None,
             weaken: None,
             sched: None,
+            repairs: Vec::new(),
             trace_capacity: 1 << 18,
             init: ("setup".into(), vec![0]),
             worker: ("work".into(), vec![25]),

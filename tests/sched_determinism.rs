@@ -53,6 +53,7 @@ fn cfg(seed: u64, threads: usize, iters: i64) -> RunConfig {
         sentinel: None,
         weaken: None,
         sched: None,
+        repairs: Vec::new(),
         trace_capacity: 1 << 16,
         init: ("setup".into(), vec![0]),
         worker: ("work".into(), vec![iters]),

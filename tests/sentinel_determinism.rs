@@ -35,6 +35,11 @@ const SRC: &str = r#"
     }
 "#;
 
+/// Everything one armed run can be observed by: trace digest, ladder
+/// transitions, rendered degradation report, canonical violation
+/// ledger.
+type Observables = (String, Vec<(u32, bool, u32)>, String, Vec<String>);
+
 /// One full sentinel run with the inference executed at
 /// `analysis_threads`; returns every observable the ledger produces.
 fn ledger(
@@ -43,7 +48,7 @@ fn ledger(
     seed: u64,
     workers: usize,
     iters: i64,
-) -> (String, Vec<(u32, bool, u32)>, String) {
+) -> Observables {
     let program = lir::compile(SRC).expect("sentinel source compiles");
     let pt = Arc::new(PointsTo::analyze(&program));
     let cfg = SchemeConfig::full(3, program.elem_field_opt());
@@ -74,8 +79,29 @@ fn ledger(
         .iter()
         .map(|e| (e.section, e.healed, e.probation))
         .collect();
+    let violations = m
+        .sentinel()
+        .expect("machine built with a sentinel")
+        .violations();
+    // The canonical ledger contract: already sorted by the
+    // schedule-derived key `(clock, tid, seq)` — no caller-side sort.
+    assert!(
+        violations
+            .windows(2)
+            .all(|w| (w[0].clock, w[0].tid, w[0].seq) < (w[1].clock, w[1].tid, w[1].seq)),
+        "violation ledger must be strictly ordered by (clock, tid, seq)"
+    );
+    let rendered = violations
+        .iter()
+        .map(|v| format!("clock={} seq={} {v}", v.clock, v.seq))
+        .collect();
     let trace = m.take_trace().expect("tracing on");
-    (trace.digest(), history, m.degradation_report().to_string())
+    (
+        trace.digest(),
+        history,
+        m.degradation_report().to_string(),
+        rendered,
+    )
 }
 
 proptest! {
@@ -101,10 +127,15 @@ proptest! {
             !first.1.is_empty(),
             "dropping a spec from the hot section must trip the ladder"
         );
+        prop_assert!(
+            !first.3.is_empty(),
+            "dropping a spec from the hot section must ledger violations"
+        );
         for r in &runs[1..] {
             prop_assert_eq!(&r.0, &first.0, "trace digests diverged");
             prop_assert_eq!(&r.1, &first.1, "ladder transitions diverged");
             prop_assert_eq!(&r.2, &first.2, "degradation reports diverged");
+            prop_assert_eq!(&r.3, &first.3, "violation ledgers diverged");
         }
     }
 }

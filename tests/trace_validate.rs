@@ -13,7 +13,7 @@
 
 use atomic_lock_inference as ali;
 
-use ali::interp::{ExecMode, FaultPlan, Machine, Options};
+use ali::interp::{ExecMode, FaultPlan, Machine, Options, SentinelConfig, WeakenPlan};
 use ali::lir;
 use ali::pointsto::PointsTo;
 use ali::replay::{self, RunConfig};
@@ -143,6 +143,69 @@ fn dropping_one_inferred_lock_is_caught() {
         caught > 0,
         "weakened inference went unnoticed across {n_specs} variants"
     );
+}
+
+/// A sentinel-armed weakened run that crashes mid-section while the
+/// demoted section is still serving probation: the reconstructed
+/// quarantine history must suppress the half-open entry (never claim
+/// live state the run can't prove), survive a JSON round trip intact,
+/// and the crashed trace must still replay byte for byte.
+#[test]
+fn crash_inside_probation_suppresses_history_and_round_trips() {
+    let spec = RunSpec {
+        name: "probation-crash".into(),
+        source: r#"
+            global a, b;
+            fn setup(n) { a = n; b = n; }
+            fn work(iters) {
+                let i = 0;
+                while (i < iters) {
+                    atomic { a = a + 1; b = b + a; nops(10); }
+                    i = i + 1;
+                }
+                return 0;
+            }
+        "#
+        .into(),
+        init: ("setup", vec![0]),
+        worker: ("work", vec![30]),
+        check: None,
+        heap_cells: 1 << 12,
+    };
+    let mut cfg = RunConfig::from_spec(&spec, 3, ExecMode::MultiGrain, THREADS);
+    cfg.sentinel = Some(SentinelConfig::default());
+    cfg.weaken = Some(WeakenPlan {
+        section: 0,
+        drop_index: 0,
+    });
+    cfg.faults = Some(FaultPlan::new(0x9A1C).with_panics(6, 1));
+    let rec = replay::record(&cfg).expect("recording survives the crash");
+    let h = ali::trace::quarantine_history(&rec.trace);
+    assert!(
+        h.demotions() > 0,
+        "the weakened section must demote before the crash"
+    );
+    assert!(
+        h.open.is_empty(),
+        "a crashed run cannot prove its live quarantine state: {h:?}"
+    );
+    assert!(
+        h.suppressed > 0,
+        "the probation the crash interrupted is suppressed, not claimed: {h:?}"
+    );
+    // JSON round trip preserves both the bytes and the reconstruction.
+    let loaded = ali::trace::Trace::from_json(&rec.trace.to_json()).expect("parse trace");
+    assert_eq!(loaded.digest(), rec.trace.digest(), "JSON round-trip");
+    let h2 = ali::trace::quarantine_history(&loaded);
+    assert_eq!(h2, h, "history diverged across the round trip");
+    assert_eq!(
+        ali::trace::quarantine::render(&h2),
+        ali::trace::quarantine::render(&h)
+    );
+    // The crashed, truncated run replays exactly.
+    let again = replay::replay(&loaded).expect("crashed runs replay");
+    assert_eq!(again.trace.digest(), rec.trace.digest());
+    assert_eq!(again.outcome, rec.outcome);
 }
 
 #[test]
