@@ -14,6 +14,7 @@
 
 use atomic_lock_inference::adapt::adapt;
 use atomic_lock_inference::replay::RunConfig;
+use bench::cli::delta_pct;
 use bench::harness::ops;
 use interp::ExecMode;
 use lockinfer::adapt::AdaptPolicy;
@@ -76,8 +77,7 @@ fn main() -> ExitCode {
         if ad.total_wait < b.total_wait {
             improved += 1;
         }
-        let delta =
-            100.0 * (ad.total_wait as f64 - b.total_wait as f64) / (b.total_wait as f64).max(1.0);
+        let delta = delta_pct(b.total_wait, ad.total_wait);
         println!(
             "{:<18} {:>2} {:>10} {:>10} {:>+7.1} {:>9} {:>9} {:>6}  {}",
             spec.name,

@@ -1,0 +1,135 @@
+//! `metrics-overhead` — CI gate for the live observability layer's
+//! cost (DESIGN.md §5.9).
+//!
+//! ```text
+//! cargo run -p bench --release --bin metrics-overhead [-- --check]
+//! ```
+//!
+//! Runs the `workloads::scale` smoke program under MultiGrain locks at
+//! k = 9 twice per repetition — metrics off ([`Options::metrics`] =
+//! `None`, the hot path compiles to a skipped `if`) and armed with a
+//! live [`obs::Registry`] (every section entry, lock acquisition,
+//! revalidation, and wait/hold tick observed through relaxed-atomic
+//! handles) — and compares the best wall-clock time of each arm. The
+//! armed run must also populate the registry (a silent no-op
+//! instrumentation layer would pass any timing gate) and must not
+//! perturb the deterministic schedule: both arms assert the same
+//! virtual makespan.
+//!
+//! With `--check`, exits nonzero when the armed arm's ratio to the
+//! disabled arm reaches 2.0 — the same budget shape as the
+//! `sentinel-overhead` gate, deliberately loose because CI hosts are
+//! noisy; the layer's design target is low single-digit percent.
+
+use interp::{ExecMode, Machine, Options};
+use lockscheme::SchemeConfig;
+use pointsto::PointsTo;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::scale::{self, ScaleParams};
+
+const THREADS: usize = 4;
+/// Interleaved repetitions per arm; each arm scores its minimum, which
+/// discards scheduler noise on a loaded CI host.
+const REPS: usize = 5;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("metrics-overhead: unknown flag `{other}` (only --check)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // The same runnable smoke twin the sentinel gate times: enough
+    // in-section accesses for millisecond-scale runs whose
+    // minimum-of-5 is stable, small enough for a smoke job.
+    let spec = scale::smoke(
+        "metrics-smoke",
+        ScaleParams {
+            depth: 5,
+            width: 8,
+            sections: 16,
+            stmts_per_fn: 14,
+            seed: 12,
+        },
+        4,
+    );
+    let program = lir::compile(&spec.source).expect("scale smoke compiles");
+    let pt = Arc::new(PointsTo::analyze(&program));
+    let cfg = SchemeConfig::full(9, program.elem_field_opt());
+    let analysis = lockinfer::analyze_program(&program, &pt, cfg);
+    let transformed = Arc::new(lockinfer::transform(&program, &analysis));
+
+    let timed = |metrics: Option<Arc<obs::Registry>>| -> (f64, u64) {
+        let m = Machine::new(
+            transformed.clone(),
+            pt.clone(),
+            ExecMode::MultiGrain,
+            Options {
+                heap_cells: spec.heap_cells,
+                seed: 0xB0DE,
+                metrics,
+                ..Options::default()
+            },
+        );
+        let (worker, args) = &spec.worker;
+        m.run_named(spec.init.0, &spec.init.1).expect("smoke setup");
+        let t0 = Instant::now();
+        let (_, makespan) = m
+            .run_threads_virtual(worker, THREADS, |_| args.clone())
+            .expect("scale smoke completes");
+        m.publish_metrics();
+        (t0.elapsed().as_secs_f64(), makespan)
+    };
+
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let mut makespans = (0u64, 0u64);
+    let registry = Arc::new(obs::Registry::new());
+    for _ in 0..REPS {
+        let (t, span_off) = timed(None);
+        off = off.min(t);
+        let (t, span_on) = timed(Some(Arc::clone(&registry)));
+        on = on.min(t);
+        makespans = (span_off, span_on);
+        assert_eq!(
+            span_off, span_on,
+            "metrics must not perturb the deterministic schedule"
+        );
+    }
+    let snap = registry.snapshot();
+    let entries = snap
+        .counters
+        .iter()
+        .find(|(k, _)| k.name == "ali_run_section_entries_total")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(
+        entries > 0,
+        "the armed arm must actually count section entries"
+    );
+    let ratio = on / off;
+    println!("metrics off: {off:.6}s (best of {REPS})");
+    println!("metrics on:  {on:.6}s (best of {REPS})");
+    println!(
+        "armed registry: {} counters, {} hists, {} section entries, makespan {} ticks",
+        snap.counters.len(),
+        snap.hists.len(),
+        entries,
+        makespans.1
+    );
+    println!("overhead ratio: {ratio:.3}x (budget < 2.000x)");
+    if check && ratio >= 2.0 {
+        println!("metrics-overhead check: FAIL");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("metrics-overhead check: OK");
+    }
+    ExitCode::SUCCESS
+}

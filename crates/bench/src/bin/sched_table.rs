@@ -19,6 +19,7 @@
 
 use atomic_lock_inference::replay::RunConfig;
 use atomic_lock_inference::sched::evaluate;
+use bench::cli::delta_pct;
 use bench::harness::ops;
 use interp::ExecMode;
 use sched::ConvoyPolicy;
@@ -155,8 +156,7 @@ fn main() -> ExitCode {
         if best.total_wait < b.total_wait {
             improved += 1;
         }
-        let delta =
-            100.0 * (best.total_wait as f64 - b.total_wait as f64) / (b.total_wait as f64).max(1.0);
+        let delta = delta_pct(b.total_wait, best.total_wait);
         println!(
             "{:<18} {:>2} {:>10} {:>10} {:>+7.1} {:>9} {:>9} {:>7}  {}",
             spec.name,

@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! trace-dump record <workload> [--mode M] [--k N] [--threads N] [--ops N]
-//!                              [--faults] [--sentinel] [--weaken S:I]
+//!                              [--contention low|high] [--faults]
+//!                              [--sentinel] [--weaken S:I]
 //!                              [--sentinel-preset default|sampled-production]
-//!                              [--out FILE]
+//!                              [--metrics FILE] [--out FILE]
 //! trace-dump validate <trace.json>
 //! trace-dump profile  <trace.json>
 //! trace-dump replay   <trace.json>
 //! trace-dump quarantine <trace.json>
+//! trace-dump metrics <trace.json> [--format json|prometheus|speedscope]
+//!                                 [--out FILE]
 //! trace-dump adapt   <workload> [--mode M] [--k N] [--threads N] [--ops N]
 //!                               [--contention low|high] [--json FILE]
 //! trace-dump sched   <workload> [--mode M] [--k N] [--threads N] [--ops N]
@@ -24,6 +27,10 @@
 //!   deterministic virtual-time scheduler with event tracing on, prints
 //!   the lockset-validation verdict and per-section profiles, and —
 //!   with `--out` — writes the self-describing trace as canonical JSON.
+//!   `--metrics FILE` arms the run with a live [`obs::Registry`]
+//!   (through [`atomic_lock_inference::Pipeline`]) and writes its
+//!   snapshot as canonical metrics JSON; the recorded trace is
+//!   byte-identical either way.
 //! * `validate` re-checks a trace file against the Eraser-style
 //!   lockset discipline (every in-section access licensed by a held
 //!   lock at the right mode).
@@ -36,6 +43,10 @@
 //!   end, and half-open transitions dropped by the truncation guard.
 //!   `record --sentinel` arms the sentinel for the run; `--weaken S:I`
 //!   drops inferred lock `I` from section `S` to provoke it.
+//! * `metrics` derives the full `ali_*` metric vocabulary from a trace
+//!   file (DESIGN.md §5.9) — a pure function of the trace bytes — and
+//!   renders it as canonical JSON (default), Prometheus text
+//!   exposition, or a speedscope flamegraph of per-section wait/hold.
 //! * `adapt` runs the profile-guided adaptation loop (DESIGN.md §5.4):
 //!   record a baseline, derive per-section configuration candidates
 //!   from the corrected wait/hold profiles, replay each candidate on
@@ -63,70 +74,36 @@
 //! Exit status is nonzero on a validation failure or digest mismatch,
 //! so all subcommands double as CI checks.
 
-use atomic_lock_inference::{adapt, reinfer, replay, replay::RunConfig, sched};
-use interp::{ExecMode, FaultPlan, SentinelConfig, WeakenPlan};
+use atomic_lock_inference::{adapt, reinfer, replay, Pipeline};
+use bench::cli::{self, Flags, RunArgs};
+use interp::{FaultPlan, SentinelConfig};
 use lockinfer::adapt::AdaptPolicy;
 use std::process::ExitCode;
-use workloads::{micro, stamp, Contention, RunSpec};
+use std::sync::Arc;
+use workloads::Contention;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace-dump record <workload> [--mode global|multigrain|stm|validate] \
-         [--k N] [--threads N] [--ops N] [--faults] [--sentinel] [--weaken S:I] \
-         [--sentinel-preset default|sampled-production] [--out FILE]\n\
+         [--k N] [--threads N] [--ops N] [--contention low|high] [--faults] \
+         [--sentinel] [--weaken S:I] \
+         [--sentinel-preset default|sampled-production] [--metrics FILE] [--out FILE]\n\
          \x20      trace-dump validate <trace.json>\n\
          \x20      trace-dump profile  <trace.json>\n\
          \x20      trace-dump replay   <trace.json>\n\
          \x20      trace-dump quarantine <trace.json>\n\
+         \x20      trace-dump metrics  <trace.json> [--format json|prometheus|speedscope] \
+         [--out FILE]\n\
          \x20      trace-dump adapt    <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--json FILE]\n\
          \x20      trace-dump sched    <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--json FILE]\n\
          \x20      trace-dump reinfer  <workload> [--mode M] [--k N] [--threads N] \
          [--ops N] [--contention low|high] [--weaken S:I] [--json FILE]\n\
-         workloads: list hashtable hashtable2 rbtree th scale genome vacation kmeans"
+         workloads: {}",
+        cli::WORKLOADS
     );
     ExitCode::from(2)
-}
-
-fn workload(name: &str, ops: i64, c: Contention) -> Option<RunSpec> {
-    Some(match name {
-        "list" => micro::list(c, ops, 1),
-        "hashtable" => micro::hashtable(c, ops, 1),
-        "hashtable2" => micro::hashtable2(c, ops, 1),
-        "rbtree" => micro::rbtree(c, ops, 1),
-        "th" => micro::th(c, ops, 1),
-        "scale" => workloads::scale::smoke(
-            "scale",
-            workloads::scale::ScaleParams {
-                depth: 3,
-                width: 4,
-                sections: 12,
-                stmts_per_fn: 10,
-                seed: 11,
-            },
-            ops,
-        ),
-        "genome" => stamp::genome(ops, 1),
-        "vacation" => stamp::vacation(ops, 1),
-        "kmeans" => stamp::kmeans(ops, 1),
-        _ => return None,
-    })
-}
-
-fn parse_exec_mode(s: &str) -> Option<ExecMode> {
-    Some(match s {
-        "global" => ExecMode::Global,
-        "multigrain" | "mg" => ExecMode::MultiGrain,
-        "stm" => ExecMode::Stm,
-        "validate" => ExecMode::Validate,
-        _ => return None,
-    })
-}
-
-fn load(path: &str) -> Result<trace::Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    trace::Trace::from_json(&text)
 }
 
 fn report(t: &trace::Trace) -> bool {
@@ -175,34 +152,19 @@ fn report(t: &trace::Trace) -> bool {
 
 fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("record: missing workload name")?;
-    let mut mode = ExecMode::MultiGrain;
-    let mut k = 9usize;
-    let mut threads = 4usize;
-    let mut ops = 200i64;
+    let mut ra = RunArgs::new(4, Contention::Low);
     let mut faults = None;
     let mut sentinel = false;
     let mut preset = SentinelConfig::default();
     let mut weaken = None;
+    let mut metrics = None;
     let mut out = None;
-    let mut it = args[1..].iter();
-    while let Some(flag) = it.next() {
-        let mut val = |what: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("record: {flag} needs {what}"))
-        };
-        match flag.as_str() {
-            "--mode" => {
-                let v = val("a mode")?;
-                mode = parse_exec_mode(&v).ok_or_else(|| format!("record: bad mode `{v}`"))?;
-            }
-            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--threads" => {
-                threads = val("a count")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
+    let mut f = Flags::new("record", &args[1..]);
+    while let Some(flag) = f.next() {
+        if ra.apply(flag, &mut f)? {
+            continue;
+        }
+        match flag {
             "--faults" => {
                 faults = Some(
                     FaultPlan::new(0xC405)
@@ -213,7 +175,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
             }
             "--sentinel" => sentinel = true,
             "--sentinel-preset" => {
-                preset = match val("default|sampled-production")?.as_str() {
+                preset = match f.value(flag, "default|sampled-production")? {
                     "default" => SentinelConfig::default(),
                     "sampled-production" => SentinelConfig::sampled_production(),
                     other => return Err(format!("record: unknown sentinel preset `{other}`")),
@@ -221,29 +183,35 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
                 sentinel = true;
             }
             "--weaken" => {
-                let v = val("SECTION:INDEX")?;
-                let (s, i) = v
-                    .split_once(':')
-                    .ok_or_else(|| format!("--weaken: `{v}` is not SECTION:INDEX"))?;
-                weaken = Some(WeakenPlan {
-                    section: s.parse().map_err(|e| format!("--weaken section: {e}"))?,
-                    drop_index: i.parse().map_err(|e| format!("--weaken index: {e}"))?,
-                });
+                weaken = Some(cli::parse_weaken(f.value(flag, "SECTION:INDEX")?)?);
                 sentinel = true;
             }
-            "--out" => out = Some(val("a path")?),
-            other => return Err(format!("record: unknown flag `{other}`")),
+            "--metrics" => metrics = Some(f.value(flag, "a path")?.to_string()),
+            "--out" => out = Some(f.value(flag, "a path")?.to_string()),
+            other => return Err(f.unknown(other)),
         }
     }
-    let spec = workload(name, ops, Contention::Low)
-        .ok_or_else(|| format!("record: unknown workload `{name}`"))?;
-    let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    let mut cfg = ra.config("record", name)?;
     cfg.faults = faults;
     cfg.sentinel = sentinel.then_some(preset);
     cfg.weaken = weaken;
-    let rec = replay::record(&cfg)?;
+    // A metrics-armed run goes through the Pipeline so the live
+    // registry rides along; the recorded trace is byte-identical to
+    // the plain path either way.
+    let registry = metrics.as_ref().map(|_| Arc::new(obs::Registry::new()));
+    let rec = match &registry {
+        Some(reg) => Pipeline::new(cfg)
+            .analysis_threads(0)
+            .metrics(Arc::clone(reg))
+            .record()?,
+        None => replay::record(&cfg)?,
+    };
     println!(
-        "{name} mode={mode:?} k={k} threads={threads} ops={ops}: makespan={} ticks{}",
+        "{name} mode={:?} k={} threads={} ops={}: makespan={} ticks{}",
+        ra.mode,
+        ra.k,
+        ra.threads,
+        ra.ops,
         rec.outcome.makespan,
         match &rec.outcome.error {
             Some(e) => format!(" ERROR: {e}"),
@@ -251,9 +219,11 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         }
     );
     let ok = report(&rec.trace);
+    if let (Some(path), Some(reg)) = (&metrics, &registry) {
+        cli::write_text(path, &reg.snapshot().to_json())?;
+    }
     if let Some(path) = out {
-        std::fs::write(&path, rec.trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        cli::write_text(&path, &rec.trace.to_json())?;
     }
     Ok(if ok {
         ExitCode::SUCCESS
@@ -262,50 +232,62 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
-    let name = args.first().ok_or("adapt: missing workload name")?;
-    let mut mode = ExecMode::MultiGrain;
-    let mut k = 9usize;
-    let mut threads = 8usize;
-    let mut ops = 200i64;
-    let mut contention = Contention::High;
-    let mut json = None;
-    let mut it = args[1..].iter();
-    while let Some(flag) = it.next() {
-        let mut val = |what: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("adapt: {flag} needs {what}"))
-        };
-        match flag.as_str() {
-            "--mode" => {
-                let v = val("a mode")?;
-                mode = parse_exec_mode(&v).ok_or_else(|| format!("adapt: bad mode `{v}`"))?;
-            }
-            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--threads" => {
-                threads = val("a count")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
-            "--contention" => {
-                contention = match val("low|high")?.as_str() {
-                    "low" => Contention::Low,
-                    "high" => Contention::High,
-                    other => return Err(format!("adapt: bad contention `{other}`")),
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("metrics: missing trace file")?;
+    let mut format = "json".to_string();
+    let mut out = None;
+    let mut f = Flags::new("metrics", &args[1..]);
+    while let Some(flag) = f.next() {
+        match flag {
+            "--format" => {
+                format = match f.value(flag, "json|prometheus|speedscope")? {
+                    fmt @ ("json" | "prometheus" | "speedscope") => fmt.to_string(),
+                    other => return Err(format!("metrics: unknown format `{other}`")),
                 };
             }
-            "--json" => json = Some(val("a path")?),
-            other => return Err(format!("adapt: unknown flag `{other}`")),
+            "--out" => out = Some(f.value(flag, "a path")?.to_string()),
+            other => return Err(f.unknown(other)),
         }
     }
-    let spec = workload(name, ops, contention)
-        .ok_or_else(|| format!("adapt: unknown workload `{name}`"))?;
-    let cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    let t = cli::load_trace(path)?;
+    let rendered = match format.as_str() {
+        "prometheus" => obs::export::prometheus(&obs::from_trace(&t)),
+        "speedscope" => obs::export::speedscope(&t),
+        _ => obs::from_trace(&t).to_json(),
+    };
+    match out {
+        Some(p) => cli::write_text(&p, &rendered)?,
+        None => {
+            print!("{rendered}");
+            if !rendered.ends_with('\n') {
+                println!();
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("adapt: missing workload name")?;
+    let mut ra = RunArgs::new(8, Contention::High);
+    let mut json = None;
+    let mut f = Flags::new("adapt", &args[1..]);
+    while let Some(flag) = f.next() {
+        if ra.apply(flag, &mut f)? {
+            continue;
+        }
+        match flag {
+            "--json" => json = Some(f.value(flag, "a path")?.to_string()),
+            other => return Err(f.unknown(other)),
+        }
+    }
+    let cfg = ra.config("adapt", name)?;
     let run = adapt::adapt(&cfg, &AdaptPolicy::default(), 0)?;
     let b = run.report.baseline;
-    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "{name} mode={:?} k={} threads={} ops={}",
+        ra.mode, ra.k, ra.threads, ra.ops
+    );
     println!(
         "baseline:    wait={} hold={} reval={} makespan={}",
         b.total_wait, b.total_hold, b.total_revalidations, b.makespan
@@ -342,8 +324,7 @@ fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     if let Some(path) = json {
-        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        cli::write_text(&path, &run.report.to_json())?;
     }
     let ok = adapted_wait <= b.total_wait;
     println!(
@@ -360,48 +341,29 @@ fn cmd_adapt(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_sched(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("sched: missing workload name")?;
-    let mut mode = ExecMode::MultiGrain;
-    let mut k = 9usize;
-    let mut threads = 8usize;
-    let mut ops = 200i64;
-    let mut contention = Contention::High;
+    let mut ra = RunArgs::new(8, Contention::High);
     let mut json = None;
-    let mut it = args[1..].iter();
-    while let Some(flag) = it.next() {
-        let mut val = |what: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("sched: {flag} needs {what}"))
-        };
-        match flag.as_str() {
-            "--mode" => {
-                let v = val("a mode")?;
-                mode = parse_exec_mode(&v).ok_or_else(|| format!("sched: bad mode `{v}`"))?;
-            }
-            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--threads" => {
-                threads = val("a count")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
-            "--contention" => {
-                contention = match val("low|high")?.as_str() {
-                    "low" => Contention::Low,
-                    "high" => Contention::High,
-                    other => return Err(format!("sched: bad contention `{other}`")),
-                };
-            }
-            "--json" => json = Some(val("a path")?),
-            other => return Err(format!("sched: unknown flag `{other}`")),
+    let mut f = Flags::new("sched", &args[1..]);
+    while let Some(flag) = f.next() {
+        if ra.apply(flag, &mut f)? {
+            continue;
+        }
+        match flag {
+            "--json" => json = Some(f.value(flag, "a path")?.to_string()),
+            other => return Err(f.unknown(other)),
         }
     }
-    let spec = workload(name, ops, contention)
-        .ok_or_else(|| format!("sched: unknown workload `{name}`"))?;
-    let cfg = RunConfig::from_spec(&spec, k, mode, threads);
-    let run = sched::evaluate(&cfg, &sched::ConvoyPolicy::default(), 0)?;
+    let cfg = ra.config("sched", name)?;
+    let run = atomic_lock_inference::sched::evaluate(
+        &cfg,
+        &atomic_lock_inference::sched::ConvoyPolicy::default(),
+        0,
+    )?;
     let b = run.report.baseline;
-    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "{name} mode={:?} k={} threads={} ops={}",
+        ra.mode, ra.k, ra.threads, ra.ops
+    );
     println!(
         "baseline (fifo): wait={} hold={} makespan={}",
         b.total_wait, b.total_hold, b.makespan
@@ -439,8 +401,7 @@ fn cmd_sched(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     if let Some(path) = json {
-        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        cli::write_text(&path, &run.report.to_json())?;
     }
     let ok = best_wait <= b.total_wait;
     println!(
@@ -457,61 +418,29 @@ fn cmd_sched(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_reinfer(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("reinfer: missing workload name")?;
-    let mut mode = ExecMode::MultiGrain;
-    let mut k = 9usize;
-    let mut threads = 8usize;
-    let mut ops = 200i64;
-    let mut contention = Contention::High;
+    let mut ra = RunArgs::new(8, Contention::High);
     let mut weaken = None;
     let mut json = None;
-    let mut it = args[1..].iter();
-    while let Some(flag) = it.next() {
-        let mut val = |what: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("reinfer: {flag} needs {what}"))
-        };
-        match flag.as_str() {
-            "--mode" => {
-                let v = val("a mode")?;
-                mode = parse_exec_mode(&v).ok_or_else(|| format!("reinfer: bad mode `{v}`"))?;
-            }
-            "--k" => k = val("a depth")?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--threads" => {
-                threads = val("a count")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--ops" => ops = val("a count")?.parse().map_err(|e| format!("--ops: {e}"))?,
-            "--contention" => {
-                contention = match val("low|high")?.as_str() {
-                    "low" => Contention::Low,
-                    "high" => Contention::High,
-                    other => return Err(format!("reinfer: bad contention `{other}`")),
-                };
-            }
-            "--weaken" => {
-                let v = val("SECTION:INDEX")?;
-                let (s, i) = v
-                    .split_once(':')
-                    .ok_or_else(|| format!("--weaken: `{v}` is not SECTION:INDEX"))?;
-                weaken = Some(WeakenPlan {
-                    section: s.parse().map_err(|e| format!("--weaken section: {e}"))?,
-                    drop_index: i.parse().map_err(|e| format!("--weaken index: {e}"))?,
-                });
-            }
-            "--json" => json = Some(val("a path")?),
-            other => return Err(format!("reinfer: unknown flag `{other}`")),
+    let mut f = Flags::new("reinfer", &args[1..]);
+    while let Some(flag) = f.next() {
+        if ra.apply(flag, &mut f)? {
+            continue;
+        }
+        match flag {
+            "--weaken" => weaken = Some(cli::parse_weaken(f.value(flag, "SECTION:INDEX")?)?),
+            "--json" => json = Some(f.value(flag, "a path")?.to_string()),
+            other => return Err(f.unknown(other)),
         }
     }
-    let spec = workload(name, ops, contention)
-        .ok_or_else(|| format!("reinfer: unknown workload `{name}`"))?;
-    let mut cfg = RunConfig::from_spec(&spec, k, mode, threads);
+    let mut cfg = ra.config("reinfer", name)?;
     cfg.sentinel = Some(SentinelConfig::default());
     cfg.weaken = weaken;
     let run = reinfer::reinfer(&cfg, 0)?;
     let b = run.report.baseline;
-    println!("{name} mode={mode:?} k={k} threads={threads} ops={ops}");
+    println!(
+        "{name} mode={:?} k={} threads={} ops={}",
+        ra.mode, ra.k, ra.threads, ra.ops
+    );
     println!(
         "baseline (armed{}): wait={} hold={} makespan={}",
         match &cfg.weaken {
@@ -557,8 +486,7 @@ fn cmd_reinfer(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     if let Some(path) = json {
-        std::fs::write(&path, run.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        cli::write_text(&path, &run.report.to_json())?;
     }
     let ok = match (&cfg.weaken, &run.healed) {
         // No fault seeded: a quiet ledger is the expected outcome.
@@ -628,7 +556,7 @@ fn cmd_reinfer(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_replay(path: &str) -> Result<ExitCode, String> {
-    let t = load(path)?;
+    let t = cli::load_trace(path)?;
     let rec = replay::replay(&t)?;
     let (orig, fresh) = (t.digest(), rec.trace.digest());
     println!("recorded digest: {orig}");
@@ -647,25 +575,26 @@ fn main() -> ExitCode {
     let r = match args.split_first() {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
             ("record", rest) => cmd_record(rest),
-            ("validate", [path]) => load(path).map(|t| {
+            ("validate", [path]) => cli::load_trace(path).map(|t| {
                 if report(&t) {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE
                 }
             }),
-            ("profile", [path]) => load(path).map(|t| {
+            ("profile", [path]) => cli::load_trace(path).map(|t| {
                 print!("{}", trace::profile::render(&trace::profile::profile(&t)));
                 ExitCode::SUCCESS
             }),
             ("replay", [path]) => cmd_replay(path),
-            ("quarantine", [path]) => load(path).map(|t| {
+            ("quarantine", [path]) => cli::load_trace(path).map(|t| {
                 print!(
                     "{}",
                     trace::quarantine::render(&trace::quarantine_history(&t))
                 );
                 ExitCode::SUCCESS
             }),
+            ("metrics", rest) => cmd_metrics(rest),
             ("adapt", rest) => cmd_adapt(rest),
             ("sched", rest) => cmd_sched(rest),
             ("reinfer", rest) => cmd_reinfer(rest),

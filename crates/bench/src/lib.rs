@@ -13,7 +13,11 @@
 //!
 //! The [`harness`] module compiles a [`workloads::RunSpec`], infers and
 //! applies locks, and times a multithreaded run under one of the four
-//! configurations of Table 2.
+//! configurations of Table 2. The [`cli`] module is the shared
+//! command-line plumbing (workload lookup, flag parsing, trace
+//! loading, canonical-JSON output) for every bin.
+
+pub mod cli;
 
 pub mod harness {
     use interp::{ExecMode, Machine, Options};

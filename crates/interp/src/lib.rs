@@ -28,13 +28,14 @@
 mod error;
 pub mod fault;
 mod machine;
+mod metrics;
 pub mod sim;
 mod worker;
 
 pub use error::InterpError;
 pub use fault::{FaultPlan, FaultStats, WeakenPlan};
 pub use machine::{ExecMode, Machine, Options, RepairSpec};
-pub use sched::{PolicyKind, SchedConfig};
+pub use sched::{PolicyKind, ReaderBatch, SchedConfig};
 pub use sentinel::SentinelConfig;
 pub use sim::CostModel;
 

@@ -89,6 +89,12 @@ pub struct Options {
     /// (empty = none). Installed dormant into the sentinel at
     /// construction; inert without one.
     pub repairs: Vec<RepairSpec>,
+    /// Live metrics registry (`None` = off, zero overhead). When set,
+    /// the run publishes `ali_run_*` counters/histograms from
+    /// pre-resolved lock-free handles plus end-of-run gauges via
+    /// [`Machine::publish_metrics`]. Metrics never influence the
+    /// deterministic schedule or the recorded trace.
+    pub metrics: Option<Arc<obs::Registry>>,
 }
 
 impl Default for Options {
@@ -106,6 +112,7 @@ impl Default for Options {
             weaken: None,
             sched: None,
             repairs: Vec::new(),
+            metrics: None,
         }
     }
 }
@@ -173,6 +180,8 @@ pub struct Machine {
     /// consults these only while the sentinel reports the section's
     /// repair as active.
     pub(crate) repairs: std::collections::BTreeMap<u32, Vec<lir::LockSpec>>,
+    /// Pre-resolved live-metric handles (see [`Options::metrics`]).
+    pub(crate) metrics: Option<Arc<crate::metrics::Metrics>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -279,6 +288,9 @@ impl Machine {
             weaken: opts.weaken,
             sched: opts.sched,
             repairs: std::collections::BTreeMap::new(),
+            metrics: opts
+                .metrics
+                .map(|reg| Arc::new(crate::metrics::Metrics::new(reg))),
         };
         for r in opts.repairs {
             if let Some(s) = &m.sentinel {

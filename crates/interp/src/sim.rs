@@ -100,6 +100,12 @@ struct SimInner {
     /// Waiter snapshots registered at `begin_wait`, consumed (and
     /// cleared) by the next release's ranking pass.
     waiters: Vec<Option<Waiter>>,
+    /// The release epoch at which each thread's current *wait streak*
+    /// began. A promoted waiter that fails to acquire re-parks without
+    /// clearing this, so aging policies see how many release grants it
+    /// has sat through ([`sched::Waiter::age`]); cleared by
+    /// [`Sim::end_wait`] when the acquisition finally succeeds.
+    wait_epoch: Vec<Option<u64>>,
     last_release_clock: u64,
     release_epoch: u64,
     /// Set when every live thread is `Waiting`: no runnable thread
@@ -134,6 +140,7 @@ impl Sim {
                 state: vec![St::Ready; n],
                 ranks: vec![0; n],
                 waiters: vec![None; n],
+                wait_epoch: vec![None; n],
                 last_release_clock: 0,
                 release_epoch: 0,
                 wedged: false,
@@ -198,8 +205,19 @@ impl Sim {
         let mut g = self.inner.lock();
         g.state[tid] = St::Waiting;
         g.waiters[tid] = waiter;
+        // Re-parking after an unsuccessful promotion continues the same
+        // wait streak: the age baseline survives.
+        let epoch = g.release_epoch;
+        g.wait_epoch[tid].get_or_insert(epoch);
         Self::check_wedged(&mut g);
         self.cv.notify_all();
+    }
+
+    /// Ends `tid`'s wait streak: the blocked acquisition went through,
+    /// so the next park starts aging from zero again. Called by the
+    /// acquire loop after its final successful step.
+    pub fn end_wait(&self, tid: usize) {
+        self.inner.lock().wait_epoch[tid] = None;
     }
 
     /// Blocks until some thread releases locks; the releaser promotes
@@ -251,19 +269,28 @@ impl Sim {
         let mut g = self.inner.lock();
         let now = g.clocks[tid];
         g.last_release_clock = g.last_release_clock.max(now);
+        let epoch = g.release_epoch;
         g.release_epoch += 1;
         let grants = match &self.policy {
             None => Vec::new(),
             Some(policy) => {
                 // Queue order is thread-id order — deterministic under
                 // the virtual-time scheduler, and exactly the order the
-                // historical tie-break would retry the batch in.
+                // historical tie-break would retry the batch in. Each
+                // waiter's age is the number of release grants its wait
+                // streak has already sat through — schedule state, so
+                // aging policies rank identically on replay.
                 let queue: Vec<Waiter> = g
                     .waiters
                     .iter()
                     .enumerate()
                     .filter(|&(j, _)| g.state[j] == St::Waiting)
-                    .filter_map(|(_, w)| *w)
+                    .filter_map(|(j, w)| {
+                        w.map(|mut w| {
+                            w.age = epoch - g.wait_epoch[j].unwrap_or(epoch);
+                            w
+                        })
+                    })
                     .collect();
                 if queue.is_empty() {
                     Vec::new()
@@ -398,6 +425,7 @@ mod tests {
         let cfg = SchedConfig {
             policy: PolicyKind::ShortestExpectedHold,
             expected_hold: vec![(1, 100), (2, 5)],
+            aging: 0,
         };
         let sim = Arc::new(Sim::with_policy(3, 10, Some(cfg.build())));
         let order = Arc::new(Mutex::new(Vec::new()));
@@ -415,6 +443,7 @@ mod tests {
                         section,
                         node: NodeKey::Root,
                         mode: Mode::X,
+                        age: 0,
                     }),
                 );
                 assert!(sim.await_release(tid));
@@ -450,5 +479,47 @@ mod tests {
         // Both waiters resumed at the release clock: ranks reorder
         // ties, they never touch clocks.
         assert_eq!(sim.makespan(), 501);
+    }
+
+    #[test]
+    fn waiter_age_accumulates_across_reparks_and_resets_on_end_wait() {
+        use mglock::{Mode, NodeKey};
+
+        /// Records the age of every waiter it is asked to rank.
+        struct AgeSpy(Mutex<Vec<u64>>);
+        impl sched::WakePolicy for &'static AgeSpy {
+            fn name(&self) -> &'static str {
+                "age-spy"
+            }
+            fn rank(&self, waiter: &Waiter, _queue: &[Waiter]) -> u64 {
+                self.0.lock().push(waiter.age);
+                0
+            }
+        }
+
+        static SPY: AgeSpy = AgeSpy(Mutex::new(Vec::new()));
+        let sim = Sim::with_policy(2, 10, Some(Box::new(&SPY)));
+        let w = Waiter {
+            tid: 1,
+            since: 0,
+            section: 1,
+            node: NodeKey::Root,
+            mode: Mode::X,
+            age: 0,
+        };
+        // Park, sit through two releases (re-parking after the first
+        // promotion fails to acquire), then succeed and park afresh.
+        sim.begin_wait_with(1, Some(w));
+        sim.on_release_with(0, |_| {});
+        sim.begin_wait_with(1, Some(w));
+        sim.on_release_with(0, |_| {});
+        sim.end_wait(1);
+        sim.begin_wait_with(1, Some(w));
+        sim.on_release_with(0, |_| {});
+        assert_eq!(
+            SPY.0.lock().clone(),
+            vec![0, 1, 0],
+            "age counts releases survived per wait streak"
+        );
     }
 }

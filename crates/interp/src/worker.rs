@@ -64,6 +64,11 @@ pub(crate) struct Worker<'m> {
     /// section execution; consumed at close — dirty executions do not
     /// count toward a quarantined section's probation.
     section_violated: bool,
+    /// Outermost lock-section enter / plan-acquisition clocks feeding
+    /// the live `ali_run_section_{wait,hold}_ticks` histograms
+    /// (meaningful only while [`Machine::metrics`] is armed).
+    sect_enter_clock: u64,
+    sect_plan_clock: u64,
 }
 
 impl<'m> Worker<'m> {
@@ -93,6 +98,8 @@ impl<'m> Worker<'m> {
             revalidating: false,
             accesses: 0,
             section_violated: false,
+            sect_enter_clock: 0,
+            sect_plan_clock: 0,
         }
     }
 
@@ -137,7 +144,12 @@ impl<'m> Worker<'m> {
         // scheduler: pre-stamp the clock and append directly.
         self.sync_trace_clock();
         let tracer = self.tracer.clone();
+        let mx = self.m.metrics.clone();
         sim.on_release_with(self.tid as usize, |g| {
+            if let Some(mx) = &mx {
+                mx.wake_decisions.inc();
+                mx.wake_woken.add(g.woken as u64);
+            }
             if let Some(t) = &tracer {
                 t.record(trace::EventKind::WakeDecision {
                     node: g.node,
@@ -402,6 +414,9 @@ impl<'m> Worker<'m> {
                         self.sync_trace_clock();
                         m.space.note_abort_by(self.tid as u64);
                         self.section_aborts += 1;
+                        if let Some(mx) = &m.metrics {
+                            mx.section_retries.inc();
+                        }
                         if self.section_aborts >= m.stm_abort_budget {
                             // Starving: the next attempt runs
                             // irrevocably (see `section_enter`).
@@ -712,6 +727,37 @@ impl<'m> Worker<'m> {
     }
 
     // ------------------------------------------------------------------
+    // Live metrics (all no-ops when the machine has no registry)
+
+    /// Counts an injected fault on the live registry.
+    fn metric_fault(&self, class: trace::FaultClass) {
+        if let Some(mx) = &self.m.metrics {
+            mx.fault(class);
+        }
+    }
+
+    /// Marks the outermost acquisition point: wait ends here, hold
+    /// begins. Lock modes only — STM has no plan to complete.
+    fn metric_plan_complete(&mut self) {
+        let m = self.m;
+        if let Some(mx) = &m.metrics {
+            let now = self.now();
+            mx.wait_ticks
+                .observe(now.saturating_sub(self.sect_enter_clock));
+            self.sect_plan_clock = now;
+        }
+    }
+
+    /// Closes the outermost lock section's hold interval.
+    fn metric_section_closed(&mut self) {
+        let m = self.m;
+        if let Some(mx) = &m.metrics {
+            mx.hold_ticks
+                .observe(self.now().saturating_sub(self.sect_plan_clock));
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection points (all no-ops without a plan)
 
     /// Injected mid-section panic: fires only inside an atomic section
@@ -735,6 +781,7 @@ impl<'m> Worker<'m> {
             self.trace_event(trace::EventKind::Fault {
                 class: trace::FaultClass::Panic,
             });
+            self.metric_fault(trace::FaultClass::Panic);
             std::panic::resume_unwind(Box::new(FaultPanic { tid: self.tid }));
         }
     }
@@ -758,6 +805,7 @@ impl<'m> Worker<'m> {
             self.trace_event(trace::EventKind::Fault {
                 class: trace::FaultClass::SpuriousAbort,
             });
+            self.metric_fault(trace::FaultClass::SpuriousAbort);
             return Err(Exc::Abort);
         }
         Ok(())
@@ -780,6 +828,7 @@ impl<'m> Worker<'m> {
             self.trace_event(trace::EventKind::Fault {
                 class: trace::FaultClass::WakeupDelay,
             });
+            self.metric_fault(trace::FaultClass::WakeupDelay);
             if self.sim.is_some() {
                 self.tick(t);
             } else {
@@ -870,12 +919,16 @@ impl<'m> Worker<'m> {
             // entry; lock grants follow at the outermost level only.
             self.trace_event(trace::EventKind::SectionEnter { section: sid.0 });
         }
+        if let Some(mx) = &m.metrics {
+            mx.section_entries.inc();
+        }
         match m.mode {
             ExecMode::Global => {
                 let outermost = self.session.nesting_level() == 0;
                 if outermost {
                     self.current_section = sid;
                     self.section_violated = false;
+                    self.sect_enter_clock = self.now();
                 }
                 self.session.to_acquire(Descriptor::Global {
                     access: Access::Write,
@@ -883,6 +936,7 @@ impl<'m> Worker<'m> {
                 self.acquire_session(1)?;
                 if outermost {
                     self.trace_event(trace::EventKind::PlanComplete);
+                    self.metric_plan_complete();
                 }
                 Ok(false)
             }
@@ -901,6 +955,7 @@ impl<'m> Worker<'m> {
                 }
                 self.current_section = sid;
                 self.section_violated = false;
+                self.sect_enter_clock = self.now();
                 if m.sentinel.as_ref().is_some_and(|s| s.is_quarantined(sid.0)) {
                     // Quarantined: the section serves its probation
                     // under the trivially sound global scheme — one
@@ -915,6 +970,7 @@ impl<'m> Worker<'m> {
                     });
                     self.acquire_session(1)?;
                     self.trace_event(trace::EventKind::PlanComplete);
+                    self.metric_plan_complete();
                     return Ok(false);
                 }
                 // A healed section with an active repair plans the
@@ -955,6 +1011,7 @@ impl<'m> Worker<'m> {
                     // revalidation retries — `trace::profile` counts
                     // them apart instead of moving the split point.
                     self.trace_event(trace::EventKind::PlanComplete);
+                    self.metric_plan_complete();
                     // Fine descriptors were evaluated *before* blocking.
                     // If the guarded structure moved while this thread
                     // waited (e.g. a concurrent section resized the
@@ -969,6 +1026,9 @@ impl<'m> Worker<'m> {
                     m.fault_stats
                         .lock_revalidations
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(mx) = &m.metrics {
+                        mx.revalidations.inc();
+                    }
                     self.session.release_all();
                     self.sim_release();
                 }
@@ -1048,6 +1108,7 @@ impl<'m> Worker<'m> {
             self.trace_event(trace::EventKind::Fault {
                 class: trace::FaultClass::Stall,
             });
+            self.metric_fault(trace::FaultClass::Stall);
             if self.sim.is_some() {
                 self.tick(t);
             } else {
@@ -1056,6 +1117,7 @@ impl<'m> Worker<'m> {
                 }
             }
         }
+        let held_before = self.session.held_count();
         match self.sim.clone() {
             None => {
                 self.sync_trace_clock();
@@ -1072,16 +1134,19 @@ impl<'m> Worker<'m> {
                 }
             }
             Some(sim) => {
-                let held_before = self.session.held_count();
                 self.tick(self.m.costs.lock_desc * n_descriptors);
                 self.flush_ticks();
+                let mut parked = false;
                 loop {
                     self.sync_trace_clock();
                     match self.session.acquire_all_step() {
                         mglock::StepResult::Done => break,
                         mglock::StepResult::WouldBlock => {
+                            parked = true;
                             // Snapshot what we are blocked on for the
                             // wake policy (ignored on the legacy path).
+                            // Age is filled in by the scheduler at each
+                            // release from the streak's park epoch.
                             let waiter =
                                 self.session.blocked_on().map(|(node, mode)| sched::Waiter {
                                     tid: self.tid,
@@ -1089,6 +1154,7 @@ impl<'m> Worker<'m> {
                                     section: self.current_section.0,
                                     node,
                                     mode,
+                                    age: 0,
                                 });
                             sim.begin_wait_with(self.tid as usize, waiter);
                             if !sim.await_release(self.tid as usize) {
@@ -1098,9 +1164,16 @@ impl<'m> Worker<'m> {
                         }
                     }
                 }
+                if parked {
+                    sim.end_wait(self.tid as usize);
+                }
                 let acquired = (self.session.held_count() - held_before) as u64;
                 self.tick(self.m.costs.lock_node * acquired);
             }
+        }
+        if let Some(mx) = &self.m.metrics {
+            mx.lock_acquisitions
+                .add((self.session.held_count() - held_before) as u64);
         }
         Ok(())
     }
@@ -1131,6 +1204,7 @@ impl<'m> Worker<'m> {
                 self.session.release_all();
                 let closed = self.session.nesting_level() == 0;
                 if closed {
+                    self.metric_section_closed();
                     self.sim_release();
                     self.held_concrete.clear();
                     self.my_allocs.clear();

@@ -1,0 +1,219 @@
+//! Trace-derived metric snapshots.
+//!
+//! [`from_trace`] maps a recorded `ali-trace-v1` trace onto the same
+//! metric vocabulary the live [`Registry`](crate::Registry) speaks —
+//! a pure function of the trace bytes, so two snapshots derived from
+//! the same recording are byte-identical no matter how many analysis
+//! or eval threads produced it. The shape is fixed: every kind/mode/
+//! class series is always present (zero-valued when unseen), and
+//! per-section series follow the `trace::profile` section set.
+
+use crate::{HistData, Key, Snapshot};
+use mglock::{FineAddr, Mode, NodeKey};
+use trace::{EventKind, FaultClass, Trace};
+
+/// All event kinds, in the canonical `Trace::counts` vocabulary.
+const EVENT_KINDS: [&str; 15] = [
+    "alloc",
+    "fault",
+    "lock_acquire",
+    "lock_release",
+    "plan_complete",
+    "quarantine",
+    "read",
+    "reinfer",
+    "section_enter",
+    "section_exit",
+    "stm_abort",
+    "stm_commit",
+    "stm_fallback",
+    "wake_decision",
+    "write",
+];
+
+const MODES: [Mode; 5] = [Mode::Is, Mode::Ix, Mode::S, Mode::Six, Mode::X];
+const NODE_CLASSES: [&str; 4] = ["root", "pts", "cell", "range"];
+const FAULT_CLASSES: [FaultClass; 4] = [
+    FaultClass::Panic,
+    FaultClass::SpuriousAbort,
+    FaultClass::Stall,
+    FaultClass::WakeupDelay,
+];
+
+/// The trace JSON tag of a lock mode.
+pub fn mode_tag(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Is => "IS",
+        Mode::Ix => "IX",
+        Mode::S => "S",
+        Mode::Six => "SIX",
+        Mode::X => "X",
+    }
+}
+
+/// The trace JSON class of a lock-tree node.
+pub fn node_class(node: NodeKey) -> &'static str {
+    match node {
+        NodeKey::Root => "root",
+        NodeKey::Pts(_) => "pts",
+        NodeKey::Fine(_, FineAddr::Cell(_)) => "cell",
+        NodeKey::Fine(_, FineAddr::Range(_)) => "range",
+    }
+}
+
+fn fault_tag(class: FaultClass) -> &'static str {
+    match class {
+        FaultClass::Panic => "panic",
+        FaultClass::SpuriousAbort => "abort",
+        FaultClass::Stall => "stall",
+        FaultClass::WakeupDelay => "delay",
+    }
+}
+
+/// Derives the canonical metrics snapshot of a recorded trace.
+pub fn from_trace(t: &Trace) -> Snapshot {
+    let mut snap = Snapshot::default();
+
+    let counts = t.counts();
+    for kind in EVENT_KINDS {
+        snap.counters.push((
+            Key::labelled("ali_trace_events_total", "kind", kind),
+            counts.get(kind).copied().unwrap_or(0),
+        ));
+    }
+
+    let mut acquires = [0u64; MODES.len()];
+    let mut wake_by_class = [0u64; NODE_CLASSES.len()];
+    let mut faults = [0u64; FAULT_CLASSES.len()];
+    let mut woken = 0u64;
+    let (mut commit_reads, mut commit_writes) = (0u64, 0u64);
+    let (mut demotions, mut heals) = (0u64, 0u64);
+    let (mut repairs_on, mut repairs_off) = (0u64, 0u64);
+    let mut threads: Vec<u32> = Vec::new();
+    let mut makespan = 0u64;
+    for e in &t.events {
+        if let Err(i) = threads.binary_search(&e.tid) {
+            threads.insert(i, e.tid);
+        }
+        makespan = makespan.max(e.clock);
+        match e.kind {
+            EventKind::LockAcquire { mode, .. } => {
+                acquires[MODES.iter().position(|&m| m == mode).unwrap()] += 1;
+            }
+            EventKind::Fault { class } => {
+                faults[FAULT_CLASSES.iter().position(|&c| c == class).unwrap()] += 1;
+            }
+            EventKind::WakeDecision {
+                node, woken: batch, ..
+            } => {
+                let class = node_class(node);
+                wake_by_class[NODE_CLASSES.iter().position(|&c| c == class).unwrap()] += 1;
+                woken += batch as u64;
+            }
+            EventKind::StmCommit { reads, writes } => {
+                commit_reads += reads;
+                commit_writes += writes;
+            }
+            EventKind::Quarantine { healed, .. } => {
+                if healed {
+                    heals += 1;
+                } else {
+                    demotions += 1;
+                }
+            }
+            EventKind::Reinfer { accepted, .. } => {
+                if accepted {
+                    repairs_on += 1;
+                } else {
+                    repairs_off += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, mode) in MODES.iter().enumerate() {
+        snap.counters.push((
+            Key::labelled("ali_lock_acquires_total", "mode", mode_tag(*mode)),
+            acquires[i],
+        ));
+    }
+    for (i, class) in NODE_CLASSES.iter().enumerate() {
+        snap.counters.push((
+            Key::labelled("ali_wake_decisions_total", "node", class),
+            wake_by_class[i],
+        ));
+    }
+    for (i, class) in FAULT_CLASSES.iter().enumerate() {
+        snap.counters.push((
+            Key::labelled("ali_faults_total", "class", fault_tag(*class)),
+            faults[i],
+        ));
+    }
+    snap.counters
+        .push((Key::plain("ali_wake_woken_total"), woken));
+    snap.counters
+        .push((Key::plain("ali_stm_commit_reads_total"), commit_reads));
+    snap.counters
+        .push((Key::plain("ali_stm_commit_writes_total"), commit_writes));
+    snap.counters
+        .push((Key::plain("ali_quarantine_demotions_total"), demotions));
+    snap.counters
+        .push((Key::plain("ali_quarantine_heals_total"), heals));
+    snap.counters
+        .push((Key::plain("ali_repairs_accepted_total"), repairs_on));
+    snap.counters
+        .push((Key::plain("ali_repairs_revoked_total"), repairs_off));
+
+    snap.gauges
+        .push((Key::plain("ali_trace_dropped_events"), t.dropped));
+    snap.gauges
+        .push((Key::plain("ali_trace_threads"), threads.len() as u64));
+    snap.gauges
+        .push((Key::plain("ali_trace_makespan_ticks"), makespan));
+
+    for p in trace::profile(t) {
+        snap.counters.push((
+            Key::labelled("ali_section_entries_total", "section", p.section),
+            p.entries,
+        ));
+        snap.counters.push((
+            Key::labelled("ali_section_aborts_total", "section", p.section),
+            p.aborts,
+        ));
+        snap.hists.push((
+            Key::labelled("ali_section_wait_ticks", "section", p.section),
+            HistData::from_trace_hist(&p.wait),
+        ));
+        snap.hists.push((
+            Key::labelled("ali_section_hold_ticks", "section", p.section),
+            HistData::from_trace_hist(&p.hold),
+        ));
+        snap.hists.push((
+            Key::labelled("ali_section_revalidations", "section", p.section),
+            HistData::from_trace_hist(&p.revalidations),
+        ));
+    }
+
+    snap.sort();
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_yields_the_full_zero_shape() {
+        let snap = from_trace(&Trace::default());
+        // 15 kinds + 5 modes + 4 node classes + 4 fault classes + 7
+        // plain counters, zero sections.
+        assert_eq!(snap.counters.len(), 35);
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0));
+        assert_eq!(snap.gauges.len(), 3);
+        assert!(snap.hists.is_empty());
+        // Canonical order: sorted by (name, labels).
+        let mut sorted = snap.clone();
+        sorted.sort();
+        assert_eq!(snap, sorted);
+    }
+}

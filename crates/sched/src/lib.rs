@@ -66,6 +66,12 @@ pub struct Waiter {
     pub node: NodeKey,
     /// The mode requested at that node.
     pub mode: Mode,
+    /// Release grants that have elapsed since the thread parked,
+    /// filled in by the scheduler at each release (callers snapshotting
+    /// a fresh waiter pass 0). A deterministic age — it counts recorded
+    /// scheduling events, never wall-clock time — so aging policies
+    /// stay replayable.
+    pub age: u64,
 }
 
 /// Which built-in policy to run. The tags are stable: they round-trip
@@ -121,6 +127,12 @@ pub struct SchedConfig {
     /// it, but it is carried (and stamped) for every policy so the
     /// metadata fully determines the ranking function.
     pub expected_hold: Vec<(u32, u64)>,
+    /// Writer-starvation bound for [`PolicyKind::ReaderBatch`]: a
+    /// waiter that has sat through at least this many release grants
+    /// jumps into the preferred batch regardless of its mode. `0`
+    /// disables aging (the pre-aging behavior); other policies carry
+    /// the knob but ignore it.
+    pub aging: u64,
 }
 
 impl SchedConfig {
@@ -129,11 +141,14 @@ impl SchedConfig {
         SchedConfig {
             policy: PolicyKind::Fifo,
             expected_hold: Vec::new(),
+            aging: 0,
         }
     }
 
     /// Builds the configuration for `policy` from a prior run's
     /// per-section profiles (the record → profile → re-run loop).
+    /// [`PolicyKind::ReaderBatch`] gets the default aging bound so
+    /// steered runs never starve writers unboundedly.
     pub fn from_profiles(policy: PolicyKind, profiles: &[SectionProfile]) -> SchedConfig {
         let mut expected_hold: Vec<(u32, u64)> = profiles
             .iter()
@@ -144,6 +159,10 @@ impl SchedConfig {
         SchedConfig {
             policy,
             expected_hold,
+            aging: match policy {
+                PolicyKind::ReaderBatch => ReaderBatch::DEFAULT_AGING,
+                _ => 0,
+            },
         }
     }
 
@@ -154,7 +173,7 @@ impl SchedConfig {
             PolicyKind::ShortestExpectedHold => {
                 Box::new(ShortestExpectedHold::new(&self.expected_hold))
             }
-            PolicyKind::ReaderBatch => Box::new(ReaderBatch),
+            PolicyKind::ReaderBatch => Box::new(ReaderBatch { aging: self.aging }),
         }
     }
 
@@ -248,8 +267,23 @@ impl WakePolicy for ShortestExpectedHold {
 /// Wake every shared-mode waiter ahead of the writers: the whole read
 /// batch runs in parallel under compatible grants, so one release
 /// drains it instead of letting an interleaved writer reconvoy the
-/// readers one by one.
-pub struct ReaderBatch;
+/// readers one by one. A steady read stream would starve writers
+/// forever, so `aging` bounds the wait: a writer that has sat through
+/// `aging` release grants jumps the batch (0 = unbounded).
+pub struct ReaderBatch {
+    /// Grants a non-shared waiter may sit out before it is promoted
+    /// into the preferred batch (0 disables aging).
+    pub aging: u64,
+}
+
+impl ReaderBatch {
+    /// Default writer-starvation bound used by
+    /// [`SchedConfig::from_profiles`]: after sitting through this many
+    /// release grants, a writer ranks with the read batch. Small
+    /// enough that writers land within one reader drain, large enough
+    /// that a momentary read burst still batches.
+    pub const DEFAULT_AGING: u64 = 4;
+}
 
 impl WakePolicy for ReaderBatch {
     fn name(&self) -> &'static str {
@@ -259,8 +293,10 @@ impl WakePolicy for ReaderBatch {
     fn rank(&self, waiter: &Waiter, _queue: &[Waiter]) -> u64 {
         // Read-side requests are those compatible with a shared
         // holder: S itself and the IS intention on the path to a
-        // shared descendant. IX/SIX/X announce or perform writes.
-        if waiter.mode.compatible(Mode::S) {
+        // shared descendant. IX/SIX/X announce or perform writes —
+        // they wait behind the batch until their age crosses the
+        // starvation bound.
+        if waiter.mode.compatible(Mode::S) || (self.aging > 0 && waiter.age >= self.aging) {
             0
         } else {
             1
@@ -333,6 +369,7 @@ mod tests {
             section,
             node,
             mode,
+            age: 0,
         }
     }
 
@@ -363,6 +400,7 @@ mod tests {
         let cfg = SchedConfig {
             policy: PolicyKind::ShortestExpectedHold,
             expected_hold: vec![(1, 40), (2, 7)],
+            aging: 0,
         };
         let p = cfg.build();
         let q = vec![
@@ -406,7 +444,7 @@ mod tests {
             w(2, 1, NodeKey::Root, Mode::Is),
             w(3, 1, NodeKey::Pts(0), Mode::S),
         ];
-        let (ranks, grants) = rank_batch(&ReaderBatch, &q);
+        let (ranks, grants) = rank_batch(&ReaderBatch { aging: 0 }, &q);
         assert_eq!(ranks, vec![1, 0, 0, 0]);
         // Pts(0): three waiters, the two readers form the batch.
         let pts = grants.iter().find(|g| g.node == NodeKey::Pts(0)).unwrap();
@@ -414,10 +452,36 @@ mod tests {
     }
 
     #[test]
+    fn reader_batch_aging_bounds_writer_starvation() {
+        let mut q = vec![
+            w(0, 1, NodeKey::Pts(0), Mode::X),
+            w(1, 1, NodeKey::Pts(0), Mode::S),
+            w(2, 1, NodeKey::Pts(0), Mode::S),
+        ];
+        // Fresh writer: waits behind the read batch.
+        let (ranks, _) = rank_batch(&ReaderBatch { aging: 3 }, &q);
+        assert_eq!(ranks, vec![1, 0, 0]);
+        // The writer has sat through three grants: it jumps the batch.
+        q[0].age = 3;
+        let (ranks, grants) = rank_batch(&ReaderBatch { aging: 3 }, &q);
+        assert_eq!(ranks, vec![0, 0, 0]);
+        assert_eq!((grants[0].depth, grants[0].woken), (3, 3));
+        // Aging 0 keeps the unbounded pre-aging behavior.
+        let (ranks, _) = rank_batch(&ReaderBatch { aging: 0 }, &q);
+        assert_eq!(ranks, vec![1, 0, 0]);
+        // from_profiles arms the default bound for ReaderBatch only.
+        let cfg = SchedConfig::from_profiles(PolicyKind::ReaderBatch, &[]);
+        assert_eq!(cfg.aging, ReaderBatch::DEFAULT_AGING);
+        let cfg = SchedConfig::from_profiles(PolicyKind::Fifo, &[]);
+        assert_eq!(cfg.aging, 0);
+    }
+
+    #[test]
     fn holds_metadata_round_trips() {
         let cfg = SchedConfig {
             policy: PolicyKind::ShortestExpectedHold,
             expected_hold: vec![(0, 12), (7, 3400)],
+            aging: 0,
         };
         let s = cfg.holds_string();
         assert_eq!(s, "0:12,7:3400");

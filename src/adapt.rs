@@ -42,11 +42,10 @@
 //! configuration and silently diverge. It carries `adapt.*` keys
 //! describing the applied overrides instead.
 
-use crate::eval::{eval_singles, run_beam, EvalContext, EvalOptions, EvalScope, Stamp};
+use crate::eval::EvalOptions;
 use crate::replay::{Recording, RunConfig};
-use lockinfer::adapt::{
-    candidates, select, AdaptPolicy, Adjustment, BeamReport, Decision, DecisionReport, PlanCost,
-};
+use crate::Pipeline;
+use lockinfer::adapt::{AdaptPolicy, BeamReport, DecisionReport};
 use trace::Trace;
 
 /// The full result of one adaptation loop.
@@ -96,6 +95,9 @@ pub fn adapt(
 /// parallelism, trace-analytic pruning, beam search over compound
 /// candidates, and invariant hoisting.
 ///
+/// A thin wrapper over [`Pipeline::adapt`] — the loop body lives
+/// there, so this function is byte-identical to the builder form.
+///
 /// # Errors
 ///
 /// Returns a message on compile failure or when the recorded baseline
@@ -107,102 +109,7 @@ pub fn adapt_with(
     policy: &AdaptPolicy,
     opts: &EvalOptions,
 ) -> Result<AdaptRun, String> {
-    let ctx = EvalContext::new(cfg, opts.hoist)?;
-    let base_map = ctx.base_map(cfg);
-    let baseline = ctx.run_one(cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
-    if baseline.trace.dropped > 0 {
-        return Err(format!(
-            "adapt: baseline trace dropped {} events — raise trace_capacity",
-            baseline.trace.dropped
-        ));
-    }
-    let profiles = trace::profile(&baseline.trace);
-    let cands = candidates(&profiles, &base_map, policy);
-    let base_cost = PlanCost::from_profiles(&profiles, baseline.outcome.makespan);
-
-    let scope = EvalScope {
-        ctx: &ctx,
-        cfg,
-        base_map: &base_map,
-        profiles: &profiles,
-        base_cost,
-        opts,
-    };
-    let singles = eval_singles(&scope, &cands)?;
-    let decisions: Vec<Decision> = cands
-        .iter()
-        .zip(&singles)
-        .map(|(cand, (cost, status))| Decision {
-            candidate: *cand,
-            cost: *cost,
-            status: status.clone(),
-        })
-        .collect();
-    // Selection runs over the replayed subset only (pruned/skipped
-    // candidates have no measured cost), mapped back to canonical
-    // candidate indices.
-    let replayed: Vec<usize> = decisions
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.status.is_replayed())
-        .map(|(i, _)| i)
-        .collect();
-    let selected = select(
-        base_cost,
-        &replayed
-            .iter()
-            .map(|&i| decisions[i].cost)
-            .collect::<Vec<_>>(),
-    )
-    .map(|j| replayed[j]);
-    let report = DecisionReport {
-        name: cfg.name.clone(),
-        mode: format!("{:?}", cfg.mode),
-        baseline: base_cost,
-        candidates: decisions,
-        selected,
-    };
-
-    let beam = match opts.beam {
-        Some(bp) => Some(run_beam(&scope, &cands, &singles, bp)?),
-        None => None,
-    };
-
-    // Candidate recordings were dropped after profiling; the overall
-    // winner — the beam compound when it beat every single, else the
-    // selected single — is re-executed once, deterministically
-    // identical to its evaluation run.
-    let adapted = if let Some((bi, b)) = beam.as_ref().and_then(|b| b.selected.zip(Some(b))) {
-        let m = &b.evaluated[bi].candidate;
-        let ccfg = EvalContext::candidate_cfg(cfg, m.wake_policy(), &profiles);
-        Some(ctx.run_one(
-            &ccfg,
-            &m.config_map(&base_map),
-            Stamp::Adapt,
-            opts.analysis_threads,
-        )?)
-    } else if let Some(i) = selected {
-        let cand = &cands[i];
-        let wake = match cand.adjustment {
-            Adjustment::WakePolicy(kind) => Some(kind),
-            _ => None,
-        };
-        let ccfg = EvalContext::candidate_cfg(cfg, wake, &profiles);
-        Some(ctx.run_one(
-            &ccfg,
-            &cand.config_map(&base_map),
-            Stamp::Adapt,
-            opts.analysis_threads,
-        )?)
-    } else {
-        None
-    };
-    Ok(AdaptRun {
-        report,
-        baseline,
-        adapted,
-        beam,
-    })
+    Pipeline::new(cfg.clone()).options(*opts).adapt(policy)
 }
 
 /// Like [`adapt`], but starting from an existing self-describing trace

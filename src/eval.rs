@@ -139,6 +139,10 @@ pub struct EvalContext {
     store: SummaryStore,
     lib: LibrarySpec,
     hoist: bool,
+    /// Live metrics registry ([`crate::pipeline::Pipeline::metrics`]):
+    /// armed runs publish `ali_run_*` series and the harness counts
+    /// `ali_eval_*` candidate totals. `None` = off, zero overhead.
+    metrics: Option<Arc<obs::Registry>>,
 }
 
 impl EvalContext {
@@ -156,7 +160,20 @@ impl EvalContext {
             store: SummaryStore::new(),
             lib: LibrarySpec::new(),
             hoist,
+            metrics: None,
         })
+    }
+
+    /// Arms every run this context executes with a live registry.
+    pub(crate) fn arm_metrics(&mut self, reg: Arc<obs::Registry>) {
+        self.metrics = Some(reg);
+    }
+
+    /// Bumps a harness counter on the armed registry, if any.
+    pub(crate) fn count(&self, name: &str, n: u64) {
+        if let Some(reg) = &self.metrics {
+            reg.counter(name).add(n);
+        }
     }
 
     /// The uniform configuration map `cfg` prescribes — the baseline
@@ -214,6 +231,7 @@ impl EvalContext {
         );
         let transformed = lockinfer::transform(&program, &analysis);
         let mut opts = options_for(cfg);
+        opts.metrics = self.metrics.clone();
         if !cfg.repairs.is_empty() {
             opts.repairs = crate::replay::repair_specs(
                 &cfg.repairs,
@@ -227,6 +245,9 @@ impl EvalContext {
         }
         let m = Machine::new(Arc::new(transformed), pt, cfg.mode, opts);
         let (outcome, mut trace) = execute(&m, cfg);
+        // Counters accumulate across the evaluation; gauges reflect
+        // the most recent run's end-of-run totals.
+        m.publish_metrics();
         let ledger = m
             .sentinel()
             .map(sentinel::Sentinel::violations)
@@ -447,6 +468,17 @@ pub(crate) fn eval_singles(
         let cand_cfg = EvalContext::candidate_cfg(cfg, wake_of(rep), profiles);
         ctx.eval_candidate(&cand_cfg, &rep.config_map(base_map), opts.analysis_threads)
     });
+    ctx.count("ali_eval_candidates_evaluated_total", keep.len() as u64);
+    ctx.count(
+        "ali_eval_candidates_pruned_total",
+        (reps.len() - keep.len()) as u64,
+    );
+    ctx.count(
+        "ali_eval_candidates_skipped_total",
+        runs.iter()
+            .filter(|r| matches!(r, Ok(CandidateRun::Skipped(_))))
+            .count() as u64,
+    );
     let mut out: Vec<(PlanCost, EvalStatus)> = cands
         .iter()
         .zip(&ests)
@@ -541,6 +573,17 @@ pub(crate) fn run_beam(
             let cand_cfg = EvalContext::candidate_cfg(cfg, m.wake_policy(), profiles);
             ctx.eval_candidate(&cand_cfg, &m.config_map(base_map), opts.analysis_threads)
         });
+        ctx.count("ali_eval_candidates_evaluated_total", keep.len() as u64);
+        ctx.count(
+            "ali_eval_candidates_pruned_total",
+            (gen.len() - keep.len()) as u64,
+        );
+        ctx.count(
+            "ali_eval_candidates_skipped_total",
+            runs.iter()
+                .filter(|r| matches!(r, Ok(CandidateRun::Skipped(_))))
+                .count() as u64,
+        );
         let mut round_costs: Vec<(PlanCost, usize)> = Vec::new();
         let mut statuses: Vec<(PlanCost, EvalStatus)> = gen
             .iter()

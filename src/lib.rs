@@ -23,7 +23,11 @@
 //! | [`workloads`] | the evaluation programs (micro, STAMP-like, SPEC-like) |
 //!
 //! plus [`replay`], this crate's own deterministic record/replay layer
-//! over traced executions.
+//! over traced executions, [`obs`], the unified observability layer
+//! (live metrics registry + trace-derived snapshots and exporters),
+//! and [`Pipeline`], the builder-style entry point to every
+//! measurement loop (baseline → profile → propose → evaluate →
+//! select).
 //!
 //! ## Quickstart
 //!
@@ -48,15 +52,19 @@
 
 pub mod adapt;
 pub mod eval;
+pub mod pipeline;
 pub mod reinfer;
 pub mod replay;
 pub mod sched;
+
+pub use pipeline::Pipeline;
 
 pub use interp;
 pub use lir;
 pub use lockinfer;
 pub use lockscheme;
 pub use mglock;
+pub use obs;
 pub use pointsto;
 pub use sentinel;
 pub use tl2;

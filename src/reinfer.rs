@@ -38,14 +38,10 @@
 //! [`RepairReport`] JSON and healed-trace digests **at every analysis
 //! and eval thread count**.
 
-use crate::eval::{par_map, EvalContext, EvalOptions, Stamp};
+use crate::eval::EvalOptions;
 use crate::replay::{Recording, RunConfig};
-use lockinfer::reinfer::{
-    admit, candidates, RepairDecision, RepairOutcome, RepairReport, SectionReport, Witness,
-};
-use lockinfer::{EvalStatus, PlanCost};
-use lockscheme::ConfigMap;
-use sentinel::Violation;
+use crate::Pipeline;
+use lockinfer::reinfer::RepairReport;
 use trace::Trace;
 
 /// The full result of one re-inference pass.
@@ -86,167 +82,14 @@ pub fn reinfer(cfg: &RunConfig, analysis_threads: usize) -> Result<ReinferRun, S
 
 /// [`reinfer`] with full control over the evaluation harness.
 ///
+/// A thin wrapper over [`Pipeline::reinfer`] — the loop body lives
+/// there, so this function is byte-identical to the builder form.
+///
 /// # Errors
 ///
 /// See [`reinfer`].
 pub fn reinfer_with(cfg: &RunConfig, opts: &EvalOptions) -> Result<ReinferRun, String> {
-    if cfg.sentinel.is_none() {
-        return Err("reinfer: the run must be sentinel-armed (set RunConfig::sentinel)".into());
-    }
-    let ctx = EvalContext::new(cfg, opts.hoist)?;
-    let base_map = ctx.base_map(cfg);
-    let (baseline, ledger) =
-        ctx.run_one_ledger(cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
-    if baseline.trace.dropped > 0 {
-        return Err(format!(
-            "reinfer: baseline trace dropped {} events — raise trace_capacity",
-            baseline.trace.dropped
-        ));
-    }
-    let base_cost =
-        PlanCost::from_profiles(&trace::profile(&baseline.trace), baseline.outcome.makespan);
-
-    // The ledger is already canonical (`(clock, tid, seq)` order);
-    // resolving each address through the baseline's allocation-table
-    // snapshot yields the witnesses the policy diagnoses.
-    let witnesses: Vec<Witness> = ledger
-        .iter()
-        .map(|v| Witness {
-            violation: v.clone(),
-            extent: baseline.trace.alloc_of(v.addr).map(|a| (a.base, a.class)),
-        })
-        .collect();
-    let sections: Vec<u32> = {
-        let mut s: Vec<u32> = witnesses.iter().map(|w| w.violation.section).collect();
-        s.sort_unstable();
-        s.dedup();
-        s
-    };
-    let cands = candidates(&witnesses, &base_map);
-
-    // Candidate and reference runs replay the steady state the repair
-    // would install: the weaken fault (the modeled inference bug) is
-    // off, the sentinel stays armed so cleanliness is measured, and
-    // the schedule is otherwise identical.
-    let mut ecfg = cfg.clone();
-    ecfg.weaken = None;
-    let maps: Vec<ConfigMap> = sections
-        .iter()
-        .map(|&s| {
-            let mut m = base_map.clone();
-            m.demote_to_global(s);
-            m
-        })
-        .chain(cands.iter().map(|c| c.config_map(&base_map)))
-        .collect();
-    let runs: Vec<Result<(Recording, Vec<Violation>), String>> =
-        par_map(maps.len(), opts.eval_threads, |i| {
-            ctx.run_one_ledger(&ecfg, &maps[i], Stamp::Adapt, opts.analysis_threads)
-        });
-    let mut assessed: Vec<(bool, PlanCost, EvalStatus)> = Vec::with_capacity(runs.len());
-    for run in runs {
-        let (rec, cand_ledger) = run?;
-        if rec.trace.dropped > 0 {
-            assessed.push((
-                false,
-                PlanCost::default(),
-                EvalStatus::Skipped {
-                    reason: format!(
-                        "candidate trace dropped {} events - raise trace_capacity",
-                        rec.trace.dropped
-                    ),
-                },
-            ));
-            continue;
-        }
-        let cost = PlanCost::from_profiles(&trace::profile(&rec.trace), rec.outcome.makespan);
-        let clean = rec.outcome.error.is_none()
-            && cand_ledger.is_empty()
-            && trace::validate(&rec.trace)
-                .map(|v| v.passed())
-                .unwrap_or(false);
-        assessed.push((clean, cost, EvalStatus::Replayed));
-    }
-
-    let mut reports: Vec<SectionReport> = Vec::with_capacity(sections.len());
-    for (si, &section) in sections.iter().enumerate() {
-        let (_, demoted, ref_status) = &assessed[si];
-        if !ref_status.is_replayed() {
-            return Err(format!(
-                "reinfer: global-demotion reference for section {section} was unusable"
-            ));
-        }
-        let demoted = *demoted;
-        let members: Vec<usize> = cands
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.section == section)
-            .map(|(i, _)| i)
-            .collect();
-        let decisions: Vec<RepairDecision> = members
-            .iter()
-            .map(|&i| {
-                let (clean, cost, status) = assessed[sections.len() + i].clone();
-                RepairDecision {
-                    candidate: cands[i],
-                    clean,
-                    cost,
-                    status,
-                }
-            })
-            .collect();
-        let outcomes: Vec<RepairOutcome> = decisions
-            .iter()
-            .map(|d| RepairOutcome {
-                clean: d.clean && d.status.is_replayed(),
-                cost: d.cost,
-            })
-            .collect();
-        let admitted = admit(demoted, &outcomes);
-        reports.push(SectionReport {
-            section,
-            violations: witnesses
-                .iter()
-                .filter(|w| w.violation.section == section)
-                .count() as u64,
-            demoted,
-            candidates: decisions,
-            admitted,
-        });
-    }
-    let report = RepairReport {
-        name: cfg.name.clone(),
-        mode: format!("{:?}", cfg.mode),
-        baseline: base_cost,
-        sections: reports,
-    };
-
-    // Re-record the original armed configuration with the admitted
-    // repairs installed dormant: the offending sections heal onto the
-    // repaired schemes instead of the seed scheme.
-    let admitted = report.admitted();
-    let healed = if admitted.is_empty() {
-        None
-    } else {
-        let mut fcfg = cfg.clone();
-        fcfg.repairs = admitted
-            .iter()
-            .map(|&(section, j)| {
-                let s = report
-                    .sections
-                    .iter()
-                    .find(|s| s.section == section)
-                    .expect("admitted section is reported");
-                (section, j as u32, s.candidates[j].candidate.config)
-            })
-            .collect();
-        Some(ctx.run_one(&fcfg, &base_map, Stamp::Run, opts.analysis_threads)?)
-    };
-    Ok(ReinferRun {
-        report,
-        baseline,
-        healed,
-    })
+    Pipeline::new(cfg.clone()).options(*opts).reinfer()
 }
 
 /// Like [`reinfer`], but starting from an existing self-describing

@@ -172,9 +172,16 @@ impl RunConfig {
                 let expected_hold =
                     SchedConfig::parse_holds(t.meta_get("run.sched_holds").unwrap_or(""))
                         .ok_or_else(|| "replay: bad `run.sched_holds`".to_owned())?;
+                // Absent on traces recorded before the aging knob
+                // existed: those ran with aging off.
+                let aging = match t.meta_get("run.sched_aging") {
+                    None => 0,
+                    Some(_) => int("run.sched_aging")?,
+                };
                 Some(SchedConfig {
                     policy,
                     expected_hold,
+                    aging,
                 })
             }
         };
@@ -262,6 +269,11 @@ impl RunConfig {
         if let Some(s) = &self.sched {
             t.meta_set("run.sched_policy", s.policy.tag().to_owned());
             t.meta_set("run.sched_holds", s.holds_string());
+            // Only stamped when armed, so pre-aging traces stay
+            // byte-identical through a record/stamp round trip.
+            if s.aging != 0 {
+                t.meta_set("run.sched_aging", s.aging.to_string());
+            }
         }
         for &(section, candidate, c) in &self.repairs {
             t.meta_set(
@@ -581,6 +593,7 @@ mod tests {
         c.sched = Some(SchedConfig {
             policy: interp::PolicyKind::ShortestExpectedHold,
             expected_hold: vec![(1, 40), (2, 900)],
+            aging: 6,
         });
         c.repairs = vec![
             (

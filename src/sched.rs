@@ -42,10 +42,9 @@
 //! [`crate::replay::replay`] reproduces the steered schedule
 //! bit-for-bit from the trace alone.
 
-use crate::eval::{par_map, EvalContext, EvalOptions, Stamp};
+use crate::eval::EvalOptions;
 use crate::replay::{Recording, RunConfig};
-use ::sched::convoy::detect;
-use ::sched::report::select;
+use crate::Pipeline;
 use trace::Trace;
 
 pub use ::sched::convoy::{ConvoyFlag, ConvoyPolicy};
@@ -99,6 +98,9 @@ pub fn evaluate(
 /// parallelism, invariant hoisting; pruning and beam search do not
 /// apply to the fixed policy set).
 ///
+/// A thin wrapper over [`Pipeline::sched`] — the loop body lives
+/// there, so this function is byte-identical to the builder form.
+///
 /// # Errors
 ///
 /// Returns a message on compile failure or when the recorded baseline
@@ -110,81 +112,7 @@ pub fn evaluate_with(
     convoy: &ConvoyPolicy,
     opts: &EvalOptions,
 ) -> Result<SchedRun, String> {
-    let mut base_cfg = cfg.clone();
-    base_cfg.sched = None;
-    let ctx = EvalContext::new(&base_cfg, opts.hoist)?;
-    let base_map = ctx.base_map(&base_cfg);
-    let baseline = ctx.run_one(&base_cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
-    if baseline.trace.dropped > 0 {
-        return Err(format!(
-            "sched: baseline trace dropped {} events — raise trace_capacity",
-            baseline.trace.dropped
-        ));
-    }
-    let profiles = trace::profile(&baseline.trace);
-    let convoys = detect(&profiles, convoy);
-    let base_cost = PolicyCost::from_profiles(&profiles, baseline.outcome.makespan);
-
-    let kinds: Vec<PolicyKind> = PolicyKind::ALL
-        .into_iter()
-        .filter(|&k| k != PolicyKind::Fifo)
-        .collect();
-    // One steered re-run per policy, concurrently; recordings are
-    // profiled and dropped inside the worker (O(1) memory), results
-    // merged in policy order.
-    let runs: Vec<Result<Result<PolicyCost, String>, String>> =
-        par_map(kinds.len(), opts.eval_threads, |i| {
-            let mut steered_cfg = base_cfg.clone();
-            steered_cfg.sched = Some(SchedConfig::from_profiles(kinds[i], &profiles));
-            let rec = ctx.run_one(&steered_cfg, &base_map, Stamp::Run, opts.analysis_threads)?;
-            if rec.trace.dropped > 0 {
-                return Ok(Err(format!(
-                    "steered trace dropped {} events - raise trace_capacity",
-                    rec.trace.dropped
-                )));
-            }
-            let prof = trace::profile(&rec.trace);
-            Ok(Ok(PolicyCost::from_profiles(&prof, rec.outcome.makespan)))
-        });
-    let mut evaluated = Vec::new();
-    let mut skipped = Vec::new();
-    for (kind, run) in kinds.iter().zip(runs) {
-        match run? {
-            Ok(cost) => evaluated.push(PolicyOutcome {
-                policy: *kind,
-                cost,
-            }),
-            Err(reason) => skipped.push(SkippedPolicy {
-                policy: *kind,
-                reason,
-            }),
-        }
-    }
-    let selected = select(base_cost, &evaluated);
-    let report = SchedReport {
-        name: cfg.name.clone(),
-        mode: format!("{:?}", cfg.mode),
-        baseline: base_cost,
-        evaluated,
-        selected,
-        convoys,
-        skipped,
-    };
-    // Re-execute the winner once for the returned recording —
-    // deterministically identical to its evaluation run.
-    let steered = match report.winner() {
-        Some(w) => {
-            let mut steered_cfg = base_cfg.clone();
-            steered_cfg.sched = Some(SchedConfig::from_profiles(w.policy, &profiles));
-            Some(ctx.run_one(&steered_cfg, &base_map, Stamp::Run, opts.analysis_threads)?)
-        }
-        None => None,
-    };
-    Ok(SchedRun {
-        report,
-        baseline,
-        steered,
-    })
+    Pipeline::new(cfg.clone()).options(*opts).sched(convoy)
 }
 
 /// Like [`evaluate`], but starting from an existing self-describing

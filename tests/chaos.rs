@@ -227,6 +227,11 @@ fn chaos_wake_policies_reproduce_under_delayed_wakeups() {
         let sched = ali::interp::SchedConfig {
             policy: kind,
             expected_hold: vec![(0, 60), (1, 15), (2, 40)],
+            aging: if kind == ali::interp::PolicyKind::ReaderBatch {
+                ali::interp::ReaderBatch::DEFAULT_AGING
+            } else {
+                0
+            },
         };
         for spec in specs() {
             let label = format!("{} [MultiGrain] wake {}", spec.name, kind.tag());
